@@ -1,0 +1,59 @@
+"""Ablation: translation-cache eviction policy and the CPU signal.
+
+The paper traces the statistics-track-phases idea to Dynamo's
+fragment-cache flush heuristic.  Our cache defaults to per-block FIFO
+eviction; this ablation compares it with Dynamo's flush-everything
+policy as the source of the CPU monitored statistic.
+"""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.harness import run_policy
+from repro.sampling import (DynamicSampler, SimulationController,
+                            accuracy_error, dynamic_config)
+from repro.timing import TimingConfig
+from repro.workloads import SUITE_MACHINE_KWARGS, load_benchmark
+
+BENCHES = ("gzip", "perlbmk", "swim", "crafty")
+
+
+def run_with_policy(name, cache_policy):
+    workload = load_benchmark(name)
+    kwargs = dict(SUITE_MACHINE_KWARGS, code_cache_policy=cache_policy)
+    controller = SimulationController(
+        workload, timing_config=TimingConfig.small(),
+        machine_kwargs=kwargs)
+    sampler = DynamicSampler(dynamic_config("CPU", 300, "1M", None))
+    return controller, sampler.run(controller)
+
+
+def build():
+    full = {name: run_policy(name, "full") for name in BENCHES}
+    rows = []
+    data = {}
+    for cache_policy in ("fifo", "flush"):
+        errors = []
+        invalidations = 0
+        samples = 0
+        for name in BENCHES:
+            controller, result = run_with_policy(name, cache_policy)
+            errors.append(accuracy_error(result.ipc, full[name].ipc))
+            invalidations += \
+                controller.machine.stats.code_cache_invalidations
+            samples += result.timed_intervals
+        mean_error = sum(errors) / len(errors)
+        rows.append((cache_policy, f"{mean_error * 100:.2f}",
+                     invalidations, samples))
+        data[cache_policy] = mean_error
+    text = format_table(
+        ("eviction policy", "mean error %", "invalidations", "samples"),
+        rows, title="Ablation: translation-cache eviction policy "
+                    "(CPU-300-1M-inf)")
+    return text, data
+
+
+def test_ablation_cache_policy(benchmark, artifact):
+    text, data = one_shot(benchmark, build)
+    artifact("ablation_cache_policy", text)
+    assert set(data) == {"fifo", "flush"}

@@ -1,0 +1,45 @@
+"""Ablation: Dynamic Sampling sensitivity and interval-length sweep.
+
+Extends the paper's grid along the sensitivity axis for the CPU
+variable, quantifying the accuracy/speed tradeoff the paper's Figure 5
+samples at only three sensitivity values.
+"""
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.harness import run_policy
+from repro.sampling import accuracy_error
+
+BENCHES = ("gzip", "mcf", "perlbmk", "swim")
+SENSITIVITIES = (100, 300, 500, 1000)
+
+
+def build():
+    rows = []
+    data = {}
+    full = {name: run_policy(name, "full") for name in BENCHES}
+    for sensitivity in SENSITIVITIES:
+        key = f"CPU-{sensitivity}-1M-inf"
+        errors = []
+        intervals = 0
+        for name in BENCHES:
+            result = run_policy(name, key)
+            errors.append(accuracy_error(result.ipc, full[name].ipc))
+            intervals += result.timed_intervals
+        mean_error = sum(errors) / len(errors)
+        rows.append((f"S={sensitivity}%", f"{mean_error * 100:.2f}",
+                     intervals))
+        data[sensitivity] = mean_error
+    text = format_table(("sensitivity", "mean error %",
+                         "timed intervals (4 benchmarks)"), rows,
+                        title="Ablation: CPU sensitivity sweep (1M, inf)")
+    return text, data
+
+
+def test_ablation_sensitivity(benchmark, artifact):
+    text, data = one_shot(benchmark, build)
+    artifact("ablation_sensitivity", text)
+    # an absurdly high threshold must sample less and err more than the
+    # best threshold in the sweep
+    assert min(data.values()) <= data[1000] + 1e-9

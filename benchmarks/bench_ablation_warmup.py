@@ -1,0 +1,56 @@
+"""Ablation: warming length before each measurement interval.
+
+DESIGN.md scales the paper's 1M-instruction warming to 5K because a
+1:1 scaling (1K) cannot even fill the scaled L2 once; this ablation
+measures that choice on SimPoint, whose point measurements sit after
+long un-warmed fast-forwards and are therefore the most
+warming-sensitive part of the reproduction.
+"""
+
+from dataclasses import replace
+
+from conftest import one_shot
+
+from repro.analysis import format_table
+from repro.harness import run_policy
+from repro.sampling import (SIMPOINT_PRESET, SimPointSampler,
+                            SimulationController, accuracy_error)
+from repro.timing import TimingConfig
+from repro.workloads import SUITE_MACHINE_KWARGS, load_benchmark
+
+BENCHES = ("mcf", "swim", "crafty")
+WARMUPS = (500, 1000, 5000, 10000)
+
+
+def run_with_warmup(name, warmup):
+    workload = load_benchmark(name)
+    controller = SimulationController(
+        workload, timing_config=TimingConfig.small(),
+        machine_kwargs=SUITE_MACHINE_KWARGS)
+    config = replace(SIMPOINT_PRESET, warmup_length=warmup)
+    return SimPointSampler(config).run(controller)
+
+
+def build():
+    full = {name: run_policy(name, "full") for name in BENCHES}
+    rows = []
+    data = {}
+    for warmup in WARMUPS:
+        errors = []
+        for name in BENCHES:
+            result = run_with_warmup(name, warmup)
+            errors.append(accuracy_error(result.ipc, full[name].ipc))
+        mean_error = sum(errors) / len(errors)
+        rows.append((warmup, f"{mean_error * 100:.2f}"))
+        data[warmup] = mean_error
+    text = format_table(("warmup instructions", "mean error %"), rows,
+                        title="Ablation: measurement warming length "
+                              "(SimPoint)")
+    return text, data
+
+
+def test_ablation_warmup(benchmark, artifact):
+    text, data = one_shot(benchmark, build)
+    artifact("ablation_warmup", text)
+    # warming a few thousand instructions must beat warming 500
+    assert min(data[5000], data[10000]) < data[500]

@@ -1,0 +1,14 @@
+"""Figure 2: correlation between a VM-internal statistic (exceptions)
+and the IPC of the running benchmark (perlbmk, as in the paper)."""
+
+from conftest import one_shot
+
+from repro.harness import build_figure2
+
+
+def test_fig2_correlation(benchmark, artifact):
+    text, data = one_shot(benchmark, lambda: build_figure2("perlbmk"))
+    artifact("fig2_correlation", text)
+    # the paper's claim: statistic changes track IPC changes
+    assert data["correlation"] > 0.1
+    assert data["intervals"] > 100

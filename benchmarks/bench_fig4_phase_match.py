@@ -1,0 +1,15 @@
+"""Figure 4: SimPoint-selected simulation points vs the phases that
+Dynamic Sampling detects at run time (PN ~= SPN)."""
+
+from conftest import one_shot
+
+from repro.harness import build_figure4
+
+
+def test_fig4_phase_match(benchmark, artifact):
+    text, data = one_shot(benchmark, lambda: build_figure4("perlbmk"))
+    artifact("fig4_phase_match", text)
+    assert data["simpoints"], "SimPoint chose no points"
+    assert data["dynamic"], "Dynamic Sampling detected no phases"
+    # most dynamically detected phases coincide with a simpoint
+    assert data["match_score"] >= 0.5

@@ -1,0 +1,24 @@
+"""Figure 5: accuracy error vs simulation speedup for every policy,
+with the Pareto frontier (the paper's headline figure)."""
+
+from conftest import one_shot
+
+from repro.harness import build_figure5
+
+
+def test_fig5_tradeoff(benchmark, artifact):
+    text, data = one_shot(benchmark, build_figure5)
+    artifact("fig5_tradeoff", text)
+    points = {label: (err, speed) for label, err, speed in data["points"]}
+    # paper shapes that must hold at any scale:
+    # SMARTS is the most accurate sampler...
+    smarts_err = points["smarts"][0]
+    assert smarts_err <= min(err for label, (err, _) in points.items()
+                             if label != "smarts") + 3.0
+    # ...SimPoint (ignoring profiling) is faster than SMARTS...
+    assert points["simpoint"][1] > points["smarts"][1]
+    # ...profiling cost erases most of SimPoint's advantage...
+    assert points["simpoint+prof"][1] < points["simpoint"][1]
+    # ...and the fast Dynamic Sampling configs beat SMARTS on speed.
+    assert points["IO-100-1M-inf"][1] > points["smarts"][1]
+    assert points["CPU-300-1M-inf"][1] > points["smarts"][1]

@@ -1,0 +1,14 @@
+"""Figure 6: mean IPC per timing policy with accuracy-error labels."""
+
+from conftest import one_shot
+
+from repro.harness import build_figure6
+
+
+def test_fig6_ipc_summary(benchmark, artifact):
+    text, errors = one_shot(benchmark, build_figure6)
+    artifact("fig6_ipc_summary", text)
+    # short 1M intervals beat long 100M intervals without a
+    # functional-interval bound (the paper's 24%-error case)
+    assert errors["CPU-300-1M-10"] is not None
+    assert errors["full"] in (0.0, None) or errors["full"] < 1e-9

@@ -1,0 +1,19 @@
+"""Figure 7: simulation time per policy (modeled host seconds)."""
+
+from conftest import one_shot
+
+from repro.harness import build_figure7
+
+
+def test_fig7_time_summary(benchmark, artifact):
+    text, speedups = one_shot(benchmark, build_figure7)
+    artifact("fig7_time_summary", text)
+    # cost-structure shapes from the paper:
+    assert speedups["full"] == 1.0
+    # SMARTS is bounded by continuous functional warming
+    assert 2.0 < speedups["smarts"] < 12.0
+    # SimPoint without profiling is the fastest conventional technique;
+    # adding the profiling pass collapses its advantage
+    assert speedups["simpoint"] > speedups["simpoint+prof"]
+    # short-interval unlimited Dynamic Sampling outruns SMARTS
+    assert speedups["IO-100-1M-inf"] > speedups["smarts"]

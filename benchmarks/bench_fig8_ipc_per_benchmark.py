@@ -1,0 +1,17 @@
+"""Figure 8: per-benchmark IPC for full timing, SMARTS, SimPoint and
+Dynamic Sampling CPU-300-1M-inf."""
+
+from conftest import one_shot
+
+from repro.harness import build_figure8
+
+
+def test_fig8_ipc_per_benchmark(benchmark, artifact):
+    text, data = one_shot(benchmark, build_figure8)
+    artifact("fig8_ipc_per_benchmark", text)
+    full = data["full"]
+    smarts = data["smarts"]
+    # SMARTS tracks full timing closely on most benchmarks
+    close = sum(1 for name in full
+                if abs(smarts[name] - full[name]) / full[name] < 0.10)
+    assert close >= len(full) * 0.7

@@ -1,0 +1,15 @@
+"""Figure 9: per-benchmark simulation time (modeled host seconds)."""
+
+from conftest import one_shot
+
+from repro.harness import build_figure9
+
+
+def test_fig9_time_per_benchmark(benchmark, artifact):
+    text, data = one_shot(benchmark, build_figure9)
+    artifact("fig9_time_per_benchmark", text)
+    for name, seconds in data["full"].items():
+        # every sampling policy beats full timing on every benchmark
+        assert data["smarts"][name] < seconds
+        assert data["simpoint"][name] < seconds
+        assert data["CPU-300-1M-inf"][name] < seconds

@@ -1,0 +1,11 @@
+"""Table 1: timing simulator parameters (paper and scaled variants)."""
+
+from conftest import one_shot
+
+from repro.harness import build_table1
+
+
+def test_table1_config(benchmark, artifact):
+    text, data = one_shot(benchmark, build_table1)
+    artifact("table1_config", text)
+    assert any("Fetch/Issue/Retire" in str(row) for row in data["rows"])

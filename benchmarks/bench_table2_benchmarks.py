@@ -1,0 +1,17 @@
+"""Table 2: benchmark characteristics (ref input, instructions,
+simpoints) measured at the reproduction scale."""
+
+from conftest import one_shot
+
+from repro.harness import build_table2, default_benchmarks
+
+
+def test_table2_benchmarks(benchmark, artifact):
+    names = default_benchmarks()
+    text, data = one_shot(benchmark, lambda: build_table2(
+        benchmarks=names))
+    artifact("table2_benchmarks", text)
+    assert len(data) == len(names)
+    for record in data.values():
+        assert record["instructions"] > 0
+        assert record["simpoints"] > 0

@@ -1,0 +1,31 @@
+"""Shared fixtures for the figure/table benchmark targets.
+
+Every target builds one of the paper's tables or figures through
+:mod:`repro.harness.figures`.  Results of the underlying simulations are
+memoised in ``benchmarks/.cache`` — the first run of a target simulates
+(slow); later runs re-render from the cache.  ``REPRO_FULL_SUITE=1``
+switches from the 8-benchmark quick subset to all 26 benchmarks.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def artifact():
+    """Returns a writer that saves a rendered figure and echoes it."""
+    def write(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n{text}\n[saved to {path}]")
+
+    return write
+
+
+def one_shot(benchmark, fn):
+    """Run a figure builder exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

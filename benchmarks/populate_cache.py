@@ -1,0 +1,34 @@
+"""Populate the result cache for every policy x benchmark combination.
+
+Run this once (it takes minutes); every benchmark target afterwards
+reads from the cache.  REPRO_FULL_SUITE=1 covers all 26 benchmarks.
+"""
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.harness import (FIGURE5_POLICIES, FIGURE6_POLICIES,
+                           default_benchmarks, run_policy)
+
+POLICIES = ["full"] + [p for p in FIGURE5_POLICIES if p != "simpoint+prof"] \
+    + [p for p in FIGURE6_POLICIES
+       if p not in ("full", "smarts", "simpoint")]
+
+def main():
+    benchmarks = default_benchmarks()
+    total = len(benchmarks) * len(POLICIES)
+    done = 0
+    t0 = time.time()
+    for policy in POLICIES:
+        for bench in benchmarks:
+            t1 = time.time()
+            result = run_policy(bench, policy)
+            done += 1
+            print(f"[{done}/{total}] {policy:18s} {bench:10s} "
+                  f"ipc={result.ipc:.4f} ({time.time()-t1:.1f}s, "
+                  f"total {time.time()-t0:.0f}s)", flush=True)
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Compare all four timing policies on one SPEC-like benchmark.
+
+Reproduces one row of the paper's evaluation: full timing as the
+reference, then SMARTS, SimPoint and Dynamic Sampling, reporting each
+policy's accuracy error and speedup (modeled host time, using the
+paper's per-mode throughputs).
+
+Run:  python examples/sampling_comparison.py [benchmark] [size]
+"""
+
+import sys
+
+from repro import (DynamicSampler, FullTiming, SIMPOINT_PRESET,
+                   SMARTS_PRESET, SimPointSampler, SimulationController,
+                   SmartsSampler, TimingConfig, accuracy_error,
+                   dynamic_config, load_benchmark, speedup)
+from repro.workloads import SUITE_MACHINE_KWARGS
+
+benchmark = sys.argv[1] if len(sys.argv) > 1 else "perlbmk"
+size = sys.argv[2] if len(sys.argv) > 2 else "small"
+workload = load_benchmark(benchmark, size=size)
+print(f"benchmark {benchmark} (size={size}, "
+      f"~{workload.estimated_instructions} instructions)\n")
+
+
+def fresh_controller():
+    return SimulationController(workload,
+                                timing_config=TimingConfig.small(),
+                                machine_kwargs=SUITE_MACHINE_KWARGS)
+
+
+print("running full timing (the reference)...")
+full = FullTiming().run(fresh_controller())
+print(f"  full timing IPC = {full.ipc:.4f} "
+      f"({full.extra['cycles']} cycles)\n")
+
+policies = [
+    SmartsSampler(SMARTS_PRESET),
+    SimPointSampler(SIMPOINT_PRESET),
+    DynamicSampler(dynamic_config("CPU", 300, "1M", None)),
+    DynamicSampler(dynamic_config("EXC", 300, "1M", 10)),
+    DynamicSampler(dynamic_config("IO", 100, "1M", None)),
+]
+
+header = (f"{'policy':28s} {'IPC':>7s} {'error':>7s} "
+          f"{'speedup':>8s} {'samples':>7s}")
+print(header)
+print("-" * len(header))
+for sampler in policies:
+    result = sampler.run(fresh_controller())
+    error = accuracy_error(result.ipc, full.ipc)
+    gain = speedup(full.modeled_seconds, result.modeled_seconds)
+    print(f"{result.policy:28s} {result.ipc:7.4f} "
+          f"{error * 100:6.2f}% {gain:7.1f}x "
+          f"{result.timed_intervals:7d}")
+
+print("\n(speedups are modeled host time; see repro.sampling.costmodel)")

@@ -1,0 +1,12 @@
+"""Result analysis: aggregate metrics, Pareto frontier, text rendering."""
+
+from .metrics import PolicySummary, harmonic_mean, summarize_policy
+from .pareto import dominates, pareto_frontier
+from .reporting import (ascii_scatter, ascii_series, format_speedup,
+                        format_table)
+
+__all__ = [
+    "PolicySummary", "harmonic_mean", "summarize_policy",
+    "dominates", "pareto_frontier",
+    "ascii_scatter", "ascii_series", "format_speedup", "format_table",
+]

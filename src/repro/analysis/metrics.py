@@ -1,0 +1,61 @@
+"""Aggregate metrics over per-benchmark policy results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.sampling import PolicyResult, accuracy_error
+
+
+@dataclass
+class PolicySummary:
+    """One policy aggregated over the benchmark suite."""
+
+    policy: str
+    mean_error: float          # arithmetic mean of |err| fractions
+    max_error: float
+    mean_ipc: float
+    speedup: float             # total reference time / total policy time
+    total_modeled_seconds: float
+    total_wall_seconds: float
+    benchmarks: int
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / value for value in values)
+
+
+def summarize_policy(results: List[PolicyResult],
+                     references: Dict[str, PolicyResult]) -> PolicySummary:
+    """Aggregate one policy's per-benchmark results against full timing.
+
+    ``references`` maps benchmark name -> the full-timing result.
+    The speedup is computed like the paper's Figure 6/7 numbers: total
+    suite simulation time of the baseline over the policy's.
+    """
+    if not results:
+        raise ValueError("no results to summarize")
+    errors = []
+    reference_seconds = 0.0
+    policy_seconds = 0.0
+    for result in results:
+        reference = references[result.benchmark]
+        errors.append(accuracy_error(result.ipc, reference.ipc))
+        reference_seconds += reference.modeled_seconds
+        policy_seconds += result.modeled_seconds
+    return PolicySummary(
+        policy=results[0].policy,
+        mean_error=sum(errors) / len(errors),
+        max_error=max(errors),
+        mean_ipc=sum(result.ipc for result in results) / len(results),
+        speedup=(reference_seconds / policy_seconds
+                 if policy_seconds > 0 else math.inf),
+        total_modeled_seconds=sum(r.modeled_seconds for r in results),
+        total_wall_seconds=sum(r.wall_seconds for r in results),
+        benchmarks=len(results),
+    )

@@ -1,0 +1,36 @@
+"""Pareto-optimality analysis for the accuracy/speed tradeoff (Fig. 5)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Point = Tuple[str, float, float]  # (label, accuracy_error, speedup)
+
+
+def pareto_frontier(points: Iterable[Point]) -> List[Point]:
+    """Points not dominated on (error smaller, speedup larger).
+
+    A point is Pareto-optimal if no other point is at least as good on
+    one criterion and strictly better on the other (the paper's
+    definition for Figure 5's dotted line).
+    """
+    items = list(points)
+    frontier = []
+    for label, error, speed in items:
+        dominated = False
+        for other_label, other_error, other_speed in items:
+            if (other_label != label
+                    and other_error <= error and other_speed >= speed
+                    and (other_error < error or other_speed > speed)):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append((label, error, speed))
+    frontier.sort(key=lambda point: point[1])
+    return frontier
+
+
+def dominates(a: Sequence, b: Sequence) -> bool:
+    """True when point ``a`` (error, speedup) dominates ``b``."""
+    return (a[0] <= b[0] and a[1] >= b[1]
+            and (a[0] < b[0] or a[1] > b[1]))

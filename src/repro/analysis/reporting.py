@@ -1,0 +1,117 @@
+"""Plain-text rendering of tables and figures for the benchmark harness.
+
+The paper's figures are charts; a terminal reproduction renders the
+same data as aligned tables and ASCII scatter/line plots so every bench
+target can print the series it regenerates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned monospace table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[index])
+                            for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index])
+                               for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_scatter(points: List[Tuple[str, float, float]],
+                  width: int = 72, height: int = 20,
+                  x_label: str = "accuracy error (%)",
+                  y_label: str = "speedup (x, log)") -> str:
+    """Scatter plot with log-y (the paper's Figure 5 layout).
+
+    ``points`` are (label, x, y); labels are indexed with letters and a
+    legend is appended.
+    """
+    import math
+
+    if not points:
+        return "(no points)"
+    xs = [point[1] for point in points]
+    ys = [math.log10(max(point[2], 1e-3)) for point in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (label, x, y) in enumerate(points):
+        marker = chr(ord("A") + index % 26)
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((math.log10(max(y, 1e-3)) - y_lo)
+                               / y_span * (height - 1))
+        grid[row][col] = marker
+        legend.append(f"  {marker}: {label} [{x:.2f}%, {y:.1f}x]")
+    lines = [f"{y_label}"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_lo:.2f}{' ' * (width - 16)}{x_hi:.2f}  "
+                 f"{x_label}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def ascii_series(series: List[Tuple[str, List[float]]],
+                 width: int = 72, height: int = 16,
+                 title: str = "") -> str:
+    """Overlay line plots of several equally-sampled series (Fig. 2)."""
+    if not series:
+        return "(no data)"
+    values = [value for _, data in series for value in data if data]
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, data) in enumerate(series):
+        if not data:
+            continue
+        marker = "*+o#@"[index % 5]
+        for col in range(width):
+            position = col * (len(data) - 1) / max(width - 1, 1)
+            value = data[int(position)]
+            row = height - 1 - int((value - lo) / span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={hi:.3g}")
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f"min={lo:.3g}   series: "
+                 + ", ".join(f"{'*+o#@'[i % 5]}={label}"
+                             for i, (label, _) in enumerate(series)))
+    return "\n".join(lines)
+
+
+def format_speedup(value: float) -> str:
+    return f"{value:.1f}x" if value < 100 else f"{value:.0f}x"

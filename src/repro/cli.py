@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the benchmark suite and the policy keys.
+``run BENCH [--policy KEY] [--size SIZE]``
+    Run one sampling policy on one benchmark and print the result.
+``suite [--policy KEY] [--size SIZE] [--benchmarks a,b,c]``
+    Run a policy over the suite with per-benchmark error vs full timing.
+``figure NAME``
+    Regenerate one of the paper's tables/figures (table1, table2,
+    fig2, fig4, fig5, fig6, fig7, fig8, fig9).
+``exec FILE.s``
+    Assemble a Z64 source file, run it on the VM, print its console
+    output and exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import run_policy
+from repro.sampling import accuracy_error, speedup
+
+
+def _cmd_list(_args) -> int:
+    from repro.harness import FIGURE5_POLICIES
+    from repro.workloads import SPEC2000, SUITE_ORDER
+    print("benchmarks (paper Table 2):")
+    for name in SUITE_ORDER:
+        spec = SPEC2000[name]
+        print(f"  {name:10s} ref={spec.ref_input:15s} "
+              f"{spec.paper_billions:>4}G instr, "
+              f"{spec.paper_simpoints:>3} simpoints")
+    print("\npolicy keys: full, smarts, simpoint, simpoint+prof,")
+    print("  VAR-SENS-LEN-MAXF (e.g. " + ", ".join(
+        p for p in FIGURE5_POLICIES if "-" in p) + ")")
+    print("  sizes: tiny, small (default), paper")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_policy(args.benchmark, args.policy, size=args.size,
+                        use_cache=not args.no_cache)
+    print(f"benchmark : {result.benchmark}")
+    print(f"policy    : {result.policy}")
+    print(f"IPC       : {result.ipc:.4f}")
+    print(f"instrs    : {result.total_instructions} "
+          f"({result.timed_fraction * 100:.2f}% timed, "
+          f"{result.timed_intervals} measurements)")
+    print(f"host time : {result.modeled_seconds:.3f}s modeled, "
+          f"{result.wall_seconds:.3f}s wall")
+    if args.policy != "full":
+        full = run_policy(args.benchmark, "full", size=args.size)
+        print(f"vs full   : error "
+              f"{accuracy_error(result.ipc, full.ipc) * 100:.2f}%, "
+              f"speedup "
+              f"{speedup(full.modeled_seconds, result.modeled_seconds):.1f}x")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.harness import default_benchmarks
+    names = (args.benchmarks.split(",") if args.benchmarks
+             else default_benchmarks())
+    errors = []
+    full_seconds = 0.0
+    policy_seconds = 0.0
+    for name in names:
+        full = run_policy(name, "full", size=args.size)
+        result = run_policy(name, args.policy, size=args.size)
+        error = accuracy_error(result.ipc, full.ipc)
+        errors.append(error)
+        full_seconds += full.modeled_seconds
+        policy_seconds += result.modeled_seconds
+        print(f"{name:10s} ipc={result.ipc:7.4f} "
+              f"full={full.ipc:7.4f} err={error * 100:6.2f}%")
+    print(f"\nmean error {sum(errors) / len(errors) * 100:.2f}%  "
+          f"suite speedup "
+          f"{speedup(full_seconds, policy_seconds):.1f}x")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro import harness
+    builders = {
+        "table1": harness.build_table1,
+        "table2": harness.build_table2,
+        "fig2": harness.build_figure2,
+        "fig4": harness.build_figure4,
+        "fig5": harness.build_figure5,
+        "fig6": harness.build_figure6,
+        "fig7": harness.build_figure7,
+        "fig8": harness.build_figure8,
+        "fig9": harness.build_figure9,
+    }
+    if args.name not in builders:
+        print(f"unknown figure {args.name!r}; "
+              f"choose from {sorted(builders)}", file=sys.stderr)
+        return 2
+    text, _ = builders[args.name]()
+    print(text)
+    return 0
+
+
+def _cmd_exec(args) -> int:
+    from repro.isa import assemble
+    from repro.kernel import boot
+    with open(args.file) as handle:
+        source = handle.read()
+    system = boot(assemble(source))
+    executed = system.run_to_completion()
+    output = system.output
+    if output:
+        print(output, end="" if output.endswith("\n") else "\n")
+    print(f"[{executed} instructions, exit code {system.exit_code}]")
+    return system.exit_code & 0x7F
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ISPASS'07 Dynamic Sampling reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and policies")
+
+    run_parser = sub.add_parser("run", help="run one policy")
+    run_parser.add_argument("benchmark")
+    run_parser.add_argument("--policy", default="CPU-300-1M-inf")
+    run_parser.add_argument("--size", default="small")
+    run_parser.add_argument("--no-cache", action="store_true")
+
+    suite_parser = sub.add_parser("suite", help="run a policy over "
+                                                "the suite")
+    suite_parser.add_argument("--policy", default="CPU-300-1M-inf")
+    suite_parser.add_argument("--size", default="small")
+    suite_parser.add_argument("--benchmarks", default="")
+
+    figure_parser = sub.add_parser("figure", help="regenerate a "
+                                                  "table/figure")
+    figure_parser.add_argument("name")
+
+    exec_parser = sub.add_parser("exec", help="assemble and run a "
+                                              "guest program")
+    exec_parser.add_argument("file")
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "suite": _cmd_suite,
+                "figure": _cmd_figure, "exec": _cmd_exec}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Emulated system devices: MMIO bus, console, disk, timer and NIC."""
+
+from .block import BlockDevice, SECTOR_SIZE
+from .bus import Bus, BusError, Device
+from .console import ConsoleDevice
+from .nic import NicDevice
+from .timer import IRQ_TIMER, TimerDevice
+
+__all__ = [
+    "BlockDevice", "SECTOR_SIZE",
+    "Bus", "BusError", "Device",
+    "ConsoleDevice",
+    "NicDevice",
+    "IRQ_TIMER", "TimerDevice",
+]

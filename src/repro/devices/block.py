@@ -1,0 +1,114 @@
+"""Block storage device (disk).
+
+Exposes both a syscall-path sector API (used by the kernel's
+``blk_read``/``blk_write`` syscalls) and a minimal MMIO register file
+for direct driver-style access.  Sectors are 512 bytes, allocated
+sparsely.
+
+MMIO register map:
+
+====== =======================================================
+0x00   LBA      — sector number (r/w)
+0x08   COUNT    — sector count for the next command (r/w)
+0x10   BUFFER   — staging offset within the sector (r/w)
+0x18   COMMAND  — write 1: load sector into staging;
+                  write 2: store staging into sector
+0x20   DATA     — read/write one byte of staging at BUFFER
+                  (BUFFER auto-increments)
+====== =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .bus import Device
+
+SECTOR_SIZE = 512
+
+REG_LBA = 0x00
+REG_COUNT = 0x08
+REG_BUFFER = 0x10
+REG_COMMAND = 0x18
+REG_DATA = 0x20
+
+CMD_LOAD = 1
+CMD_STORE = 2
+
+
+class BlockDevice(Device):
+    """A sparse virtual disk."""
+
+    name = "block"
+
+    def __init__(self, num_sectors: int = 1 << 20):
+        self.num_sectors = num_sectors
+        self._sectors: Dict[int, bytearray] = {}
+        self._lba = 0
+        self._count = 1
+        self._buffer_off = 0
+        self._staging = bytearray(SECTOR_SIZE)
+        #: sectors transferred (either direction) — I/O volume metric
+        self.sectors_transferred = 0
+
+    # ------------------------------------------------------------------
+    # syscall-path API
+
+    def _sector(self, lba: int) -> bytearray:
+        if not 0 <= lba < self.num_sectors:
+            raise ValueError(f"sector {lba} out of range")
+        sector = self._sectors.get(lba)
+        if sector is None:
+            sector = bytearray(SECTOR_SIZE)
+            self._sectors[lba] = sector
+        return sector
+
+    def read_sectors(self, lba: int, count: int) -> bytes:
+        out = bytearray()
+        for i in range(count):
+            out += self._sector(lba + i)
+        self.sectors_transferred += count
+        return bytes(out)
+
+    def write_sectors(self, lba: int, data: bytes) -> None:
+        if len(data) % SECTOR_SIZE:
+            data = data + b"\x00" * (SECTOR_SIZE - len(data) % SECTOR_SIZE)
+        count = len(data) // SECTOR_SIZE
+        for i in range(count):
+            self._sector(lba + i)[:] = \
+                data[i * SECTOR_SIZE:(i + 1) * SECTOR_SIZE]
+        self.sectors_transferred += count
+
+    # ------------------------------------------------------------------
+    # MMIO
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == REG_LBA:
+            return self._lba
+        if offset == REG_COUNT:
+            return self._count
+        if offset == REG_BUFFER:
+            return self._buffer_off
+        if offset == REG_DATA:
+            value = self._staging[self._buffer_off % SECTOR_SIZE]
+            self._buffer_off = (self._buffer_off + 1) % SECTOR_SIZE
+            return value
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == REG_LBA:
+            self._lba = value
+        elif offset == REG_COUNT:
+            self._count = max(1, value)
+        elif offset == REG_BUFFER:
+            self._buffer_off = value % SECTOR_SIZE
+        elif offset == REG_DATA:
+            self._staging[self._buffer_off % SECTOR_SIZE] = value & 0xFF
+            self._buffer_off = (self._buffer_off + 1) % SECTOR_SIZE
+        elif offset == REG_COMMAND:
+            if value == CMD_LOAD:
+                self._staging[:] = self._sector(self._lba)
+                self.sectors_transferred += 1
+            elif value == CMD_STORE:
+                self._sector(self._lba)[:] = self._staging
+                self.sectors_transferred += 1

@@ -1,0 +1,80 @@
+"""MMIO device bus.
+
+Devices attach at fixed physical-address-style windows in the guest's
+*virtual* address space (the kernel maps those pages with
+``PROT_DEVICE`` so the MMU routes every access here, uncached).  Each
+access increments the VM's I/O-operation statistic — one of the three
+signals Dynamic Sampling can monitor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class BusError(Exception):
+    """Access to an address with no attached device."""
+
+
+class Device:
+    """Base class for MMIO devices."""
+
+    #: size of the device's register window in bytes
+    WINDOW = 0x1000
+    name = "device"
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        """Read ``size`` bytes at ``offset`` within the window."""
+        raise NotImplementedError
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        """Write ``size`` bytes at ``offset`` within the window."""
+        raise NotImplementedError
+
+
+class Bus:
+    """Routes MMIO accesses to attached devices and counts them."""
+
+    def __init__(self, stats=None):
+        #: (base, end, device) sorted by base
+        self._windows: List[Tuple[int, int, Device]] = []
+        self.stats = stats
+
+    def attach(self, device: Device, base: int) -> None:
+        """Attach ``device`` at virtual address ``base``."""
+        end = base + device.WINDOW
+        for existing_base, existing_end, existing in self._windows:
+            if base < existing_end and existing_base < end:
+                raise BusError(
+                    f"window 0x{base:x} overlaps {existing.name}")
+        self._windows.append((base, end, device))
+        self._windows.sort()
+
+    def device_at(self, addr: int) -> Optional[Tuple[int, Device]]:
+        for base, end, device in self._windows:
+            if base <= addr < end:
+                return base, device
+        return None
+
+    def read(self, addr: int, size: int) -> int:
+        hit = self.device_at(addr)
+        if hit is None:
+            raise BusError(f"MMIO read from unmapped 0x{addr:x}")
+        base, device = hit
+        if self.stats is not None:
+            self.stats.io_operations += 1
+        return device.mmio_read(addr - base, size)
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        hit = self.device_at(addr)
+        if hit is None:
+            raise BusError(f"MMIO write to unmapped 0x{addr:x}")
+        base, device = hit
+        if self.stats is not None:
+            self.stats.io_operations += 1
+        device.mmio_write(addr - base, size, value)
+
+    def count_io(self, operations: int = 1) -> None:
+        """Account non-MMIO I/O (syscall-driven transfers)."""
+        if self.stats is not None:
+            self.stats.io_operations += operations

@@ -1,0 +1,66 @@
+"""Console (serial) device.
+
+Register map (byte offsets within the window):
+
+====== ======================================================
+0x00   DATA  — write: emit one byte; read: next input byte
+              (0 when the input queue is empty)
+0x08   STATUS — bit 0: input available
+====== ======================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .bus import Device
+
+REG_DATA = 0x00
+REG_STATUS = 0x08
+
+
+class ConsoleDevice(Device):
+    """Captures guest output and feeds scripted input."""
+
+    name = "console"
+
+    def __init__(self) -> None:
+        self.output = bytearray()
+        self._input = deque()
+
+    # ------------------------------------------------------------------
+    # host-side API
+
+    def feed_input(self, data: bytes) -> None:
+        """Queue bytes for the guest to read."""
+        self._input.extend(data)
+
+    def output_text(self) -> str:
+        """Guest output decoded as UTF-8 (replacement on errors)."""
+        return self.output.decode("utf-8", errors="replace")
+
+    def write_bytes(self, data: bytes) -> int:
+        """Syscall-path write (kernel helper); returns bytes written."""
+        self.output += data
+        return len(data)
+
+    def read_bytes(self, size: int) -> bytes:
+        """Syscall-path read; returns up to ``size`` queued bytes."""
+        out = bytearray()
+        while self._input and len(out) < size:
+            out.append(self._input.popleft())
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # MMIO
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == REG_DATA:
+            return self._input.popleft() if self._input else 0
+        if offset == REG_STATUS:
+            return 1 if self._input else 0
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == REG_DATA:
+            self.output.append(value & 0xFF)

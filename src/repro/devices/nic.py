@@ -1,0 +1,71 @@
+"""Network interface (synthetic loopback NIC).
+
+The guest sends and receives whole packets through the kernel's
+``net_send``/``net_recv`` syscalls.  The NIC is a loopback with an
+optional scripted peer: by default every sent packet is echoed back to
+the receive queue, which lets workloads model request/response protocols
+(including the paper's point that network protocols need timing feedback
+to decide on retransmission).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from .bus import Device
+
+MAX_PACKET = 4096
+
+
+class NicDevice(Device):
+    """Loopback network interface with a pluggable peer function."""
+
+    name = "nic"
+
+    def __init__(self,
+                 peer: Optional[Callable[[bytes], Optional[bytes]]] = None):
+        #: transforms a sent packet into the reply (None drops it);
+        #: the default peer echoes packets back
+        self.peer = peer if peer is not None else lambda packet: packet
+        self.rx_queue: Deque[bytes] = deque()
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # syscall-path API
+
+    def send(self, packet: bytes) -> int:
+        """Transmit a packet; the peer's reply lands in the RX queue."""
+        if len(packet) > MAX_PACKET:
+            packet = packet[:MAX_PACKET]
+        self.packets_sent += 1
+        self.bytes_sent += len(packet)
+        reply = self.peer(packet)
+        if reply is not None:
+            self.rx_queue.append(bytes(reply[:MAX_PACKET]))
+        return len(packet)
+
+    def recv(self, max_size: int) -> bytes:
+        """Pop the next packet (empty bytes when the queue is empty)."""
+        if not self.rx_queue:
+            return b""
+        packet = self.rx_queue.popleft()
+        self.packets_received += 1
+        self.bytes_received += len(packet)
+        return packet[:max_size]
+
+    # ------------------------------------------------------------------
+    # MMIO (status only; data moves via syscalls)
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == 0x00:  # RX_AVAILABLE
+            return len(self.rx_queue)
+        if offset == 0x08:  # NEXT_SIZE
+            return len(self.rx_queue[0]) if self.rx_queue else 0
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        pass

@@ -1,0 +1,67 @@
+"""Virtual-time timer device.
+
+The timer measures *guest* progress, not host time: it is advanced by
+whoever owns the notion of virtual time — the sampling controller when
+timing feedback is enabled (simulated cycles), or the machine's retired
+instruction count otherwise.  When armed, crossing the programmed
+deadline posts an interrupt to the machine (delivered at the next
+block-dispatch boundary, like a real VM delivers asynchronous events).
+
+MMIO register map:
+
+====== =====================================================
+0x00   NOW      — current virtual time (read-only)
+0x08   DEADLINE — arm: interrupt when NOW >= DEADLINE
+0x10   CONTROL  — bit 0: enabled
+====== =====================================================
+"""
+
+from __future__ import annotations
+
+from .bus import Device
+
+REG_NOW = 0x00
+REG_DEADLINE = 0x08
+REG_CONTROL = 0x10
+
+IRQ_TIMER = 1
+
+
+class TimerDevice(Device):
+    """Deadline timer driven by virtual time."""
+
+    name = "timer"
+
+    def __init__(self, machine=None):
+        self.machine = machine
+        self.now = 0
+        self.deadline = 0
+        self.enabled = False
+        self.interrupts_posted = 0
+
+    def advance(self, new_now: int) -> None:
+        """Move virtual time forward; post IRQ on deadline crossing."""
+        self.now = new_now
+        if self.enabled and self.now >= self.deadline:
+            self.enabled = False
+            self.interrupts_posted += 1
+            if self.machine is not None:
+                self.machine.post_interrupt(IRQ_TIMER)
+
+    # ------------------------------------------------------------------
+    # MMIO
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == REG_NOW:
+            return self.now
+        if offset == REG_DEADLINE:
+            return self.deadline
+        if offset == REG_CONTROL:
+            return 1 if self.enabled else 0
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == REG_DEADLINE:
+            self.deadline = value
+        elif offset == REG_CONTROL:
+            self.enabled = bool(value & 1)

@@ -1,0 +1,23 @@
+"""Experiment harness shared by the benchmark targets and examples."""
+
+from .experiments import (CACHE_VERSION, QUICK_SUITE, ResultCache,
+                          default_benchmarks, modeled_seconds_for,
+                          policy_factory, run_policy, run_suite)
+from .figures import (FIGURE5_POLICIES, FIGURE6_POLICIES, PAPER_FIGURE5,
+                      build_figure2, build_figure4, build_figure5,
+                      build_figure6, build_figure7, build_figure8,
+                      build_figure9, build_table1, build_table2)
+from .traces import (IntervalTrace, PhaseComparison,
+                     collect_interval_trace, compare_phase_detection,
+                     phase_match_score)
+
+__all__ = [
+    "CACHE_VERSION", "QUICK_SUITE", "ResultCache", "default_benchmarks",
+    "modeled_seconds_for", "policy_factory", "run_policy", "run_suite",
+    "IntervalTrace", "PhaseComparison", "collect_interval_trace",
+    "compare_phase_detection", "phase_match_score",
+    "FIGURE5_POLICIES", "FIGURE6_POLICIES", "PAPER_FIGURE5",
+    "build_figure2", "build_figure4", "build_figure5", "build_figure6",
+    "build_figure7", "build_figure8", "build_figure9", "build_table1",
+    "build_table2",
+]

@@ -1,0 +1,159 @@
+"""Experiment runner: policies x benchmarks, with a disk result cache.
+
+The benchmark targets under ``benchmarks/`` all funnel through
+:func:`run_policy`, which memoises :class:`~repro.sampling.PolicyResult`
+records on disk keyed by (benchmark, policy, size, parameter version).
+A full-timing pass of the whole suite takes minutes in pure Python, so
+the cache is what makes regenerating every figure cheap after the first
+run.  Delete ``benchmarks/.cache`` (or bump ``CACHE_VERSION``) to force
+re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.sampling import (DynamicSampler, FullTiming, PolicyResult,
+                            SIMPOINT_PRESET, SMARTS_PRESET,
+                            SimPointSampler, SimulationController,
+                            SmartsSampler, dynamic_config)
+from repro.timing import TimingConfig
+from repro.workloads import SUITE_MACHINE_KWARGS, SUITE_ORDER, \
+    load_benchmark
+
+#: bump to invalidate cached results when simulator parameters change
+CACHE_VERSION = 1
+
+#: default cache location (overridable via REPRO_CACHE_DIR)
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
+
+
+# ----------------------------------------------------------------------
+# policy registry
+
+def _dynamic_factory(variable: str, sensitivity: int, label: str,
+                     max_func) -> Callable:
+    return lambda: DynamicSampler(
+        dynamic_config(variable, sensitivity, label, max_func))
+
+
+def policy_factory(key: str) -> Callable:
+    """Resolve a policy key to a sampler factory.
+
+    Keys: ``full``, ``smarts``, ``simpoint``, or Dynamic-Sampling
+    strings like ``CPU-300-1M-inf`` / ``IO-100-10M-10`` (paper
+    notation).  ``simpoint+prof`` shares the ``simpoint`` run; use
+    :func:`modeled_seconds_for` to get its cost.
+    """
+    if key == "full":
+        return FullTiming
+    if key == "smarts":
+        return lambda: SmartsSampler(SMARTS_PRESET)
+    if key in ("simpoint", "simpoint+prof"):
+        return lambda: SimPointSampler(SIMPOINT_PRESET)
+    parts = key.split("-")
+    if len(parts) == 4 and parts[0] in ("CPU", "EXC", "IO"):
+        variable, sensitivity, label, maxf = parts
+        max_func = None if maxf == "inf" else int(maxf)
+        return _dynamic_factory(variable, int(sensitivity), label,
+                                max_func)
+    raise KeyError(f"unknown policy key {key!r}")
+
+
+def modeled_seconds_for(key: str, result: PolicyResult) -> float:
+    """The modeled host time for ``key`` given its (cached) result.
+
+    ``simpoint+prof`` adds the BBV-profiling pass to the SimPoint time
+    (the paper's Figure 5 "SimPoint+prof" point).
+    """
+    if key == "simpoint+prof":
+        return result.extra.get("modeled_seconds_with_profiling",
+                                result.modeled_seconds)
+    return result.modeled_seconds
+
+
+# ----------------------------------------------------------------------
+# cached runner
+
+class ResultCache:
+    """A JSON file of PolicyResult dicts."""
+
+    def __init__(self, path: Optional[Path] = None):
+        self.path = path or (_cache_dir() / f"results-v{CACHE_VERSION}.json")
+        self._data: Dict[str, dict] = {}
+        self._loaded = False
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if self.path.exists():
+            try:
+                self._data = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                self._data = {}
+
+    def get(self, key: str) -> Optional[PolicyResult]:
+        self._load()
+        record = self._data.get(key)
+        return PolicyResult.from_dict(record) if record else None
+
+    def put(self, key: str, result: PolicyResult) -> None:
+        self._load()
+        self._data[key] = result.to_dict()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self._data))
+        tmp.replace(self.path)
+
+
+_DEFAULT_CACHE = ResultCache()
+
+
+def run_policy(benchmark: str, policy: str, size: str = "small",
+               cache: Optional[ResultCache] = None,
+               use_cache: bool = True) -> PolicyResult:
+    """Run (or fetch) one policy on one benchmark."""
+    cache = cache or _DEFAULT_CACHE
+    cache_policy = "simpoint" if policy == "simpoint+prof" else policy
+    key = f"{benchmark}|{cache_policy}|{size}"
+    if use_cache:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    workload = load_benchmark(benchmark, size=size)
+    controller = SimulationController(
+        workload, timing_config=TimingConfig.small(),
+        machine_kwargs=SUITE_MACHINE_KWARGS)
+    result = policy_factory(cache_policy)().run(controller)
+    if use_cache:
+        cache.put(key, result)
+    return result
+
+
+def run_suite(policy: str, size: str = "small",
+              benchmarks: Optional[List[str]] = None,
+              cache: Optional[ResultCache] = None
+              ) -> Dict[str, PolicyResult]:
+    """Run one policy over the suite; returns {benchmark: result}."""
+    return {name: run_policy(name, policy, size=size, cache=cache)
+            for name in (benchmarks or SUITE_ORDER)}
+
+
+#: the subset used by default for the pytest-benchmark targets; set
+#: REPRO_FULL_SUITE=1 to regenerate figures over all 26 benchmarks
+QUICK_SUITE = ("gzip", "gcc", "mcf", "crafty", "perlbmk", "swim", "art",
+               "sixtrack")
+
+
+def default_benchmarks() -> List[str]:
+    if os.environ.get("REPRO_FULL_SUITE"):
+        return list(SUITE_ORDER)
+    return list(QUICK_SUITE)

@@ -1,0 +1,25 @@
+"""The Z64 target instruction-set architecture.
+
+This package defines the guest ISA emulated by :mod:`repro.vm`: a 64-bit
+little-endian RISC with 16 integer and 16 floating-point registers and a
+fixed 32-bit instruction encoding.  It provides the opcode tables, an
+encoder/decoder, a two-pass assembler and a disassembler.
+"""
+
+from .assembler import Assembler, AssemblerError, Program, Segment, assemble
+from .disassembler import disassemble, disassemble_word, format_instr
+from .instructions import (DecodeError, Format, Instr, MEM_SIZE, MNEMONICS,
+                           OP_INFO, Op, OpClass, OpInfo, decode, encode,
+                           is_block_terminator, sext16, sext20)
+from .registers import (FP_NAMES, INT_NAMES, NUM_FP_REGS, NUM_INT_REGS, RA,
+                        SP, ZERO, fp_reg, fp_reg_name, int_reg, int_reg_name)
+
+__all__ = [
+    "Assembler", "AssemblerError", "Program", "Segment", "assemble",
+    "disassemble", "disassemble_word", "format_instr",
+    "DecodeError", "Format", "Instr", "MEM_SIZE", "MNEMONICS", "OP_INFO",
+    "Op", "OpClass", "OpInfo", "decode", "encode", "is_block_terminator",
+    "sext16", "sext20",
+    "FP_NAMES", "INT_NAMES", "NUM_FP_REGS", "NUM_INT_REGS", "RA", "SP",
+    "ZERO", "fp_reg", "fp_reg_name", "int_reg", "int_reg_name",
+]

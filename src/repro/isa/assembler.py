@@ -1,0 +1,529 @@
+"""Two-pass assembler for the Z64 ISA.
+
+The assembler accepts a textual program and produces a
+:class:`Program`: a list of ``(address, bytes)`` segments plus the symbol
+table.  Supported syntax::
+
+    ; comment            # comment
+    .org   0x1000        ; set location counter
+    .align 8             ; align location counter
+    .equ   N, 64         ; define an assemble-time constant
+    .byte  1, 2, 3
+    .word  0xdeadbeef    ; 32-bit little-endian
+    .quad  0x12345678    ; 64-bit little-endian
+    .double 3.14159      ; IEEE-754 binary64
+    .space 128           ; zero-filled gap
+    .asciiz "hello"      ; NUL-terminated string
+
+    loop:                ; label
+        addi t0, t0, 1
+        ld   t1, 8(sp)   ; base+offset addressing for loads/stores
+        beq  t0, t1, loop
+
+Pseudo-instructions (expanded during pass 1 so sizes are known before
+label resolution):
+
+``li rd, imm``     — load a 64-bit constant (1, 2 or 4 instructions)
+``la rd, label``   — load an address (always 2 instructions; program
+                     addresses must stay below 2**31)
+``mv rd, rs``      — ``addi rd, rs, 0``
+``not/neg rd, rs`` — bitwise / arithmetic negation
+``seqz/snez``      — set-if-[not-]zero
+``j label``        — ``jal zero, label``
+``call label``     — ``jal ra, label``
+``ret``            — ``jalr zero, ra, 0``
+``bgt/ble/bgtu/bleu`` — swapped-operand branches
+``nop``            — ``addi zero, zero, 0``
+``fmv fd, fs``     — floating-point move, encoded as ``fmin fd, fs, fs``
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .instructions import (Format, Instr, MNEMONICS, OP_INFO, Op, encode,
+                           sext16)
+from .registers import FP_NAMES, INT_NAMES
+
+
+class AssemblerError(ValueError):
+    """Raised on any assembly problem, with file line context."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None,
+                 line: str = ""):
+        location = f"line {line_no}: " if line_no is not None else ""
+        suffix = f"  [{line.strip()}]" if line else ""
+        super().__init__(f"{location}{message}{suffix}")
+        self.line_no = line_no
+
+
+@dataclass
+class Segment:
+    """A contiguous run of assembled bytes at ``base``."""
+
+    base: int
+    data: bytearray
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+
+@dataclass
+class Program:
+    """The output of the assembler."""
+
+    segments: List[Segment] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+
+    def flatten(self) -> Dict[int, bytes]:
+        """Return ``{base: bytes}`` for each segment (for tests/tools)."""
+        return {seg.base: bytes(seg.data) for seg in self.segments}
+
+    def total_bytes(self) -> int:
+        return sum(len(seg.data) for seg in self.segments)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_OPERAND_RE = re.compile(r"^(.*)\(\s*([A-Za-z_][\w]*)\s*\)$")
+
+# Items emitted by pass 1: each is (address, kind, payload, line_no, line)
+_KIND_INSTR = "instr"
+_KIND_DATA = "data"
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_str = False
+    for ch in line:
+        if ch == '"':
+            in_str = not in_str
+        if not in_str and ch in (";", "#"):
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+class Assembler:
+    """Two-pass assembler.  Use :func:`assemble` for the simple entry point."""
+
+    def __init__(self) -> None:
+        self._equates: Dict[str, int] = {}
+        self._symbols: Dict[str, int] = {}
+        self._items: List[Tuple[int, str, object, int, str]] = []
+        self._pc = 0
+        self._entry: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def assemble(self, source: str, base: int = 0x1000) -> Program:
+        """Assemble ``source`` and return the resulting :class:`Program`."""
+        self._pc = base
+        self._first_pass(source)
+        return self._second_pass()
+
+    # ------------------------------------------------------------------
+    # pass 1: lexing, label collection, size accounting
+
+    def _first_pass(self, source: str) -> None:
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw).strip()
+            if not line:
+                continue
+            match = _LABEL_RE.match(line)
+            if match:
+                label = match.group(1)
+                if label in self._symbols or label in self._equates:
+                    raise AssemblerError(f"duplicate label {label!r}",
+                                         line_no, raw)
+                self._symbols[label] = self._pc
+                line = line[match.end():].strip()
+                if not line:
+                    continue
+            if line.startswith("."):
+                self._directive(line, line_no, raw)
+            else:
+                self._instruction(line, line_no, raw)
+        if self._entry is None:
+            self._entry = self._symbols.get("_start")
+
+    def _directive(self, line: str, line_no: int, raw: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".org":
+            self._pc = self._const(rest, line_no, raw)
+        elif name == ".align":
+            align = self._const(rest, line_no, raw)
+            if align <= 0 or align & (align - 1):
+                raise AssemblerError(".align requires a power of two",
+                                     line_no, raw)
+            pad = (-self._pc) % align
+            if pad:
+                self._emit_data(b"\x00" * pad, line_no, raw)
+        elif name == ".equ":
+            try:
+                sym, value = rest.split(",", 1)
+            except ValueError:
+                raise AssemblerError(".equ needs 'name, value'",
+                                     line_no, raw) from None
+            self._equates[sym.strip()] = self._const(value, line_no, raw)
+        elif name == ".entry":
+            # Deferred: the operand may be a label defined later.
+            self._items.append((self._pc, ".entry", rest.strip(),
+                                line_no, raw))
+        elif name in (".byte", ".half", ".word", ".quad"):
+            size = {".byte": 1, ".half": 2, ".word": 4, ".quad": 8}[name]
+            blob = bytearray()
+            for field_text in self._split_operands(rest):
+                value = self._const_or_symbol(field_text, line_no, raw)
+                blob += value.to_bytes(size, "little", signed=value < 0)
+            self._emit_data(bytes(blob), line_no, raw)
+        elif name == ".double":
+            blob = bytearray()
+            for field_text in self._split_operands(rest):
+                blob += struct.pack("<d", float(field_text))
+            self._emit_data(bytes(blob), line_no, raw)
+        elif name == ".space":
+            self._emit_data(b"\x00" * self._const(rest, line_no, raw),
+                            line_no, raw)
+        elif name in (".ascii", ".asciiz"):
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AssemblerError("string literal required", line_no, raw)
+            payload = (text[1:-1].encode("utf-8")
+                       .decode("unicode_escape").encode("latin-1"))
+            if name == ".asciiz":
+                payload += b"\x00"
+            self._emit_data(payload, line_no, raw)
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", line_no, raw)
+
+    def _emit_data(self, blob: bytes, line_no: int, raw: str) -> None:
+        self._items.append((self._pc, _KIND_DATA, blob, line_no, raw))
+        self._pc += len(blob)
+
+    def _instruction(self, line: str, line_no: int, raw: str) -> None:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = self._split_operands(parts[1]) if len(parts) > 1 else []
+        expansion = self._expand(mnemonic, operands, line_no, raw)
+        for entry in expansion:
+            self._items.append((self._pc, _KIND_INSTR, entry, line_no, raw))
+            self._pc += 4
+
+    @staticmethod
+    def _split_operands(text: str) -> List[str]:
+        depth = 0
+        out: List[str] = []
+        current = []
+        for ch in text:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            if ch == "," and depth == 0:
+                out.append("".join(current).strip())
+                current = []
+            else:
+                current.append(ch)
+        tail = "".join(current).strip()
+        if tail:
+            out.append(tail)
+        return out
+
+    # ------------------------------------------------------------------
+    # pseudo-instruction expansion (sizes fixed in pass 1)
+
+    def _expand(self, mnemonic: str, ops: List[str], line_no: int,
+                raw: str) -> List[Tuple]:
+        """Return a list of (mnemonic, operand-list) tuples, one per word."""
+        def plain() -> List[Tuple]:
+            return [(mnemonic, ops)]
+
+        if mnemonic in MNEMONICS:
+            return plain()
+        if mnemonic == "nop":
+            return [("addi", ["zero", "zero", "0"])]
+        if mnemonic == "mv":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [("addi", [ops[0], ops[1], "0"])]
+        if mnemonic == "fmv":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [("fmin", [ops[0], ops[1], ops[1]])]
+        if mnemonic == "not":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [("xori", [ops[0], ops[1], "-1"])]
+        if mnemonic == "neg":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [("sub", [ops[0], "zero", ops[1]])]
+        if mnemonic == "snez":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [("sltu", [ops[0], "zero", ops[1]])]
+        if mnemonic == "seqz":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [("sltu", [ops[0], "zero", ops[1]]),
+                    ("xori", [ops[0], ops[0], "1"])]
+        if mnemonic == "j":
+            self._arity(ops, 1, mnemonic, line_no, raw)
+            return [("jal", ["zero", ops[0]])]
+        if mnemonic == "call":
+            self._arity(ops, 1, mnemonic, line_no, raw)
+            return [("jal", ["ra", ops[0]])]
+        if mnemonic == "ret":
+            return [("jalr", ["zero", "ra", "0"])]
+        if mnemonic in ("bgt", "ble", "bgtu", "bleu"):
+            self._arity(ops, 3, mnemonic, line_no, raw)
+            swapped = {"bgt": "blt", "ble": "bge",
+                       "bgtu": "bltu", "bleu": "bgeu"}[mnemonic]
+            return [(swapped, [ops[1], ops[0], ops[2]])]
+        if mnemonic == "beqz":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [("beq", [ops[0], "zero", ops[1]])]
+        if mnemonic == "bnez":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [("bne", [ops[0], "zero", ops[1]])]
+        if mnemonic == "li":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            value = self._const_or_symbol(ops[1], line_no, raw,
+                                          allow_forward=False)
+            return self._li_sequence(ops[0], value)
+        if mnemonic == "la":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            # Always two words so sizes are known before label resolution.
+            return [("ldi", [ops[0], f"%hi16({ops[1]})"]),
+                    ("oris", [ops[0], ops[0], f"%lo16({ops[1]})"])]
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no, raw)
+
+    @staticmethod
+    def _li_sequence(rd: str, value: int) -> List[Tuple]:
+        masked = value & ((1 << 64) - 1)
+        signed = masked - (1 << 64) if masked >> 63 else masked
+        if -(1 << 15) <= signed < (1 << 15):
+            return [("ldi", [rd, str(signed)])]
+        if -(1 << 31) <= signed < (1 << 31):
+            hi, lo = (masked >> 16) & 0xFFFF, masked & 0xFFFF
+            hi_signed = hi - 0x10000 if hi & 0x8000 else hi
+            return [("ldi", [rd, str(hi_signed)]),
+                    ("oris", [rd, rd, str(lo)])]
+        chunks = [(masked >> shift) & 0xFFFF for shift in (48, 32, 16, 0)]
+        top = chunks[0] - 0x10000 if chunks[0] & 0x8000 else chunks[0]
+        seq: List[Tuple] = [("ldi", [rd, str(top)])]
+        seq.extend(("oris", [rd, rd, str(chunk)]) for chunk in chunks[1:])
+        return seq
+
+    @staticmethod
+    def _arity(ops: Sequence[str], n: int, mnemonic: str, line_no: int,
+               raw: str) -> None:
+        if len(ops) != n:
+            raise AssemblerError(
+                f"{mnemonic} expects {n} operands, got {len(ops)}",
+                line_no, raw)
+
+    # ------------------------------------------------------------------
+    # pass 2: encoding with resolved symbols
+
+    def _second_pass(self) -> Program:
+        program = Program(symbols=dict(self._symbols))
+        segments: List[Segment] = []
+
+        def emit(address: int, blob: bytes) -> None:
+            if segments and segments[-1].end == address:
+                segments[-1].data += blob
+            else:
+                segments.append(Segment(address, bytearray(blob)))
+
+        for address, kind, payload, line_no, raw in sorted(
+                self._items, key=lambda item: (item[0], item[3])):
+            if kind == _KIND_DATA:
+                emit(address, payload)  # type: ignore[arg-type]
+            elif kind == ".entry":
+                self._entry = self._const_or_symbol(
+                    str(payload), line_no, raw)
+            else:
+                mnemonic, operands = payload  # type: ignore[misc]
+                word = self._encode_one(mnemonic, operands, address,
+                                        line_no, raw)
+                emit(address, word.to_bytes(4, "little"))
+        self._check_overlaps(segments)
+        program.segments = segments
+        program.entry = (self._entry if self._entry is not None
+                         else (segments[0].base if segments else 0))
+        return program
+
+    @staticmethod
+    def _check_overlaps(segments: List[Segment]) -> None:
+        ordered = sorted(segments, key=lambda seg: seg.base)
+        for first, second in zip(ordered, ordered[1:]):
+            if first.end > second.base:
+                raise AssemblerError(
+                    f"segments overlap at 0x{second.base:x}")
+
+    def _encode_one(self, mnemonic: str, operands: List[str], address: int,
+                    line_no: int, raw: str) -> int:
+        op = MNEMONICS.get(mnemonic)
+        if op is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}",
+                                 line_no, raw)
+        info = OP_INFO[op]
+        fp = info.fp_operands
+        try:
+            instr = self._build_instr(op, info.fmt, fp, operands, address,
+                                      line_no, raw)
+            return encode(instr)
+        except AssemblerError:
+            raise
+        except (KeyError, ValueError) as exc:
+            raise AssemblerError(str(exc), line_no, raw) from exc
+
+    def _build_instr(self, op: Op, fmt: str, fp: bool, ops: List[str],
+                     address: int, line_no: int, raw: str) -> Instr:
+        reg = self._reg_resolver(op, fp)
+        if fmt == Format.R:
+            if op in (Op.RDCYCLE, Op.RDINSTR):
+                self._arity(ops, 1, op.name.lower(), line_no, raw)
+                return Instr(op, rd=reg(ops[0], "rd"))
+            if op in (Op.FSQRT, Op.FNEG, Op.FABS, Op.FCVTIF, Op.FCVTFI):
+                self._arity(ops, 2, op.name.lower(), line_no, raw)
+                return Instr(op, rd=reg(ops[0], "rd"), rs1=reg(ops[1], "rs1"))
+            self._arity(ops, 3, op.name.lower(), line_no, raw)
+            return Instr(op, rd=reg(ops[0], "rd"), rs1=reg(ops[1], "rs1"),
+                         rs2=reg(ops[2], "rs2"))
+        if fmt == Format.I:
+            if op in MEM_OP_LOADS:
+                self._arity(ops, 2, op.name.lower(), line_no, raw)
+                base, offset = self._mem_operand(ops[1], line_no, raw)
+                return Instr(op, rd=reg(ops[0], "rd"),
+                             rs1=INT_NAMES[base], imm=offset)
+            if op == Op.LDI:
+                self._arity(ops, 2, op.name.lower(), line_no, raw)
+                return Instr(op, rd=reg(ops[0], "rd"),
+                             imm=self._const_or_symbol(ops[1], line_no, raw))
+            if op == Op.JALR:
+                self._arity(ops, 3, op.name.lower(), line_no, raw)
+                return Instr(op, rd=INT_NAMES[ops[0].lower()],
+                             rs1=INT_NAMES[ops[1].lower()],
+                             imm=self._const_or_symbol(ops[2], line_no, raw))
+            self._arity(ops, 3, op.name.lower(), line_no, raw)
+            imm = self._const_or_symbol(ops[2], line_no, raw)
+            if op == Op.ORIS:
+                # ORIS takes an unsigned 16-bit immediate; store it in the
+                # signed encoding range (semantics mask to 16 bits anyway).
+                if not -(1 << 15) <= imm < (1 << 16):
+                    raise AssemblerError(
+                        f"oris immediate {imm} out of 16-bit range",
+                        line_no, raw)
+                imm = sext16(imm & 0xFFFF)
+            return Instr(op, rd=reg(ops[0], "rd"),
+                         rs1=INT_NAMES[ops[1].lower()], imm=imm)
+        if fmt == Format.S:
+            self._arity(ops, 2, op.name.lower(), line_no, raw)
+            base, offset = self._mem_operand(ops[1], line_no, raw)
+            return Instr(op, rs1=INT_NAMES[base], rs2=reg(ops[0], "rs2"),
+                         imm=offset)
+        if fmt == Format.B:
+            self._arity(ops, 3, op.name.lower(), line_no, raw)
+            target = self._const_or_symbol(ops[2], line_no, raw)
+            return Instr(op, rs1=INT_NAMES[ops[0].lower()],
+                         rs2=INT_NAMES[ops[1].lower()],
+                         imm=self._displacement(target, address, line_no,
+                                                raw))
+        if fmt == Format.J:
+            self._arity(ops, 2, op.name.lower(), line_no, raw)
+            target = self._const_or_symbol(ops[1], line_no, raw)
+            return Instr(op, rd=INT_NAMES[ops[0].lower()],
+                         imm=self._displacement(target, address, line_no,
+                                                raw))
+        return Instr(op)
+
+    def _reg_resolver(self, op: Op, fp: bool) -> Callable[[str, str], int]:
+        """Pick the right register namespace per operand slot."""
+        int_rd = {Op.FEQ, Op.FLT, Op.FLE, Op.FCVTFI}
+        int_rs1 = {Op.FCVTIF, Op.FLD}
+        fp_rs2 = {Op.FSD}
+
+        def resolve(name: str, slot: str) -> int:
+            key = name.lower()
+            use_fp = fp
+            if op in int_rd and slot == "rd":
+                use_fp = False
+            if op in int_rs1 and slot == "rs1":
+                use_fp = False
+            if op in fp_rs2 and slot == "rs2":
+                use_fp = True
+            table = FP_NAMES if use_fp else INT_NAMES
+            if key not in table:
+                raise AssemblerError(f"unknown register {name!r}")
+            return table[key]
+
+        return resolve
+
+    def _mem_operand(self, text: str, line_no: int,
+                     raw: str) -> Tuple[str, int]:
+        match = _MEM_OPERAND_RE.match(text.strip())
+        if not match:
+            raise AssemblerError(
+                f"expected offset(base) operand, got {text!r}", line_no, raw)
+        offset_text = match.group(1).strip() or "0"
+        base = match.group(2).lower()
+        if base not in INT_NAMES:
+            raise AssemblerError(f"unknown base register {base!r}",
+                                 line_no, raw)
+        return base, self._const_or_symbol(offset_text, line_no, raw)
+
+    def _displacement(self, target: int, address: int, line_no: int,
+                      raw: str) -> int:
+        delta = target - address
+        if delta % 4:
+            raise AssemblerError(
+                f"branch target 0x{target:x} not word aligned", line_no, raw)
+        return delta // 4
+
+    # ------------------------------------------------------------------
+    # constant / symbol evaluation
+
+    def _const(self, text: str, line_no: int, raw: str) -> int:
+        return self._const_or_symbol(text, line_no, raw)
+
+    def _const_or_symbol(self, text: str, line_no: int, raw: str,
+                         allow_forward: bool = True) -> int:
+        text = text.strip()
+        hi = text.startswith("%hi16(") and text.endswith(")")
+        lo = text.startswith("%lo16(") and text.endswith(")")
+        if hi or lo:
+            inner = self._const_or_symbol(text[6:-1], line_no, raw,
+                                          allow_forward)
+            if not 0 <= inner < (1 << 31):
+                raise AssemblerError(
+                    f"address 0x{inner:x} outside the 31-bit la range",
+                    line_no, raw)
+            if hi:
+                value = (inner >> 16) & 0xFFFF
+                return value - 0x10000 if value & 0x8000 else value
+            return inner & 0xFFFF
+        try:
+            return int(text, 0)
+        except ValueError:
+            pass
+        if text in self._equates:
+            return self._equates[text]
+        if text in self._symbols:
+            return self._symbols[text]
+        if not allow_forward:
+            raise AssemblerError(
+                f"{text!r} must be a constant known at this point",
+                line_no, raw)
+        raise AssemblerError(f"undefined symbol {text!r}", line_no, raw)
+
+
+MEM_OP_LOADS = {Op.LB, Op.LBU, Op.LH, Op.LHU, Op.LW, Op.LWU, Op.LD, Op.FLD}
+
+
+def assemble(source: str, base: int = 0x1000) -> Program:
+    """Assemble ``source`` text into a :class:`Program` at ``base``."""
+    return Assembler().assemble(source, base=base)

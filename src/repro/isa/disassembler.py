@@ -1,0 +1,79 @@
+"""Disassembler for Z64 machine code.
+
+Produces assembler-compatible text, so ``assemble(disassemble(code))``
+round-trips (modulo labels, which become absolute hex targets).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from .instructions import (DecodeError, Format, Instr, MEM_SIZE, OP_INFO, Op,
+                           decode)
+from .registers import fp_reg_name, int_reg_name
+
+
+def _reg(index: int, fp: bool) -> str:
+    return fp_reg_name(index) if fp else int_reg_name(index)
+
+
+_INT_RD = {Op.FEQ, Op.FLT, Op.FLE, Op.FCVTFI}
+_INT_RS1 = {Op.FCVTIF}
+_UNARY_R = {Op.FSQRT, Op.FNEG, Op.FABS, Op.FCVTIF, Op.FCVTFI}
+
+
+def format_instr(instr: Instr, pc: int = 0) -> str:
+    """Render one decoded instruction as assembly text.
+
+    ``pc`` is used to print absolute branch/jump targets.
+    """
+    info = OP_INFO[instr.op]
+    fp = info.fp_operands
+    mnemonic = info.mnemonic
+    fmt = info.fmt
+    if fmt == Format.R:
+        if instr.op in (Op.RDCYCLE, Op.RDINSTR):
+            return f"{mnemonic} {int_reg_name(instr.rd)}"
+        rd = _reg(instr.rd, fp and instr.op not in _INT_RD)
+        rs1 = _reg(instr.rs1, fp and instr.op not in _INT_RS1)
+        if instr.op in _UNARY_R:
+            return f"{mnemonic} {rd}, {rs1}"
+        rs2 = _reg(instr.rs2, fp)
+        return f"{mnemonic} {rd}, {rs1}, {rs2}"
+    if fmt == Format.I:
+        if instr.op in MEM_SIZE:  # loads
+            rd = _reg(instr.rd, fp)
+            return (f"{mnemonic} {rd}, "
+                    f"{instr.imm}({int_reg_name(instr.rs1)})")
+        if instr.op == Op.JALR:
+            return (f"{mnemonic} {int_reg_name(instr.rd)}, "
+                    f"{int_reg_name(instr.rs1)}, {instr.imm}")
+        return (f"{mnemonic} {int_reg_name(instr.rd)}, "
+                f"{int_reg_name(instr.rs1)}, {instr.imm}")
+    if fmt == Format.S:
+        src = _reg(instr.rs2, fp)
+        return f"{mnemonic} {src}, {instr.imm}({int_reg_name(instr.rs1)})"
+    if fmt == Format.B:
+        target = pc + instr.imm * 4
+        return (f"{mnemonic} {int_reg_name(instr.rs1)}, "
+                f"{int_reg_name(instr.rs2)}, 0x{target:x}")
+    if fmt == Format.J:
+        target = pc + instr.imm * 4
+        return f"{mnemonic} {int_reg_name(instr.rd)}, 0x{target:x}"
+    return mnemonic
+
+
+def disassemble_word(word: int, pc: int = 0) -> str:
+    """Disassemble one 32-bit word; undecodable words render as ``.word``."""
+    try:
+        return format_instr(decode(word), pc)
+    except DecodeError:
+        return f".word 0x{word:08x}"
+
+
+def disassemble(blob: bytes, base: int = 0) -> Iterator[Tuple[int, str]]:
+    """Yield ``(address, text)`` for each 32-bit word in ``blob``."""
+    for offset in range(0, len(blob) - len(blob) % 4, 4):
+        word = int.from_bytes(blob[offset:offset + 4], "little")
+        address = base + offset
+        yield address, disassemble_word(word, address)

@@ -1,0 +1,342 @@
+"""Z64 instruction set: opcodes, formats, operand classes and decoding.
+
+Every Z64 instruction is a fixed 32-bit word::
+
+    31      24 23   20 19   16 15   12 11          0
+    +---------+-------+-------+-------+-------------+
+    | opcode  |  rd   |  rs1  |  rs2  |    imm12    |
+    +---------+-------+-------+-------+-------------+
+
+Formats reinterpret the low 24 bits:
+
+* ``R``  — ``op rd, rs1, rs2``            (imm12 unused)
+* ``I``  — ``op rd, rs1, imm16``          (imm16 = bits [15:0], signed)
+* ``S``  — ``op rs2, imm16(rs1)``         (imm16 = bits[23:20]<<12 | bits[11:0])
+* ``B``  — ``op rs1, rs2, target``        (same split imm16, PC-relative words)
+* ``J``  — ``op rd, target``              (imm20 = bits [19:0], PC-relative words)
+* ``N``  — no operands
+
+Branch and jump displacements are encoded in *instruction words* relative
+to the PC of the branch itself, so a ``B``-format reach is +/-128 KiB and a
+``J``-format reach is +/-2 MiB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Tuple
+
+WORD_SIZE = 4
+MASK64 = (1 << 64) - 1
+
+
+class Format:
+    """Instruction encoding formats (plain string constants)."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - conventional format name
+    S = "S"
+    B = "B"
+    J = "J"
+    N = "N"
+
+
+class OpClass(IntEnum):
+    """Operand class used by the timing model to pick latency and FU."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+    JUMP = 6
+    FP_ADD = 7
+    FP_MUL = 8
+    FP_DIV = 9
+    FP_CVT = 10
+    SYSTEM = 11
+
+
+class Op(IntEnum):
+    """Z64 opcodes.  The numeric values are the 8-bit encoding."""
+
+    # Integer register-register
+    ADD = 0x01
+    SUB = 0x02
+    MUL = 0x03
+    MULH = 0x04
+    DIV = 0x05
+    REM = 0x06
+    AND = 0x07
+    OR = 0x08
+    XOR = 0x09
+    SLL = 0x0A
+    SRL = 0x0B
+    SRA = 0x0C
+    SLT = 0x0D
+    SLTU = 0x0E
+    # Integer register-immediate
+    ADDI = 0x10
+    ANDI = 0x11
+    ORI = 0x12
+    XORI = 0x13
+    SLLI = 0x14
+    SRLI = 0x15
+    SRAI = 0x16
+    SLTI = 0x17
+    LDI = 0x18   # rd = sext(imm16)
+    ORIS = 0x19  # rd = (rd << 16) | uimm16
+    # Loads
+    LB = 0x20
+    LBU = 0x21
+    LH = 0x22
+    LHU = 0x23
+    LW = 0x24
+    LWU = 0x25
+    LD = 0x26
+    FLD = 0x27
+    # Stores
+    SB = 0x28
+    SH = 0x29
+    SW = 0x2A
+    SD = 0x2B
+    FSD = 0x2C
+    # Branches
+    BEQ = 0x30
+    BNE = 0x31
+    BLT = 0x32
+    BGE = 0x33
+    BLTU = 0x34
+    BGEU = 0x35
+    # Jumps
+    JAL = 0x38
+    JALR = 0x39
+    # Floating point
+    FADD = 0x40
+    FSUB = 0x41
+    FMUL = 0x42
+    FDIV = 0x43
+    FSQRT = 0x44
+    FMIN = 0x45
+    FMAX = 0x46
+    FNEG = 0x47
+    FABS = 0x48
+    FEQ = 0x49   # rd (int) = rs1 == rs2 (fp)
+    FLT = 0x4A
+    FLE = 0x4B
+    FCVTIF = 0x4C  # rd (fp) = float(rs1 (int))
+    FCVTFI = 0x4D  # rd (int) = trunc(rs1 (fp))
+    # System
+    ECALL = 0x50
+    EBREAK = 0x51
+    HALT = 0x52
+    RDCYCLE = 0x53  # rd = virtual cycle counter (timing feedback)
+    RDINSTR = 0x54  # rd = retired instruction counter
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one opcode."""
+
+    op: "Op"
+    mnemonic: str
+    fmt: str
+    opclass: OpClass
+    #: True when rs1/rs2/rd denote floating-point registers (per spec below).
+    fp_operands: bool = False
+
+
+def _info(op: Op, fmt: str, opclass: OpClass, fp: bool = False) -> OpInfo:
+    return OpInfo(op, op.name.lower(), fmt, opclass, fp)
+
+
+#: Opcode metadata table keyed by :class:`Op`.
+OP_INFO: Dict[Op, OpInfo] = {}
+
+
+def _register(entries: Tuple[Tuple[Op, str, OpClass, bool], ...]) -> None:
+    for op, fmt, opclass, fp in entries:
+        OP_INFO[op] = _info(op, fmt, opclass, fp)
+
+
+_register((
+    (Op.ADD, Format.R, OpClass.INT_ALU, False),
+    (Op.SUB, Format.R, OpClass.INT_ALU, False),
+    (Op.MUL, Format.R, OpClass.INT_MUL, False),
+    (Op.MULH, Format.R, OpClass.INT_MUL, False),
+    (Op.DIV, Format.R, OpClass.INT_DIV, False),
+    (Op.REM, Format.R, OpClass.INT_DIV, False),
+    (Op.AND, Format.R, OpClass.INT_ALU, False),
+    (Op.OR, Format.R, OpClass.INT_ALU, False),
+    (Op.XOR, Format.R, OpClass.INT_ALU, False),
+    (Op.SLL, Format.R, OpClass.INT_ALU, False),
+    (Op.SRL, Format.R, OpClass.INT_ALU, False),
+    (Op.SRA, Format.R, OpClass.INT_ALU, False),
+    (Op.SLT, Format.R, OpClass.INT_ALU, False),
+    (Op.SLTU, Format.R, OpClass.INT_ALU, False),
+    (Op.ADDI, Format.I, OpClass.INT_ALU, False),
+    (Op.ANDI, Format.I, OpClass.INT_ALU, False),
+    (Op.ORI, Format.I, OpClass.INT_ALU, False),
+    (Op.XORI, Format.I, OpClass.INT_ALU, False),
+    (Op.SLLI, Format.I, OpClass.INT_ALU, False),
+    (Op.SRLI, Format.I, OpClass.INT_ALU, False),
+    (Op.SRAI, Format.I, OpClass.INT_ALU, False),
+    (Op.SLTI, Format.I, OpClass.INT_ALU, False),
+    (Op.LDI, Format.I, OpClass.INT_ALU, False),
+    (Op.ORIS, Format.I, OpClass.INT_ALU, False),
+    (Op.LB, Format.I, OpClass.LOAD, False),
+    (Op.LBU, Format.I, OpClass.LOAD, False),
+    (Op.LH, Format.I, OpClass.LOAD, False),
+    (Op.LHU, Format.I, OpClass.LOAD, False),
+    (Op.LW, Format.I, OpClass.LOAD, False),
+    (Op.LWU, Format.I, OpClass.LOAD, False),
+    (Op.LD, Format.I, OpClass.LOAD, False),
+    (Op.FLD, Format.I, OpClass.LOAD, True),
+    (Op.SB, Format.S, OpClass.STORE, False),
+    (Op.SH, Format.S, OpClass.STORE, False),
+    (Op.SW, Format.S, OpClass.STORE, False),
+    (Op.SD, Format.S, OpClass.STORE, False),
+    (Op.FSD, Format.S, OpClass.STORE, True),
+    (Op.BEQ, Format.B, OpClass.BRANCH, False),
+    (Op.BNE, Format.B, OpClass.BRANCH, False),
+    (Op.BLT, Format.B, OpClass.BRANCH, False),
+    (Op.BGE, Format.B, OpClass.BRANCH, False),
+    (Op.BLTU, Format.B, OpClass.BRANCH, False),
+    (Op.BGEU, Format.B, OpClass.BRANCH, False),
+    (Op.JAL, Format.J, OpClass.JUMP, False),
+    (Op.JALR, Format.I, OpClass.JUMP, False),
+    (Op.FADD, Format.R, OpClass.FP_ADD, True),
+    (Op.FSUB, Format.R, OpClass.FP_ADD, True),
+    (Op.FMUL, Format.R, OpClass.FP_MUL, True),
+    (Op.FDIV, Format.R, OpClass.FP_DIV, True),
+    (Op.FSQRT, Format.R, OpClass.FP_DIV, True),
+    (Op.FMIN, Format.R, OpClass.FP_ADD, True),
+    (Op.FMAX, Format.R, OpClass.FP_ADD, True),
+    (Op.FNEG, Format.R, OpClass.FP_ADD, True),
+    (Op.FABS, Format.R, OpClass.FP_ADD, True),
+    (Op.FEQ, Format.R, OpClass.FP_ADD, True),
+    (Op.FLT, Format.R, OpClass.FP_ADD, True),
+    (Op.FLE, Format.R, OpClass.FP_ADD, True),
+    (Op.FCVTIF, Format.R, OpClass.FP_CVT, True),
+    (Op.FCVTFI, Format.R, OpClass.FP_CVT, True),
+    (Op.ECALL, Format.N, OpClass.SYSTEM, False),
+    (Op.EBREAK, Format.N, OpClass.SYSTEM, False),
+    (Op.HALT, Format.N, OpClass.SYSTEM, False),
+    (Op.RDCYCLE, Format.R, OpClass.SYSTEM, False),
+    (Op.RDINSTR, Format.R, OpClass.SYSTEM, False),
+))
+
+#: Mnemonic -> Op lookup used by the assembler.
+MNEMONICS: Dict[str, Op] = {info.mnemonic: op for op, info in OP_INFO.items()}
+
+#: Number of bytes accessed by each memory opcode.
+MEM_SIZE: Dict[Op, int] = {
+    Op.LB: 1, Op.LBU: 1, Op.LH: 2, Op.LHU: 2, Op.LW: 4, Op.LWU: 4,
+    Op.LD: 8, Op.FLD: 8,
+    Op.SB: 1, Op.SH: 2, Op.SW: 4, Op.SD: 8, Op.FSD: 8,
+}
+
+_SIGN16 = 1 << 15
+_SIGN20 = 1 << 19
+
+
+def sext16(value: int) -> int:
+    """Sign-extend a 16-bit field to a Python int."""
+    value &= 0xFFFF
+    return value - 0x10000 if value & _SIGN16 else value
+
+
+def sext20(value: int) -> int:
+    """Sign-extend a 20-bit field to a Python int."""
+    value &= 0xFFFFF
+    return value - 0x100000 if value & _SIGN20 else value
+
+
+@dataclass(frozen=True)
+class Instr:
+    """A decoded instruction.
+
+    ``imm`` is already sign-extended; for branches/jumps it is the
+    displacement in instruction words relative to the instruction's PC.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def info(self) -> OpInfo:
+        return OP_INFO[self.op]
+
+
+class DecodeError(ValueError):
+    """Raised when a 32-bit word does not decode to a valid instruction."""
+
+
+def encode(instr: Instr) -> int:
+    """Encode a decoded instruction back into its 32-bit word."""
+    info = OP_INFO.get(instr.op)
+    if info is None:
+        raise DecodeError(f"unknown opcode {instr.op!r}")
+    op = int(instr.op) << 24
+    fmt = info.fmt
+    if fmt == Format.R:
+        return op | (instr.rd << 20) | (instr.rs1 << 16) | (instr.rs2 << 12)
+    if fmt == Format.I:
+        _check_range(instr.imm, 16, instr)
+        return op | (instr.rd << 20) | (instr.rs1 << 16) | (instr.imm & 0xFFFF)
+    if fmt in (Format.S, Format.B):
+        _check_range(instr.imm, 16, instr)
+        imm = instr.imm & 0xFFFF
+        return (op | ((imm >> 12) << 20) | (instr.rs1 << 16)
+                | (instr.rs2 << 12) | (imm & 0xFFF))
+    if fmt == Format.J:
+        _check_range(instr.imm, 20, instr)
+        return op | (instr.rd << 20) | (instr.imm & 0xFFFFF)
+    if fmt == Format.N:
+        return op
+    raise DecodeError(f"unknown format {fmt!r}")
+
+
+def _check_range(imm: int, bits: int, instr: Instr) -> None:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= imm <= hi:
+        raise DecodeError(
+            f"immediate {imm} out of {bits}-bit signed range for {instr}")
+
+
+def decode(word: int) -> Instr:
+    """Decode a 32-bit instruction word.
+
+    Raises :class:`DecodeError` for undefined opcodes.
+    """
+    opcode = (word >> 24) & 0xFF
+    try:
+        op = Op(opcode)
+    except ValueError:
+        raise DecodeError(f"illegal opcode byte 0x{opcode:02x}") from None
+    info = OP_INFO[op]
+    fmt = info.fmt
+    rd = (word >> 20) & 0xF
+    rs1 = (word >> 16) & 0xF
+    rs2 = (word >> 12) & 0xF
+    if fmt == Format.R:
+        return Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+    if fmt == Format.I:
+        return Instr(op, rd=rd, rs1=rs1, imm=sext16(word & 0xFFFF))
+    if fmt in (Format.S, Format.B):
+        imm = sext16((rd << 12) | (word & 0xFFF))
+        return Instr(op, rs1=rs1, rs2=rs2, imm=imm)
+    if fmt == Format.J:
+        return Instr(op, rd=rd, imm=sext20(word & 0xFFFFF))
+    return Instr(op)
+
+
+def is_block_terminator(op: Op) -> bool:
+    """True when ``op`` ends a basic block for the binary translator."""
+    return OP_INFO[op].opclass in (OpClass.BRANCH, OpClass.JUMP,
+                                   OpClass.SYSTEM)

@@ -1,0 +1,77 @@
+"""Register file definitions for the Z64 target ISA.
+
+The Z64 architecture has 16 general-purpose 64-bit integer registers
+(``r0``..``r15``, with ``r0`` hard-wired to zero) and 16 double-precision
+floating-point registers (``f0``..``f15``).
+
+The assembler accepts both the architectural names and ABI aliases:
+
+========  ========  =============================================
+register  alias     conventional role
+========  ========  =============================================
+r0        zero      always reads as zero, writes are discarded
+r1..r8    t0..t7    temporaries / argument registers
+r9..r12   s0..s3    callee-saved
+r13       gp        global pointer
+r14       ra        return address (link register for ``jal``)
+r15       sp        stack pointer
+========  ========  =============================================
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 16
+NUM_FP_REGS = 16
+
+ZERO = 0
+GP = 13
+RA = 14
+SP = 15
+
+#: ABI aliases accepted by the assembler, mapping to architectural indices.
+INT_ALIASES = {
+    "zero": 0,
+    "t0": 1, "t1": 2, "t2": 3, "t3": 4, "t4": 5, "t5": 6, "t6": 7, "t7": 8,
+    "s0": 9, "s1": 10, "s2": 11, "s3": 12,
+    "gp": 13,
+    "ra": 14,
+    "sp": 15,
+}
+
+INT_NAMES = {f"r{i}": i for i in range(NUM_INT_REGS)}
+INT_NAMES.update(INT_ALIASES)
+
+FP_NAMES = {f"f{i}": i for i in range(NUM_FP_REGS)}
+
+
+def int_reg(name: str) -> int:
+    """Resolve an integer-register name or alias to its index.
+
+    Raises ``KeyError`` with a helpful message for unknown names.
+    """
+    key = name.strip().lower()
+    if key not in INT_NAMES:
+        raise KeyError(f"unknown integer register {name!r}")
+    return INT_NAMES[key]
+
+
+def fp_reg(name: str) -> int:
+    """Resolve a floating-point register name to its index."""
+    key = name.strip().lower()
+    if key not in FP_NAMES:
+        raise KeyError(f"unknown floating-point register {name!r}")
+    return FP_NAMES[key]
+
+
+def int_reg_name(index: int) -> str:
+    """Canonical architectural name for an integer register index."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return f"r{index}"
+
+
+def fp_reg_name(index: int) -> str:
+    """Canonical architectural name for a floating-point register index."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return f"f{index}"

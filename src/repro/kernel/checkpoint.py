@@ -1,0 +1,157 @@
+"""Full-system checkpoints.
+
+The paper's SimPoint timing results presume checkpoint restore (its
+per-benchmark times are proportional to the number of simulation points,
+not to program length), and TurboSMARTS — cited in related work — builds
+SMARTS entirely on checkpoints.  This module provides the primitive: a
+deep snapshot of a running :class:`~repro.kernel.system.System` (CPU
+state, physical memory, page tables, kernel bookkeeping, devices) that
+can be restored onto the same system later, resuming execution
+bit-identically.
+
+Checkpoints capture *guest* state.  Host-side caches (MMU translation
+dicts, code caches, decoded instructions) are flushed on restore and
+rebuilt lazily — exactly what a real VM does after ``loadvm``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class Checkpoint:
+    """One full-system snapshot (opaque; create via :func:`take`)."""
+
+    cpu: dict
+    frames: Dict[int, bytes]
+    next_free_frame: int
+    page_table: Dict[int, Tuple[int, int]]
+    stats: dict
+    profile_counts: Dict[int, int]
+    pending_irqs: List[int]
+    kernel: dict
+    console: dict
+    disk: Dict[int, bytes]
+    disk_counters: dict
+    timer: dict
+    nic: dict
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(len(data) for data in self.frames.values())
+
+
+def take(system) -> Checkpoint:
+    """Snapshot ``system`` (a :class:`repro.kernel.system.System`)."""
+    machine = system.machine
+    kernel = system.kernel
+    return Checkpoint(
+        cpu=machine.state.snapshot(),
+        frames={pfn: bytes(data)
+                for pfn, data in machine.phys.iter_frames()},
+        next_free_frame=machine.phys._next_free,
+        page_table={vpn: (entry.pfn, entry.prot)
+                    for vpn, entry in machine.page_table.mapped_pages()},
+        stats=copy.deepcopy(vars(machine.stats)),
+        profile_counts=dict(machine.profile_counts),
+        pending_irqs=list(machine._pending_irqs),
+        kernel={
+            "regions": list(kernel._regions),
+            "heap_base": kernel.heap_base,
+            "brk": kernel.brk,
+            "mmap_next": kernel._mmap_next,
+            "syscall_counts": dict(kernel.syscall_counts),
+            "timer_fired": kernel.timer_fired,
+        },
+        console={
+            "output": bytes(system.console.output),
+            "input": bytes(system.console._input),
+        },
+        disk={lba: bytes(sector)
+              for lba, sector in system.disk._sectors.items()},
+        disk_counters={
+            "sectors_transferred": system.disk.sectors_transferred},
+        timer={
+            "now": system.timer.now,
+            "deadline": system.timer.deadline,
+            "enabled": system.timer.enabled,
+            "interrupts_posted": system.timer.interrupts_posted,
+        },
+        nic={
+            "rx_queue": [bytes(p) for p in system.nic.rx_queue],
+            "packets_sent": system.nic.packets_sent,
+            "packets_received": system.nic.packets_received,
+            "bytes_sent": system.nic.bytes_sent,
+            "bytes_received": system.nic.bytes_received,
+        },
+    )
+
+
+def restore(system, checkpoint: Checkpoint) -> None:
+    """Restore ``checkpoint`` onto ``system`` (created from the same
+    program); execution resumes exactly where the snapshot was taken."""
+    machine = system.machine
+    kernel = system.kernel
+
+    # guest memory
+    machine.phys._frames.clear()
+    for pfn, data in checkpoint.frames.items():
+        machine.phys._frames[pfn] = bytearray(data)
+    machine.phys._next_free = checkpoint.next_free_frame
+
+    # page table
+    machine.page_table._entries.clear()
+    from repro.mem.paging import PageTableEntry
+    for vpn, (pfn, prot) in checkpoint.page_table.items():
+        machine.page_table._entries[vpn] = PageTableEntry(pfn, prot)
+    machine.page_table.generation += 1
+
+    # host-side caches are stale: flush everything (before restoring
+    # statistics, so the flush-induced invalidation counts are erased
+    # and the monitored statistics resume exactly as saved)
+    machine.mmu.flush()
+    machine.mmu.code_pages.clear()
+    machine.fast_cache.flush()
+    machine.event_cache.flush()
+    machine.interpreter.flush_decode_cache()
+
+    # CPU + machine bookkeeping
+    machine.state.restore(checkpoint.cpu)
+    for key, value in copy.deepcopy(checkpoint.stats).items():
+        setattr(machine.stats, key, value)
+    machine.profile_counts.clear()
+    machine.profile_counts.update(checkpoint.profile_counts)
+    machine._pending_irqs[:] = checkpoint.pending_irqs
+
+    # kernel
+    kernel._regions[:] = checkpoint.kernel["regions"]
+    kernel.heap_base = checkpoint.kernel["heap_base"]
+    kernel.brk = checkpoint.kernel["brk"]
+    kernel._mmap_next = checkpoint.kernel["mmap_next"]
+    kernel.syscall_counts = dict(checkpoint.kernel["syscall_counts"])
+    kernel.timer_fired = checkpoint.kernel["timer_fired"]
+
+    # devices
+    system.console.output[:] = checkpoint.console["output"]
+    system.console._input.clear()
+    system.console._input.extend(checkpoint.console["input"])
+    system.disk._sectors.clear()
+    for lba, sector in checkpoint.disk.items():
+        system.disk._sectors[lba] = bytearray(sector)
+    system.disk.sectors_transferred = \
+        checkpoint.disk_counters["sectors_transferred"]
+    system.timer.now = checkpoint.timer["now"]
+    system.timer.deadline = checkpoint.timer["deadline"]
+    system.timer.enabled = checkpoint.timer["enabled"]
+    system.timer.interrupts_posted = \
+        checkpoint.timer["interrupts_posted"]
+    system.nic.rx_queue.clear()
+    system.nic.rx_queue.extend(checkpoint.nic["rx_queue"])
+    system.nic.packets_sent = checkpoint.nic["packets_sent"]
+    system.nic.packets_received = checkpoint.nic["packets_received"]
+    system.nic.bytes_sent = checkpoint.nic["bytes_sent"]
+    system.nic.bytes_received = checkpoint.nic["bytes_received"]

@@ -1,0 +1,54 @@
+"""Program loader: installs an assembled program into a machine.
+
+Lays out the classic process image:
+
+* program segments at their assembled addresses (mapped RWX so data and
+  code may share pages; self-modifying stores are still caught through
+  the translation-cache page registry),
+* a demand-paged heap immediately after the highest segment,
+* a demand-paged downward-growing stack below ``STACK_TOP``.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program
+from repro.mem import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, PROT_RWX
+from repro.isa.registers import SP
+from repro.vm.machine import Machine
+
+from .syscalls import Kernel
+
+STACK_TOP = 0x7F00_0000
+STACK_SIZE = 1 * 1024 * 1024
+DEFAULT_HEAP_SIZE = 0  # grows via brk
+
+#: a demand-paged page of process-global slots (used by workloads to
+#: share working-set base pointers across program phases)
+GLOBALS_BASE = 0x3000_0000
+
+
+def load_program(machine: Machine, kernel: Kernel, program: Program,
+                 stack_top: int = STACK_TOP,
+                 stack_size: int = STACK_SIZE) -> None:
+    """Map and copy ``program``, set up heap/stack and entry state."""
+    highest = 0
+    for segment in program.segments:
+        first = segment.base >> PAGE_SHIFT
+        last = (segment.end - 1) >> PAGE_SHIFT if segment.data else first
+        for vpn in range(first, last + 1):
+            if machine.page_table.lookup(vpn) is None:
+                machine.page_table.map(vpn, machine.phys.alloc_frame(),
+                                       PROT_RWX)
+        machine.mmu.write_block(segment.base, bytes(segment.data))
+        highest = max(highest, segment.end)
+
+    heap_base = (highest + PAGE_MASK) & ~PAGE_MASK
+    kernel.set_heap(heap_base, DEFAULT_HEAP_SIZE)
+    kernel.add_region(stack_top - stack_size, stack_size)
+    kernel.add_region(GLOBALS_BASE, PAGE_SIZE)
+
+    state = machine.state
+    state.reset(pc=program.entry)
+    # Stack pointer starts 16-byte aligned just below the top page edge.
+    state.regs[SP] = (stack_top - 16) & ~0xF
+    machine.kernel = kernel

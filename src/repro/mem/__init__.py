@@ -1,0 +1,21 @@
+"""Guest memory system: physical memory, paging, software TLB and MMU."""
+
+from .faults import (AlignmentFault, BreakpointTrap, GuestFault,
+                     IllegalInstruction, PageFault, SyscallTrap)
+from .mmu import MMU
+from .paging import (PROT_DEVICE, PROT_R, PROT_RW, PROT_RWX, PROT_RX,
+                     PROT_W, PROT_X, PageTable, PageTableEntry)
+from .physical import (PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, PhysicalMemory,
+                       PhysicalMemoryError)
+from .tlb import SoftTlb, TlbStats
+
+__all__ = [
+    "AlignmentFault", "BreakpointTrap", "GuestFault", "IllegalInstruction",
+    "PageFault", "SyscallTrap",
+    "MMU",
+    "PROT_DEVICE", "PROT_R", "PROT_RW", "PROT_RWX", "PROT_RX", "PROT_W",
+    "PROT_X", "PageTable", "PageTableEntry",
+    "PAGE_MASK", "PAGE_SHIFT", "PAGE_SIZE", "PhysicalMemory",
+    "PhysicalMemoryError",
+    "SoftTlb", "TlbStats",
+]

@@ -1,0 +1,74 @@
+"""Guest fault types raised by the memory system and the CPU core.
+
+These are *guest-architectural* events: the machine catches them and
+delivers them to the kernel layer (page faults, syscalls) or terminates
+the guest (fatal faults).  Every delivered fault increments the VM's
+exception statistic — the ``EXC`` signal used by Dynamic Sampling.
+"""
+
+from __future__ import annotations
+
+
+class GuestFault(Exception):
+    """Base class for all guest-visible faults."""
+
+    #: short identifier used in statistics and messages
+    kind = "fault"
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.kind)
+
+
+class PageFault(GuestFault):
+    """Access to an unmapped page or a protection violation."""
+
+    kind = "page_fault"
+
+    def __init__(self, vaddr: int, access: str):
+        self.vaddr = vaddr
+        self.access = access  # "read" | "write" | "exec"
+        super().__init__(f"page fault ({access}) at 0x{vaddr:x}")
+
+
+class AlignmentFault(GuestFault):
+    """Naturally-misaligned memory access."""
+
+    kind = "alignment_fault"
+
+    def __init__(self, vaddr: int, size: int, access: str):
+        self.vaddr = vaddr
+        self.size = size
+        self.access = access
+        super().__init__(
+            f"misaligned {size}-byte {access} at 0x{vaddr:x}")
+
+
+class IllegalInstruction(GuestFault):
+    """Fetch of an undecodable instruction word."""
+
+    kind = "illegal_instruction"
+
+    def __init__(self, pc: int, word: int = 0):
+        self.pc = pc
+        self.word = word
+        super().__init__(f"illegal instruction 0x{word:08x} at 0x{pc:x}")
+
+
+class SyscallTrap(GuestFault):
+    """Raised by ``ecall``; handled by the kernel layer."""
+
+    kind = "syscall"
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        super().__init__(f"ecall at 0x{pc:x}")
+
+
+class BreakpointTrap(GuestFault):
+    """Raised by ``ebreak``."""
+
+    kind = "breakpoint"
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        super().__init__(f"ebreak at 0x{pc:x}")

@@ -1,0 +1,302 @@
+"""Memory management unit: the VM's hot memory-access path.
+
+The MMU couples the guest page table to demand-allocated physical memory
+through a bounded software TLB (:class:`repro.mem.tlb.SoftTlb`), exactly
+like a fast emulator does: hits are a single dict lookup that yields the
+backing page frame, misses walk the page table and may raise a
+:class:`~repro.mem.faults.PageFault` for the kernel layer to handle.
+
+Three additional responsibilities matter for the paper's mechanisms:
+
+* **MMIO routing** — pages mapped with ``PROT_DEVICE`` are never cached;
+  every access goes to the device bus (the VM's I/O-operation statistic).
+* **Self-modifying-code detection** — pages that hold translated code are
+  removed from the fast write path; a write to them invokes
+  ``code_write_hook`` so the binary translator can invalidate its cache
+  (the VM's code-cache-invalidation statistic).
+* **Alignment** — Z64 requires naturally aligned accesses; violations
+  raise :class:`~repro.mem.faults.AlignmentFault`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Optional, Set
+
+from .faults import AlignmentFault, PageFault
+from .paging import (PROT_DEVICE, PROT_R, PROT_W, PROT_X, PageTable)
+from .physical import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+from .tlb import SoftTlb
+
+_pack_d = struct.pack
+_unpack_d = struct.unpack_from
+
+
+class MMU:
+    """Translates and performs all guest memory accesses."""
+
+    def __init__(self, phys: PhysicalMemory, page_table: PageTable,
+                 bus=None, tlb_capacity: int = 256):
+        self.phys = phys
+        self.page_table = page_table
+        self.bus = bus
+        self.tlb = SoftTlb(tlb_capacity)
+        # Fast-path caches: vpn -> backing page frame (bytearray).
+        self._rd: Dict[int, bytearray] = {}
+        self._wr: Dict[int, bytearray] = {}
+        self._ex: Dict[int, bytearray] = {}
+        #: virtual pages that contain translated code (write-protected in
+        #: the fast path so the translator can observe self-modification)
+        self.code_pages: Set[int] = set()
+        #: called with the written VPN before a store into a code page
+        self.code_write_hook: Optional[Callable[[int], None]] = None
+
+    # ------------------------------------------------------------------
+    # TLB fill (slow path)
+
+    def _fill(self, vpn: int, access_bit: int, vaddr: int,
+              access: str) -> Optional[bytearray]:
+        """Walk the page table for ``vpn``.
+
+        Returns the backing frame, or ``None`` for device pages (the
+        caller must route the access to the bus).  Raises ``PageFault``
+        when unmapped or the permission is missing.
+        """
+        entry = self.page_table.lookup(vpn)
+        if entry is None or not entry.prot & access_bit:
+            raise PageFault(vaddr, access)
+        if entry.prot & PROT_DEVICE:
+            # Count as a miss but never cache device translations.
+            return None
+        victim = self.tlb.insert(vpn)
+        if victim >= 0:
+            self._rd.pop(victim, None)
+            self._wr.pop(victim, None)
+            self._ex.pop(victim, None)
+        frame = self.phys.frame(entry.pfn)
+        if access_bit == PROT_R:
+            self._rd[vpn] = frame
+        elif access_bit == PROT_W:
+            if vpn in self.code_pages:
+                # Tell the translator which address was written so it can
+                # invalidate the overlapping blocks.  The page then drops
+                # out of the protected set (and into the fast write path);
+                # protection re-arms when code on it is next translated.
+                if self.code_write_hook is not None:
+                    self.code_write_hook(vpn, vaddr)
+                self.code_pages.discard(vpn)
+            self._wr[vpn] = frame
+        else:
+            self._ex[vpn] = frame
+        return frame
+
+    # ------------------------------------------------------------------
+    # loads
+
+    def read_u8(self, vaddr: int) -> int:
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._rd.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_R, vaddr, "read")
+            if page is None:
+                return self.bus.read(vaddr, 1)
+        return page[vaddr & PAGE_MASK]
+
+    def read_u16(self, vaddr: int) -> int:
+        if vaddr & 1:
+            raise AlignmentFault(vaddr, 2, "read")
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._rd.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_R, vaddr, "read")
+            if page is None:
+                return self.bus.read(vaddr, 2)
+        off = vaddr & PAGE_MASK
+        return page[off] | (page[off + 1] << 8)
+
+    def read_u32(self, vaddr: int) -> int:
+        if vaddr & 3:
+            raise AlignmentFault(vaddr, 4, "read")
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._rd.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_R, vaddr, "read")
+            if page is None:
+                return self.bus.read(vaddr, 4)
+        off = vaddr & PAGE_MASK
+        return int.from_bytes(page[off:off + 4], "little")
+
+    def read_u64(self, vaddr: int) -> int:
+        if vaddr & 7:
+            raise AlignmentFault(vaddr, 8, "read")
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._rd.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_R, vaddr, "read")
+            if page is None:
+                return self.bus.read(vaddr, 8)
+        off = vaddr & PAGE_MASK
+        return int.from_bytes(page[off:off + 8], "little")
+
+    def read_f64(self, vaddr: int) -> float:
+        if vaddr & 7:
+            raise AlignmentFault(vaddr, 8, "read")
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._rd.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_R, vaddr, "read")
+            if page is None:
+                bits = self.bus.read(vaddr, 8)
+                return struct.unpack("<d", bits.to_bytes(8, "little"))[0]
+        return _unpack_d("<d", page, vaddr & PAGE_MASK)[0]
+
+    # ------------------------------------------------------------------
+    # stores
+
+    def write_u8(self, vaddr: int, value: int) -> None:
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._wr.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_W, vaddr, "write")
+            if page is None:
+                self.bus.write(vaddr, 1, value & 0xFF)
+                return
+        page[vaddr & PAGE_MASK] = value & 0xFF
+
+    def write_u16(self, vaddr: int, value: int) -> None:
+        if vaddr & 1:
+            raise AlignmentFault(vaddr, 2, "write")
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._wr.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_W, vaddr, "write")
+            if page is None:
+                self.bus.write(vaddr, 2, value & 0xFFFF)
+                return
+        off = vaddr & PAGE_MASK
+        page[off:off + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def write_u32(self, vaddr: int, value: int) -> None:
+        if vaddr & 3:
+            raise AlignmentFault(vaddr, 4, "write")
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._wr.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_W, vaddr, "write")
+            if page is None:
+                self.bus.write(vaddr, 4, value & 0xFFFFFFFF)
+                return
+        off = vaddr & PAGE_MASK
+        page[off:off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def write_u64(self, vaddr: int, value: int) -> None:
+        if vaddr & 7:
+            raise AlignmentFault(vaddr, 8, "write")
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._wr.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_W, vaddr, "write")
+            if page is None:
+                self.bus.write(vaddr, 8, value & (2**64 - 1))
+                return
+        off = vaddr & PAGE_MASK
+        page[off:off + 8] = (value & (2**64 - 1)).to_bytes(8, "little")
+
+    def write_f64(self, vaddr: int, value: float) -> None:
+        if vaddr & 7:
+            raise AlignmentFault(vaddr, 8, "write")
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._wr.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_W, vaddr, "write")
+            if page is None:
+                bits = struct.unpack("<Q", _pack_d("<d", value))[0]
+                self.bus.write(vaddr, 8, bits)
+                return
+        off = vaddr & PAGE_MASK
+        page[off:off + 8] = _pack_d("<d", value)
+
+    # ------------------------------------------------------------------
+    # instruction fetch
+
+    def fetch_word(self, vaddr: int) -> int:
+        """Fetch one 32-bit instruction word (exec permission)."""
+        if vaddr & 3:
+            raise AlignmentFault(vaddr, 4, "exec")
+        vpn = vaddr >> PAGE_SHIFT
+        page = self._ex.get(vpn)
+        if page is None:
+            page = self._fill(vpn, PROT_X, vaddr, "exec")
+            if page is None:
+                raise PageFault(vaddr, "exec")  # no executable devices
+        off = vaddr & PAGE_MASK
+        return int.from_bytes(page[off:off + 4], "little")
+
+    # ------------------------------------------------------------------
+    # bulk access (kernel, loader, devices; may cross pages)
+
+    def read_block(self, vaddr: int, size: int) -> bytes:
+        out = bytearray()
+        while size > 0:
+            chunk = min(size, PAGE_SIZE - (vaddr & PAGE_MASK))
+            vpn = vaddr >> PAGE_SHIFT
+            page = self._rd.get(vpn)
+            if page is None:
+                page = self._fill(vpn, PROT_R, vaddr, "read")
+                if page is None:
+                    raise PageFault(vaddr, "read")  # no block MMIO
+            off = vaddr & PAGE_MASK
+            out += page[off:off + chunk]
+            vaddr += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write_block(self, vaddr: int, data: bytes) -> None:
+        pos = 0
+        size = len(data)
+        while pos < size:
+            chunk = min(size - pos, PAGE_SIZE - (vaddr & PAGE_MASK))
+            vpn = vaddr >> PAGE_SHIFT
+            page = self._wr.get(vpn)
+            if page is None:
+                page = self._fill(vpn, PROT_W, vaddr, "write")
+                if page is None:
+                    raise PageFault(vaddr, "write")
+            off = vaddr & PAGE_MASK
+            page[off:off + chunk] = data[pos:pos + chunk]
+            vaddr += chunk
+            pos += chunk
+
+    # ------------------------------------------------------------------
+    # translation-cache maintenance
+
+    def register_code_page(self, vpn: int) -> None:
+        """Mark ``vpn`` as holding translated code.
+
+        Removes it from the fast write path so the next store into it
+        triggers ``code_write_hook`` (self-modifying-code detection).
+        """
+        self.code_pages.add(vpn)
+        self._wr.pop(vpn, None)
+
+    def invalidate_page(self, vpn: int) -> None:
+        """Drop every cached translation of ``vpn`` (unmap/protect)."""
+        self._rd.pop(vpn, None)
+        self._wr.pop(vpn, None)
+        self._ex.pop(vpn, None)
+        self.tlb.invalidate(vpn)
+
+    def flush(self) -> None:
+        """Drop all cached translations (e.g., address-space switch)."""
+        self._rd.clear()
+        self._wr.clear()
+        self._ex.clear()
+        self.tlb.flush()
+
+    def translate(self, vaddr: int, access: str = "read") -> int:
+        """Return the physical address for ``vaddr`` (tools/tests)."""
+        bit = {"read": PROT_R, "write": PROT_W, "exec": PROT_X}[access]
+        entry = self.page_table.lookup(vaddr >> PAGE_SHIFT)
+        if entry is None or not entry.prot & bit:
+            raise PageFault(vaddr, access)
+        return (entry.pfn << PAGE_SHIFT) | (vaddr & PAGE_MASK)

@@ -1,0 +1,71 @@
+"""Guest page tables.
+
+A single-level logical page table (dict keyed by virtual page number) —
+the guest kernel layer in :mod:`repro.kernel` populates it on demand.
+Pages carry R/W/X permissions plus a DEVICE flag for MMIO ranges that
+must never be cached in the fast translation paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .physical import PAGE_SHIFT
+
+PROT_R = 1
+PROT_W = 2
+PROT_X = 4
+PROT_DEVICE = 8
+PROT_RW = PROT_R | PROT_W
+PROT_RX = PROT_R | PROT_X
+PROT_RWX = PROT_R | PROT_W | PROT_X
+
+
+@dataclass
+class PageTableEntry:
+    """One mapping from a virtual page to a physical frame."""
+
+    pfn: int
+    prot: int
+
+    def allows(self, access_bit: int) -> bool:
+        return bool(self.prot & access_bit)
+
+
+class PageTable:
+    """Virtual-to-physical mapping for one guest address space."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PageTableEntry] = {}
+        #: bumped on every unmap/protect so cached translations can be
+        #: invalidated by observers (MMU TLBs, code cache).
+        self.generation = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def map(self, vpn: int, pfn: int, prot: int) -> None:
+        """Install a mapping; remapping an existing page is allowed."""
+        if vpn in self._entries:
+            self.generation += 1
+        self._entries[vpn] = PageTableEntry(pfn, prot)
+
+    def unmap(self, vpn: int) -> None:
+        if self._entries.pop(vpn, None) is not None:
+            self.generation += 1
+
+    def protect(self, vpn: int, prot: int) -> None:
+        """Change permissions of an existing mapping."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            raise KeyError(f"protect of unmapped page 0x{vpn << PAGE_SHIFT:x}")
+        entry.prot = prot
+        self.generation += 1
+
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        return self._entries.get(vpn)
+
+    def mapped_pages(self):
+        """Iterate over ``(vpn, entry)`` pairs (test/debug helper)."""
+        return iter(sorted(self._entries.items()))

@@ -1,0 +1,97 @@
+"""Physical memory for the emulated machine.
+
+Physical memory is a flat array of page frames allocated on demand: the
+guest-visible physical address space can be large while the host only pays
+for frames that are actually touched.  Frames are fixed-size
+``bytearray`` objects, which keeps the hot access paths (``int.from_bytes``
+on a slice) fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class PhysicalMemoryError(Exception):
+    """Raised when physical memory is exhausted or misused."""
+
+
+class PhysicalMemory:
+    """Demand-allocated physical memory of ``size`` bytes.
+
+    Frame numbers run from 0 to ``num_frames - 1``.  A frame allocator
+    hands out frames linearly; :class:`repro.mem.paging.PageTable` maps
+    guest-virtual pages onto them.
+    """
+
+    def __init__(self, size: int = 256 * 1024 * 1024):
+        if size <= 0 or size & PAGE_MASK:
+            raise PhysicalMemoryError(
+                f"size must be a positive multiple of {PAGE_SIZE}")
+        self.size = size
+        self.num_frames = size >> PAGE_SHIFT
+        self._frames: Dict[int, bytearray] = {}
+        self._next_free = 0
+
+    # ------------------------------------------------------------------
+    # frame management
+
+    def alloc_frame(self) -> int:
+        """Allocate the next free physical frame and return its number."""
+        if self._next_free >= self.num_frames:
+            raise PhysicalMemoryError("out of physical memory frames")
+        frame = self._next_free
+        self._next_free += 1
+        return frame
+
+    def frame(self, pfn: int) -> bytearray:
+        """Return the backing bytearray of frame ``pfn`` (creating it)."""
+        if not 0 <= pfn < self.num_frames:
+            raise PhysicalMemoryError(f"frame {pfn} out of range")
+        data = self._frames.get(pfn)
+        if data is None:
+            data = bytearray(PAGE_SIZE)
+            self._frames[pfn] = data
+        return data
+
+    @property
+    def frames_touched(self) -> int:
+        """Number of frames that have backing storage."""
+        return len(self._frames)
+
+    # ------------------------------------------------------------------
+    # physical-address accessors (used by the loader and devices; the hot
+    # guest path goes through the MMU, which caches frame bytearrays)
+
+    def read(self, paddr: int, size: int) -> bytes:
+        """Read ``size`` bytes at physical address ``paddr``."""
+        out = bytearray()
+        while size > 0:
+            frame = self.frame(paddr >> PAGE_SHIFT)
+            offset = paddr & PAGE_MASK
+            chunk = min(size, PAGE_SIZE - offset)
+            out += frame[offset:offset + chunk]
+            paddr += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write(self, paddr: int, data: bytes) -> None:
+        """Write ``data`` at physical address ``paddr``."""
+        offset_in_data = 0
+        size = len(data)
+        while offset_in_data < size:
+            frame = self.frame(paddr >> PAGE_SHIFT)
+            offset = paddr & PAGE_MASK
+            chunk = min(size - offset_in_data, PAGE_SIZE - offset)
+            frame[offset:offset + chunk] = \
+                data[offset_in_data:offset_in_data + chunk]
+            paddr += chunk
+            offset_in_data += chunk
+
+    def iter_frames(self) -> Iterator[Tuple[int, bytearray]]:
+        """Yield ``(pfn, data)`` for every allocated frame."""
+        return iter(sorted(self._frames.items()))

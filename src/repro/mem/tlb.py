@@ -1,0 +1,76 @@
+"""The VM's software TLB.
+
+Fast emulators keep a software TLB so that the hot translation path is a
+single hash lookup instead of a page walk.  Ours does the same: the MMU's
+per-access dictionaries *are* the TLB content, and this class provides the
+bounded-size bookkeeping plus the hit/miss/eviction statistics that the
+paper lists among the VM-internal metrics usable for phase detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TlbStats:
+    """Hit/miss/eviction counters (fills count as misses that succeeded)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "flushes": self.flushes}
+
+
+@dataclass
+class SoftTlb:
+    """Bounded FIFO set of cached virtual-page translations.
+
+    The actual translated objects (frame bytearrays) live in the MMU's
+    per-access dicts; this class tracks which VPNs are resident and
+    enforces the capacity bound, telling the MMU which entry to drop.
+    """
+
+    capacity: int = 256
+    stats: TlbStats = field(default_factory=TlbStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self._resident: Dict[int, bool] = {}
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def insert(self, vpn: int) -> int:
+        """Record a fill of ``vpn``; return the evicted VPN or -1."""
+        self.stats.misses += 1
+        if vpn in self._resident:
+            return -1
+        victim = -1
+        if len(self._resident) >= self.capacity:
+            victim = next(iter(self._resident))
+            del self._resident[victim]
+            self.stats.evictions += 1
+        self._resident[vpn] = True
+        return victim
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop one entry; returns True when it was resident."""
+        return self._resident.pop(vpn, None) is not None
+
+    def flush(self) -> None:
+        """Drop every entry."""
+        self._resident.clear()
+        self.stats.flushes += 1
+
+    def resident_vpns(self):
+        return list(self._resident)

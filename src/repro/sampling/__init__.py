@@ -1,0 +1,41 @@
+"""Sampling framework: the paper's contribution plus the baselines.
+
+* :class:`DynamicSampler` — the paper's Dynamic Sampling (Algorithm 1)
+* :class:`SmartsSampler` — SMARTS systematic sampling baseline
+* :class:`SimPointSampler` — SimPoint profiling/clustering baseline
+* :class:`FullTiming` — the full-timing reference
+* :class:`SimulationController` — VM <-> timing coupling & mode switching
+"""
+
+from .base import PolicyResult, Sampler
+from .controller import ModeBreakdown, SimulationController
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .dynamic import (DynamicSampler, DynamicSamplingConfig, sweep_configs)
+from .estimators import (MeanCpiEstimator, SegmentedIpcEstimator,
+                         WeightedClusterEstimator, accuracy_error, speedup)
+from .full import FullTiming
+from .presets import (FIGURE5_DYNAMIC_CONFIGS, INTERVAL_LENGTHS,
+                      INTERVAL_UNIT, SIMPOINT_PRESET, SMARTS_PRESET,
+                      WARMUP_LENGTH, dynamic_config, figure6_policy_grid,
+                      full_sweep)
+from .simpoint import (BbvCollector, CheckpointedSimPointSampler,
+                       SimPointConfig, SimPointSampler,
+                       SimPointSelection, select_simpoints)
+from .smarts import SmartsConfig, SmartsSampler
+
+__all__ = [
+    "PolicyResult", "Sampler",
+    "ModeBreakdown", "SimulationController",
+    "CostModel", "DEFAULT_COST_MODEL",
+    "DynamicSampler", "DynamicSamplingConfig", "sweep_configs",
+    "MeanCpiEstimator", "SegmentedIpcEstimator",
+    "WeightedClusterEstimator", "accuracy_error", "speedup",
+    "FullTiming",
+    "FIGURE5_DYNAMIC_CONFIGS", "INTERVAL_LENGTHS", "INTERVAL_UNIT",
+    "SIMPOINT_PRESET", "SMARTS_PRESET", "WARMUP_LENGTH",
+    "dynamic_config", "figure6_policy_grid", "full_sweep",
+    "BbvCollector", "CheckpointedSimPointSampler",
+    "SimPointConfig", "SimPointSampler",
+    "SimPointSelection", "select_simpoints",
+    "SmartsConfig", "SmartsSampler",
+]

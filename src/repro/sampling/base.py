@@ -1,0 +1,117 @@
+"""Sampling-policy interface and the result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .controller import SimulationController
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass
+class PolicyResult:
+    """Everything a sampling run reports (one benchmark, one policy)."""
+
+    policy: str
+    benchmark: str
+    ipc: float
+    total_instructions: int
+    fast_instructions: int
+    profile_instructions: int
+    warming_instructions: int
+    timed_instructions: int
+    timed_intervals: int
+    wall_seconds: float
+    modeled_seconds: float
+    extra: Dict = field(default_factory=dict)
+
+    @property
+    def timed_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.timed_instructions / self.total_instructions
+
+    def to_dict(self) -> Dict:
+        out = {
+            "policy": self.policy,
+            "benchmark": self.benchmark,
+            "ipc": self.ipc,
+            "total_instructions": self.total_instructions,
+            "fast_instructions": self.fast_instructions,
+            "profile_instructions": self.profile_instructions,
+            "warming_instructions": self.warming_instructions,
+            "timed_instructions": self.timed_instructions,
+            "timed_intervals": self.timed_intervals,
+            "wall_seconds": self.wall_seconds,
+            "modeled_seconds": self.modeled_seconds,
+            "extra": self.extra,
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PolicyResult":
+        return cls(**data)
+
+
+class Sampler:
+    """Base class for sampling policies.
+
+    Subclasses implement :meth:`sample`, driving the controller's
+    primitives; :meth:`run` wraps it with the bookkeeping every policy
+    shares (result assembly, cost-model application).
+    """
+
+    #: short name used in reports ("full", "smarts", ...)
+    name = "sampler"
+    #: which execution modes count toward the policy's modeled host
+    #: time.  SimPoint overrides this (checkpoint-based methodology:
+    #: fast-forward and profiling are charged separately, paper §5.3).
+    charge_modes = ("fast", "profile", "warming", "timed")
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+
+    # -- to be provided by subclasses -----------------------------------
+
+    def sample(self, controller: SimulationController) -> Dict:
+        """Drive the run to completion; return
+        ``{"ipc": float, "timed_intervals": int, ...extras}``."""
+        raise NotImplementedError
+
+    # -- shared machinery ------------------------------------------------
+
+    def run(self, controller: SimulationController) -> PolicyResult:
+        outcome = self.sample(controller)
+        breakdown = controller.breakdown
+        counts = {
+            "fast": breakdown.fast_instructions,
+            "profile": breakdown.profile_instructions,
+            "warming": breakdown.warming_instructions,
+            "timed": breakdown.timed_instructions,
+        }
+        modeled = self.cost_model.modeled_seconds(
+            **{mode: counts[mode] for mode in self.charge_modes})
+        extra = {key: value for key, value in outcome.items()
+                 if key not in ("ipc", "timed_intervals")}
+        extra["modeled_seconds_all_modes"] = \
+            self.cost_model.modeled_seconds(**counts)
+        if "profile" not in self.charge_modes and counts["profile"]:
+            # e.g. the paper's "SimPoint+prof" point in Figure 5
+            extra["modeled_seconds_with_profiling"] = (
+                modeled + self.cost_model.modeled_seconds(
+                    profile=counts["profile"]))
+        return PolicyResult(
+            policy=self.name,
+            benchmark=controller.workload.name,
+            ipc=outcome["ipc"],
+            total_instructions=breakdown.total_instructions,
+            fast_instructions=breakdown.fast_instructions,
+            profile_instructions=breakdown.profile_instructions,
+            warming_instructions=breakdown.warming_instructions,
+            timed_instructions=breakdown.timed_instructions,
+            timed_intervals=outcome.get("timed_intervals", 0),
+            wall_seconds=breakdown.total_wall_seconds,
+            modeled_seconds=modeled,
+            extra=extra,
+        )

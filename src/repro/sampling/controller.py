@@ -1,0 +1,163 @@
+"""The simulation controller: couples the VM to the timing back-end.
+
+This is the paper's §3 infrastructure in one object: it owns a booted
+guest system and one out-of-order core, and exposes the mode-switching
+primitives that every sampling policy is written in terms of:
+
+* :meth:`run_fast`            — full-speed functional execution
+* :meth:`run_profile`         — full speed + BBV collection
+* :meth:`run_warming`         — event mode feeding functional warming
+  (caches + branch predictor updated, no pipeline timing)
+* :meth:`run_timed`           — event mode feeding the detailed core;
+  returns the interval's (instructions, cycles)
+
+The controller keeps per-mode instruction counters (for the host-time
+cost model), measures per-mode wall-clock, reads the VM statistics that
+Dynamic Sampling monitors, and — when ``feedback`` is enabled — pushes
+the estimated virtual time back into the guest (``rdcycle``, the timer
+device), closing the loop the paper describes in §3.1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.kernel import System
+from repro.timing import (FunctionalWarmingSink, OutOfOrderCore,
+                          TimingConfig)
+from repro.vm import MODE_EVENT, MODE_FAST, MODE_PROFILE
+from repro.workloads import Workload
+
+
+@dataclass
+class ModeBreakdown:
+    """Instructions and wall seconds spent in each controller mode."""
+
+    fast_instructions: int = 0
+    profile_instructions: int = 0
+    warming_instructions: int = 0
+    timed_instructions: int = 0
+    wall_seconds: Dict[str, float] = field(default_factory=lambda: {
+        "fast": 0.0, "profile": 0.0, "warming": 0.0, "timed": 0.0})
+
+    @property
+    def total_instructions(self) -> int:
+        return (self.fast_instructions + self.profile_instructions
+                + self.warming_instructions + self.timed_instructions)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(self.wall_seconds.values())
+
+
+class SimulationController:
+    """One benchmark run: a guest system plus a timing core."""
+
+    def __init__(self, workload: Workload,
+                 timing_config: Optional[TimingConfig] = None,
+                 machine_kwargs: Optional[dict] = None,
+                 feedback: bool = False):
+        self.workload = workload
+        self.machine_kwargs = dict(machine_kwargs or {})
+        self.system: System = workload.boot(**self.machine_kwargs)
+        self.machine = self.system.machine
+        self.core = OutOfOrderCore(timing_config or TimingConfig.small())
+        self.warming_sink = FunctionalWarmingSink(self.core)
+        self.feedback = feedback
+        self.breakdown = ModeBreakdown()
+        #: estimated virtual cycles of the whole run so far (only
+        #: maintained when feedback is on)
+        self.virtual_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # state
+
+    @property
+    def finished(self) -> bool:
+        return self.machine.state.halted
+
+    @property
+    def icount(self) -> int:
+        """Guest instructions retired so far (all modes)."""
+        return self.machine.state.icount
+
+    def read_stat(self, name: str) -> int:
+        """Read one of the monitorable VM statistics (CPU/EXC/IO)."""
+        return self.machine.stats.monitored(name)
+
+    # ------------------------------------------------------------------
+    # execution primitives
+
+    def run_fast(self, instructions: int) -> int:
+        start = time.perf_counter()
+        executed = self.machine.run(instructions, mode=MODE_FAST)
+        self.breakdown.wall_seconds["fast"] += time.perf_counter() - start
+        self.breakdown.fast_instructions += executed
+        return executed
+
+    def run_profile(self, instructions: int) -> int:
+        start = time.perf_counter()
+        executed = self.machine.run(instructions, mode=MODE_PROFILE)
+        self.breakdown.wall_seconds["profile"] += \
+            time.perf_counter() - start
+        self.breakdown.profile_instructions += executed
+        return executed
+
+    def take_profile(self) -> Dict[int, int]:
+        """Return and reset the per-block BBV counts."""
+        counts = dict(self.machine.profile_counts)
+        self.machine.profile_counts.clear()
+        return counts
+
+    def run_warming(self, instructions: int) -> int:
+        if instructions <= 0:
+            return 0
+        start = time.perf_counter()
+        executed = self.machine.run(instructions, mode=MODE_EVENT,
+                                    sink=self.warming_sink)
+        self.breakdown.wall_seconds["warming"] += \
+            time.perf_counter() - start
+        self.breakdown.warming_instructions += executed
+        return executed
+
+    def run_timed(self, instructions: int,
+                  measure: bool = True) -> tuple:
+        """Run one detailed interval; returns (instructions, cycles).
+
+        With ``measure=False`` the pipeline still executes (detailed
+        warming, as in SMARTS) but the caller is expected to discard the
+        numbers.
+        """
+        if instructions <= 0:
+            return (0, 0)
+        start = time.perf_counter()
+        checkpoint = self.core.checkpoint()
+        executed = self.machine.run(instructions, mode=MODE_EVENT,
+                                    sink=self.core)
+        self.breakdown.wall_seconds["timed"] += \
+            time.perf_counter() - start
+        self.breakdown.timed_instructions += executed
+        cycles = self.core.last_retire_cycle - checkpoint[1]
+        if self.feedback and measure and executed:
+            ipc = executed / cycles if cycles else 1.0
+            self.advance_virtual_time(executed / max(ipc, 1e-9))
+        return (executed, cycles)
+
+    # ------------------------------------------------------------------
+    # timing feedback (paper §3.1; disabled for the paper's experiments)
+
+    def advance_virtual_time(self, cycles: float) -> None:
+        """Push estimated cycles into the guest-visible clock."""
+        self.virtual_cycles += cycles
+        now = int(self.virtual_cycles)
+        self.machine.state.cycles = now
+        if self.system.timer is not None:
+            self.system.timer.advance(now)
+
+    def account_functional_time(self, instructions: int,
+                                ipc: float) -> None:
+        """Extend virtual time over a fast-forwarded stretch."""
+        if self.feedback and instructions > 0 and ipc > 0:
+            self.advance_virtual_time(instructions / ipc)

@@ -1,0 +1,45 @@
+"""Host-time cost model.
+
+The paper's speed results are wall-clock times on SimNow+PTLsim, where
+each execution mode has a characteristic throughput.  A Python VM's
+relative mode costs differ from SimNow's, so alongside *measured*
+wall-clock we report a *modeled* host time: the per-mode instruction
+counts (which our simulator measures exactly) multiplied by the paper's
+per-mode throughputs.  This reproduces the paper's speed shape from the
+same underlying quantity their times derive from — how many
+instructions execute in each mode.
+
+Calibration (from the paper's own numbers):
+
+* full-speed SimNow ~150 MIPS (100-200 MIPS, §3.1);
+* full timing ~0.3 MIPS (SimpleScalar-class detailed simulation, §1;
+  consistent with "6 days per benchmark" for ~150 G instructions);
+* SMARTS achieves 7.4x over full timing while running functional
+  warming nearly everywhere => functional warming ~2.2 MIPS
+  ("more than an order of magnitude" below full speed, §5.1);
+* SimPoint+prof is 9.5x => BBV profiling ~3 MIPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-mode host throughput in guest instructions per second."""
+
+    fast_ips: float = 150e6        # full-speed dynamic translation
+    profile_ips: float = 3e6       # BBV collection (SimPoint profiling)
+    warming_ips: float = 2.2e6     # event generation + cache/bp warming
+    timing_ips: float = 0.3e6      # detailed out-of-order simulation
+
+    def modeled_seconds(self, fast: int = 0, profile: int = 0,
+                        warming: int = 0, timed: int = 0) -> float:
+        """Host seconds to execute the given per-mode instruction counts."""
+        return (fast / self.fast_ips + profile / self.profile_ips
+                + warming / self.warming_ips + timed / self.timing_ips)
+
+
+#: the default model used by the experiment harness
+DEFAULT_COST_MODEL = CostModel()

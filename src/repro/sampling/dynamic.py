@@ -1,0 +1,161 @@
+"""Dynamic Sampling — the paper's contribution (Algorithm 1, §4).
+
+The sampler runs the VM at full speed and, at the end of every interval,
+inspects one of the VM's internal statistics:
+
+* ``CPU`` — translation-cache invalidations,
+* ``EXC`` — guest exceptions,
+* ``IO``  — device I/O operations.
+
+When the *relative change between successive per-interval measurements*
+of the monitored variable exceeds the sensitivity ``S``, the program has
+likely entered a new phase: the sampler activates the timing simulator
+for one interval (preceded by a warming period, §3.3), records the
+measured IPC and returns to full speed.  ``max_func`` bounds the number
+of consecutive functional-only intervals so a minimum number of timing
+measurements is always taken (§4.2).
+
+Configurations are named ``VAR-S-LEN[-MAXF]`` as in the paper's Figure 5
+(e.g. ``CPU-300-1M-inf``); the scaled interval lengths are mapped back
+to their paper-equivalent labels by :mod:`repro.sampling.presets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from .base import Sampler
+from .controller import SimulationController
+from .estimators import SegmentedIpcEstimator
+
+
+@dataclass(frozen=True)
+class DynamicSamplingConfig:
+    """Parameters of Algorithm 1."""
+
+    #: VM statistic(s) to monitor: "CPU", "EXC" or "IO".  Several
+    #: variables may be OR-combined (the paper's "identify the right
+    #: variable(s)" direction): a phase change on any of them triggers.
+    variables: Tuple[str, ...] = ("CPU",)
+    #: sensitivity threshold as a fraction (3.0 == the paper's 300 %)
+    sensitivity: float = 3.0
+    #: interval length in instructions (scaled analogue of 1M/10M/100M)
+    interval_length: int = 1000
+    #: max consecutive functional intervals; None means unlimited
+    max_func: Optional[int] = None
+    #: detailed-warming length before each timed interval
+    warmup_length: int = 1000
+    #: display label, e.g. "CPU-300-1M-inf" (set by the preset factory)
+    label: str = ""
+
+    def __post_init__(self):
+        if self.sensitivity < 0:
+            raise ValueError("sensitivity must be non-negative")
+        if self.interval_length <= 0:
+            raise ValueError("interval length must be positive")
+        if self.max_func is not None and self.max_func <= 0:
+            raise ValueError("max_func must be positive or None")
+        for variable in self.variables:
+            if variable not in ("CPU", "EXC", "IO"):
+                raise ValueError(f"unknown variable {variable!r}")
+
+    @property
+    def display(self) -> str:
+        if self.label:
+            return self.label
+        maxf = "inf" if self.max_func is None else str(self.max_func)
+        var = "+".join(self.variables)
+        return (f"{var}-{int(self.sensitivity * 100)}"
+                f"-{self.interval_length}-{maxf}")
+
+
+class DynamicSampler(Sampler):
+    """Algorithm 1: phase-triggered sampling from VM statistics."""
+
+    def __init__(self, config: DynamicSamplingConfig, **kwargs):
+        super().__init__(**kwargs)
+        self.config = config
+        self.name = f"dynamic:{config.display}"
+
+    def sample(self, controller: SimulationController) -> Dict:
+        config = self.config
+        estimator = SegmentedIpcEstimator()
+        interval = config.interval_length
+
+        timing = False
+        num_func = 0
+        timed_intervals = 0
+        last_counts = {variable: controller.read_stat(variable)
+                       for variable in config.variables}
+        prev_deltas: Dict[str, Optional[int]] = {
+            variable: None for variable in config.variables}
+
+        while not controller.finished:
+            if timing:
+                warmed = controller.run_warming(config.warmup_length)
+                estimator.add_functional(warmed)
+                executed, cycles = controller.run_timed(interval)
+                if executed:
+                    ipc = executed / cycles if cycles else 0.0
+                    estimator.add_timed(executed, ipc)
+                    timed_intervals += 1
+                timing = False
+                num_func = 0
+                # The warming/timed stretch ran in event mode, which
+                # distorts the translation-cache statistic stream;
+                # re-establish the delta baseline before comparing again.
+                for variable in config.variables:
+                    last_counts[variable] = controller.read_stat(variable)
+                    prev_deltas[variable] = None
+                continue
+            else:
+                executed = controller.run_fast(interval)
+                estimator.add_functional(executed)
+                controller.account_functional_time(
+                    executed, estimator.ipc() or 1.0)
+                num_func += 1
+
+            # Inspect the monitored variables (end of interval).
+            triggered = False
+            for variable in config.variables:
+                count = controller.read_stat(variable)
+                delta = count - last_counts[variable]
+                last_counts[variable] = count
+                previous = prev_deltas[variable]
+                if previous is not None:
+                    relative = abs(delta - previous) / max(previous, 1)
+                    if relative > config.sensitivity:
+                        triggered = True
+                prev_deltas[variable] = delta
+
+            if triggered:
+                timing = True
+            elif (config.max_func is not None
+                    and num_func >= config.max_func):
+                timing = True
+                num_func = 0
+
+        return {
+            "ipc": estimator.ipc(),
+            "timed_intervals": timed_intervals,
+            "config": config.display,
+        }
+
+
+def sweep_configs(variables: Iterable[str] = ("CPU", "EXC", "IO"),
+                  sensitivities: Iterable[float] = (1.0, 3.0, 5.0),
+                  interval_lengths: Iterable[int] = (1000, 10000, 100000),
+                  max_funcs: Iterable[Optional[int]] = (10, None),
+                  warmup_length: int = 1000):
+    """The paper's §5 configuration grid as DynamicSamplingConfig items."""
+    for variable in variables:
+        for sensitivity in sensitivities:
+            for interval in interval_lengths:
+                for max_func in max_funcs:
+                    yield DynamicSamplingConfig(
+                        variables=(variable,),
+                        sensitivity=sensitivity,
+                        interval_length=interval,
+                        max_func=max_func,
+                        warmup_length=warmup_length)

@@ -1,0 +1,35 @@
+"""Full-timing baseline: every instruction through the detailed core."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import Sampler
+from .controller import SimulationController
+
+
+class FullTiming(Sampler):
+    """The reference run all accuracy errors are measured against."""
+
+    name = "full"
+
+    def __init__(self, chunk: int = 1 << 20, **kwargs):
+        super().__init__(**kwargs)
+        self.chunk = chunk
+
+    def sample(self, controller: SimulationController) -> Dict:
+        intervals = 0
+        while not controller.finished:
+            executed, _ = controller.run_timed(self.chunk)
+            if executed == 0:
+                break
+            intervals += 1
+        core = controller.core
+        ipc = (core.retired / core.last_retire_cycle
+               if core.last_retire_cycle else 0.0)
+        return {
+            "ipc": ipc,
+            "timed_intervals": intervals,
+            "cycles": core.last_retire_cycle,
+            "core_stats": core.stats(),
+        }

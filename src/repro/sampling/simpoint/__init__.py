@@ -1,0 +1,16 @@
+"""SimPoint: BBV profiling, k-means clustering, point selection."""
+
+from .bbv import BbvCollector
+from .checkpointed import CheckpointedSimPointSampler
+from .kmeans import (KmeansResult, choose_clustering, kmeans,
+                     random_projection)
+from .simpoint import (SimPointConfig, SimPointSampler, SimPointSelection,
+                       select_simpoints)
+
+__all__ = [
+    "BbvCollector",
+    "CheckpointedSimPointSampler",
+    "KmeansResult", "choose_clustering", "kmeans", "random_projection",
+    "SimPointConfig", "SimPointSampler", "SimPointSelection",
+    "select_simpoints",
+]

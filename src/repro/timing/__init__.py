@@ -1,0 +1,20 @@
+"""Out-of-order timing simulator (the PTLsim analogue).
+
+Configured per the paper's Table 1; consumes the VM's instruction event
+stream and produces cycle counts / IPC.
+"""
+
+from .branch import BranchUnit, Btb, GsharePredictor, ReturnAddressStack
+from .caches import Cache, MemoryHierarchy, Tlb
+from .config import CacheConfig, TimingConfig, TlbConfig
+from .core import OutOfOrderCore
+from .inorder import InOrderCore
+from .warming import FunctionalWarmingSink
+
+__all__ = [
+    "BranchUnit", "Btb", "GsharePredictor", "ReturnAddressStack",
+    "Cache", "MemoryHierarchy", "Tlb",
+    "CacheConfig", "TimingConfig", "TlbConfig",
+    "InOrderCore", "OutOfOrderCore",
+    "FunctionalWarmingSink",
+]

@@ -1,0 +1,140 @@
+"""Branch prediction: gshare + BTB + return-address stack (Table 1)."""
+
+from __future__ import annotations
+
+from .config import TimingConfig
+
+
+class GsharePredictor:
+    """Global-history XOR-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int):
+        if entries & (entries - 1):
+            raise ValueError("gshare entries must be a power of two")
+        self.entries = entries
+        self.mask = entries - 1
+        self.table = [2] * entries  # weakly taken
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) & self.mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self.table[index]
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        else:
+            if counter > 0:
+                self.table[index] = counter - 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) \
+            & self.mask
+
+
+class Btb:
+    """Direct-mapped branch target buffer."""
+
+    def __init__(self, entries: int):
+        if entries & (entries - 1):
+            raise ValueError("BTB entries must be a power of two")
+        self.mask = entries - 1
+        self.tags = [-1] * entries
+        self.targets = [0] * entries
+
+    def lookup(self, pc: int) -> int:
+        """Predicted target, or -1 on a BTB miss."""
+        index = (pc >> 2) & self.mask
+        if self.tags[index] == pc:
+            return self.targets[index]
+        return -1
+
+    def update(self, pc: int, target: int) -> None:
+        index = (pc >> 2) & self.mask
+        self.tags[index] = pc
+        self.targets[index] = target
+
+
+class ReturnAddressStack:
+    """Circular return-address stack."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.stack = [0] * entries
+        self.top = 0
+        self.depth = 0
+
+    def push(self, address: int) -> None:
+        self.top = (self.top + 1) % self.entries
+        self.stack[self.top] = address
+        self.depth = min(self.depth + 1, self.entries)
+
+    def pop(self) -> int:
+        """Predicted return address; 0 when empty."""
+        if self.depth == 0:
+            return 0
+        value = self.stack[self.top]
+        self.top = (self.top - 1) % self.entries
+        self.depth -= 1
+        return value
+
+
+class BranchUnit:
+    """Front-end branch prediction logic used by the OoO core.
+
+    ``predict_branch``/``predict_jump`` return True when the prediction
+    (direction *and* target) is correct — the core charges the
+    mispredict penalty otherwise — and update the structures with the
+    actual outcome.
+    """
+
+    def __init__(self, config: TimingConfig):
+        self.gshare = GsharePredictor(config.gshare_entries)
+        self.btb = Btb(config.btb_entries)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        # statistics
+        self.branches = 0
+        self.mispredicts = 0
+        self.btb_misses = 0
+
+    def predict_branch(self, pc: int, taken: bool, target: int) -> bool:
+        """Conditional branch: direction from gshare, target from BTB."""
+        self.branches += 1
+        predicted_taken = self.gshare.predict(pc)
+        self.gshare.update(pc, taken)
+        correct = predicted_taken == taken
+        if taken:
+            predicted_target = self.btb.lookup(pc)
+            if predicted_target != target:
+                self.btb_misses += 1
+                correct = False
+                self.btb.update(pc, target)
+        if not correct:
+            self.mispredicts += 1
+        return correct
+
+    def predict_jump(self, pc: int, target: int, is_call: bool,
+                     is_return: bool, return_address: int) -> bool:
+        """Unconditional jump/call/return via BTB and RAS."""
+        self.branches += 1
+        if is_return:
+            predicted = self.ras.pop()
+            correct = predicted == target
+        else:
+            predicted = self.btb.lookup(pc)
+            correct = predicted == target
+            if not correct:
+                self.btb_misses += 1
+                self.btb.update(pc, target)
+        if is_call:
+            self.ras.push(return_address)
+        if not correct:
+            self.mispredicts += 1
+        return correct
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0

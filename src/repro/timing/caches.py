@@ -1,0 +1,144 @@
+"""Set-associative caches, TLBs and the memory hierarchy (Table 1)."""
+
+from __future__ import annotations
+
+from .config import CacheConfig, TimingConfig, TlbConfig
+
+
+class Cache:
+    """A set-associative LRU cache.
+
+    ``access`` returns True on hit and fills on miss (write-allocate;
+    writebacks are not charged — the guest workloads are latency-, not
+    bandwidth-, bound, matching the paper's use of a latency-only model).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.name = name
+        self.config = config
+        offset_bits = config.line_size.bit_length() - 1
+        self.offset_bits = offset_bits
+        self.set_mask = config.num_sets - 1
+        self.assoc = config.assoc
+        self.sets = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        set_index = (addr >> self.offset_bits) & self.set_mask
+        tag = addr >> self.offset_bits  # includes the index; unique per line
+        ways = self.sets[set_index]
+        if tag in ways:
+            if ways[0] != tag:
+                ways.remove(tag)
+                ways.insert(0, tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self.assoc:
+            ways.pop()
+        return False
+
+    def flush(self) -> None:
+        for ways in self.sets:
+            ways.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class Tlb:
+    """A set-associative LRU TLB over 4 KiB pages."""
+
+    def __init__(self, config: TlbConfig, name: str = "tlb"):
+        self.name = name
+        self.config = config
+        self.page_shift = config.page_size.bit_length() - 1
+        self.num_sets = config.num_sets
+        self.set_mask = self.num_sets - 1
+        self.assoc = config.assoc
+        self.sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        vpn = addr >> self.page_shift
+        ways = self.sets[vpn & self.set_mask]
+        if vpn in ways:
+            if ways[0] != vpn:
+                ways.remove(vpn)
+                ways.insert(0, vpn)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.insert(0, vpn)
+        if len(ways) > self.assoc:
+            ways.pop()
+        return False
+
+    def flush(self) -> None:
+        for ways in self.sets:
+            ways.clear()
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + memory, with a two-level TLB."""
+
+    def __init__(self, config: TimingConfig):
+        self.config = config
+        self.l1i = Cache(config.l1i, "L1I")
+        self.l1d = Cache(config.l1d, "L1D")
+        self.l2 = Cache(config.l2, "L2")
+        self.itlb = Tlb(config.l1_itlb, "ITLB")
+        self.dtlb = Tlb(config.l1_dtlb, "DTLB")
+        self.l2tlb = Tlb(config.l2_tlb, "L2TLB")
+
+    # ------------------------------------------------------------------
+
+    def _tlb_latency(self, addr: int, tlb: Tlb) -> int:
+        if tlb.access(addr):
+            return 0
+        if self.l2tlb.access(addr):
+            return self.config.l2_tlb_latency
+        return self.config.l2_tlb_latency + self.config.tlb_walk_latency
+
+    def fetch_latency(self, addr: int) -> int:
+        """Instruction-fetch latency for one cache line."""
+        latency = self._tlb_latency(addr, self.itlb)
+        if self.l1i.access(addr):
+            return latency + self.config.l1i.hit_latency
+        if self.l2.access(addr):
+            return latency + self.config.l2.hit_latency
+        return latency + self.config.l2.hit_latency \
+            + self.config.memory_latency
+
+    def load_latency(self, addr: int) -> int:
+        latency = self._tlb_latency(addr, self.dtlb)
+        if self.l1d.access(addr):
+            return latency + self.config.l1d.hit_latency
+        if self.l2.access(addr):
+            return latency + self.config.l2.hit_latency
+        return latency + self.config.l2.hit_latency \
+            + self.config.memory_latency
+
+    def store_latency(self, addr: int) -> int:
+        """Stores probe the same path (write-allocate)."""
+        return self.load_latency(addr)
+
+    def flush(self) -> None:
+        for unit in (self.l1i, self.l1d, self.l2, self.itlb, self.dtlb,
+                     self.l2tlb):
+            unit.flush()
+
+    def stats(self) -> dict:
+        return {
+            "l1i_miss_rate": self.l1i.miss_rate,
+            "l1d_miss_rate": self.l1d.miss_rate,
+            "l2_miss_rate": self.l2.miss_rate,
+            "itlb_misses": self.itlb.misses,
+            "dtlb_misses": self.dtlb.misses,
+            "l2tlb_misses": self.l2tlb.misses,
+        }

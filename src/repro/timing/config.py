@@ -1,0 +1,140 @@
+"""Timing-simulator configuration (paper Table 1).
+
+The default configuration mirrors the paper's PTLsim setup: a 3-issue
+out-of-order core with microarchitecture parameters similar to one core
+of an AMD Opteron 280.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa import OpClass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size: int
+    assoc: int
+    line_size: int
+    hit_latency: int
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.assoc * self.line_size)
+
+    def __post_init__(self):
+        if self.size % (self.assoc * self.line_size):
+            raise ValueError("cache size must be sets*assoc*line_size")
+        sets = self.size // (self.assoc * self.line_size)
+        if sets & (sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """One TLB level (assoc == entries means fully associative)."""
+
+    entries: int
+    assoc: int
+    page_size: int = 4096
+
+    @property
+    def num_sets(self) -> int:
+        return self.entries // self.assoc
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Full out-of-order core configuration.
+
+    Defaults reproduce the paper's Table 1.
+    """
+
+    # pipeline widths and structures
+    fetch_width: int = 3
+    issue_width: int = 3
+    retire_width: int = 3
+    branch_mispredict_penalty: int = 9
+    fetch_queue_size: int = 18
+    window_size: int = 192          # instruction window (ROB)
+    load_buffer_size: int = 48
+    store_buffer_size: int = 32
+    # functional units
+    int_units: int = 4
+    mem_units: int = 2
+    fp_units: int = 4
+    # branch prediction
+    gshare_entries: int = 16 * 1024
+    btb_entries: int = 32 * 1024
+    ras_entries: int = 16
+    # caches
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size=64 * 1024, assoc=2, line_size=64, hit_latency=1))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size=64 * 1024, assoc=2, line_size=64, hit_latency=1))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size=1024 * 1024, assoc=4, line_size=128, hit_latency=16))
+    memory_latency: int = 190
+    # TLBs
+    l1_itlb: TlbConfig = field(default_factory=lambda: TlbConfig(
+        entries=40, assoc=40))
+    l1_dtlb: TlbConfig = field(default_factory=lambda: TlbConfig(
+        entries=40, assoc=40))
+    l2_tlb: TlbConfig = field(default_factory=lambda: TlbConfig(
+        entries=512, assoc=4))
+    #: extra cycles to walk the page table on an L2 TLB miss
+    tlb_walk_latency: int = 30
+    #: extra cycles for an L2 TLB hit after an L1 miss
+    l2_tlb_latency: int = 4
+    # operation latencies by OpClass
+    latencies: Dict[int, int] = field(default_factory=lambda: {
+        int(OpClass.INT_ALU): 1,
+        int(OpClass.INT_MUL): 3,
+        int(OpClass.INT_DIV): 20,
+        int(OpClass.LOAD): 0,      # memory hierarchy supplies latency
+        int(OpClass.STORE): 1,
+        int(OpClass.BRANCH): 1,
+        int(OpClass.JUMP): 1,
+        int(OpClass.FP_ADD): 4,
+        int(OpClass.FP_MUL): 4,
+        int(OpClass.FP_DIV): 20,
+        int(OpClass.FP_CVT): 4,
+        int(OpClass.SYSTEM): 1,
+    })
+    #: unpipelined classes occupy their unit for the full latency
+    unpipelined: tuple = (int(OpClass.INT_DIV), int(OpClass.FP_DIV))
+
+    @classmethod
+    def opteron_like(cls) -> "TimingConfig":
+        """The paper's Table 1 configuration (the defaults)."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "TimingConfig":
+        """A scaled-down memory hierarchy for the scaled workloads.
+
+        The synthetic benchmarks run millions (not billions) of
+        instructions over proportionally smaller working sets; shrinking
+        the caches keeps miss behaviour — and therefore IPC phase
+        structure — in the same regime as the paper's full-size runs.
+        The L2 is sized so a scaled warming period (a few thousand
+        instructions) fully establishes its state, just as the paper's
+        1M-instruction warming covers its 1 MB L2 many times over.
+        """
+        return cls(
+            l1i=CacheConfig(size=8 * 1024, assoc=2, line_size=64,
+                            hit_latency=1),
+            l1d=CacheConfig(size=8 * 1024, assoc=2, line_size=64,
+                            hit_latency=1),
+            l2=CacheConfig(size=16 * 1024, assoc=4, line_size=128,
+                           hit_latency=16),
+            gshare_entries=4096,
+            btb_entries=4096,
+            l1_itlb=TlbConfig(entries=16, assoc=16),
+            l1_dtlb=TlbConfig(entries=16, assoc=16),
+            l2_tlb=TlbConfig(entries=64, assoc=4),
+        )

@@ -1,0 +1,266 @@
+"""Out-of-order superscalar timing model (the PTLsim analogue).
+
+A one-pass instruction-grain model: each retired-instruction event from
+the VM flows through analytic fetch / dispatch / issue / execute /
+retire stages whose resource constraints mirror Table 1 of the paper —
+3-wide fetch/issue/retire, an 18-entry fetch queue, a 192-entry
+instruction window, 48/32-entry load/store buffers, 4 int + 2 mem +
+4 fp functional units, a gshare+BTB+RAS front end with a 9-cycle
+mispredict penalty, and the two-level cache/TLB hierarchy.
+
+The model is O(1) per instruction: structure occupancy is tracked with
+ring buffers of completion cycles (an instruction can only dispatch when
+the entry W slots back has retired), register dependences with a
+ready-cycle scoreboard, and functional units with next-free timestamps.
+This is the standard trace-driven OoO approximation — it captures the
+IPC-determining mechanisms (ILP limits, cache/TLB misses, branch
+mispredicts, structural hazards) while staying fast enough to run
+full-timing baselines of the whole benchmark suite in pure Python.
+
+The core implements the :class:`repro.vm.events.InstructionSink`
+protocol; plug it directly into ``machine.run(mode=MODE_EVENT, sink=core)``.
+"""
+
+from __future__ import annotations
+
+from repro.isa import OpClass, registers
+
+from .branch import BranchUnit
+from .caches import MemoryHierarchy
+from .config import TimingConfig
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_BRANCH = int(OpClass.BRANCH)
+_JUMP = int(OpClass.JUMP)
+_SYSTEM = int(OpClass.SYSTEM)
+
+_RA = registers.RA  # link register: distinguishes calls/returns
+
+
+class OutOfOrderCore:
+    """One simulated out-of-order core."""
+
+    def __init__(self, config: TimingConfig | None = None):
+        self.config = config = config or TimingConfig()
+        self.hierarchy = MemoryHierarchy(config)
+        self.branch = BranchUnit(config)
+        self._lat = dict(config.latencies)
+        self._unpipelined = frozenset(config.unpipelined)
+        self._mispredict_penalty = config.branch_mispredict_penalty
+        self._line_shift = config.l1i.line_size.bit_length() - 1
+        self._l1i_hit = config.l1i.hit_latency
+
+        # register scoreboard: ready cycle per unified register (0-31)
+        self.reg_ready = [0] * 32
+
+        # bandwidth/occupancy rings (value = cycle of the entry N back)
+        self._fetch_ring = [0] * config.fetch_width
+        self._fetch_pos = 0
+        self._fq_ring = [0] * config.fetch_queue_size
+        self._fq_pos = 0
+        self._disp_ring = [0] * config.issue_width
+        self._disp_pos = 0
+        self._rob_ring = [0] * config.window_size
+        self._rob_pos = 0
+        self._ret_ring = [0] * config.retire_width
+        self._ret_pos = 0
+        self._ld_ring = [0] * config.load_buffer_size
+        self._ld_pos = 0
+        self._st_ring = [0] * config.store_buffer_size
+        self._st_pos = 0
+
+        # functional units: next-free cycle per unit
+        fu_int = [0] * config.int_units
+        fu_mem = [0] * config.mem_units
+        fu_fp = [0] * config.fp_units
+        self._fu_by_class = {
+            int(OpClass.INT_ALU): fu_int,
+            int(OpClass.INT_MUL): fu_int,
+            int(OpClass.INT_DIV): fu_int,
+            int(OpClass.BRANCH): fu_int,
+            int(OpClass.JUMP): fu_int,
+            int(OpClass.SYSTEM): fu_int,
+            int(OpClass.LOAD): fu_mem,
+            int(OpClass.STORE): fu_mem,
+            int(OpClass.FP_ADD): fu_fp,
+            int(OpClass.FP_MUL): fu_fp,
+            int(OpClass.FP_DIV): fu_fp,
+            int(OpClass.FP_CVT): fu_fp,
+        }
+
+        # front-end state
+        self._stream_cycle = 0      # earliest fetch after redirects
+        self._last_line = -1
+        self._prev_fetch = 0
+        self._prev_dispatch = 0
+        self._prev_retire = 0
+
+        # architectural counters
+        self.retired = 0
+        self.last_retire_cycle = 0
+
+    # ------------------------------------------------------------------
+    # measurement
+
+    @property
+    def cycles(self) -> int:
+        """Total simulated cycles (cycle of the last retirement)."""
+        return self.last_retire_cycle
+
+    def checkpoint(self) -> tuple:
+        """(retired, cycles) pair for windowed IPC measurement."""
+        return (self.retired, self.last_retire_cycle)
+
+    def ipc_since(self, checkpoint: tuple) -> float:
+        """IPC of the window since ``checkpoint``."""
+        instructions = self.retired - checkpoint[0]
+        cycles = self.last_retire_cycle - checkpoint[1]
+        return instructions / cycles if cycles > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # the event sink (hot path)
+
+    def on_inst(self, pc: int, cls: int, dst: int, src1: int, src2: int,
+                addr: int, taken: int, target: int) -> None:
+        # ---- FETCH ---------------------------------------------------
+        fetch_c = self._stream_cycle
+        if self._prev_fetch > fetch_c:
+            fetch_c = self._prev_fetch
+        ring = self._fetch_ring
+        pos = self._fetch_pos
+        limit = ring[pos] + 1          # <= fetch_width per cycle
+        if limit > fetch_c:
+            fetch_c = limit
+        line = pc >> self._line_shift
+        if line != self._last_line:
+            self._last_line = line
+            penalty = self.hierarchy.fetch_latency(pc) - self._l1i_hit
+            if penalty:
+                fetch_c += penalty
+        # fetch-queue backpressure: at most fetch_queue_size ahead of
+        # dispatch
+        fq = self._fq_ring
+        fq_pos = self._fq_pos
+        if fq[fq_pos] > fetch_c:
+            fetch_c = fq[fq_pos]
+        ring[pos] = fetch_c
+        self._fetch_pos = pos + 1 if pos + 1 < len(ring) else 0
+        self._prev_fetch = fetch_c
+
+        # ---- DISPATCH ------------------------------------------------
+        dispatch_c = fetch_c + 1       # decode stage
+        if self._prev_dispatch > dispatch_c:
+            dispatch_c = self._prev_dispatch
+        dring = self._disp_ring
+        dpos = self._disp_pos
+        limit = dring[dpos] + 1        # <= issue_width per cycle
+        if limit > dispatch_c:
+            dispatch_c = limit
+        rob = self._rob_ring
+        rob_pos = self._rob_pos
+        if rob[rob_pos] > dispatch_c:  # window full
+            dispatch_c = rob[rob_pos]
+        if cls == _LOAD:
+            lring = self._ld_ring
+            if lring[self._ld_pos] > dispatch_c:
+                dispatch_c = lring[self._ld_pos]
+        elif cls == _STORE:
+            sring = self._st_ring
+            if sring[self._st_pos] > dispatch_c:
+                dispatch_c = sring[self._st_pos]
+        dring[dpos] = dispatch_c
+        self._disp_pos = dpos + 1 if dpos + 1 < len(dring) else 0
+        fq[fq_pos] = dispatch_c
+        self._fq_pos = fq_pos + 1 if fq_pos + 1 < len(fq) else 0
+        self._prev_dispatch = dispatch_c
+
+        # ---- ISSUE ---------------------------------------------------
+        ready_c = dispatch_c + 1
+        reg_ready = self.reg_ready
+        if src1 >= 0 and reg_ready[src1] > ready_c:
+            ready_c = reg_ready[src1]
+        if src2 >= 0 and reg_ready[src2] > ready_c:
+            ready_c = reg_ready[src2]
+        units = self._fu_by_class[cls]
+        best = 0
+        best_free = units[0]
+        for index in range(1, len(units)):
+            if units[index] < best_free:
+                best_free = units[index]
+                best = index
+        issue_c = ready_c if ready_c > best_free else best_free
+
+        # ---- EXECUTE -------------------------------------------------
+        if cls == _LOAD:
+            latency = self.hierarchy.load_latency(addr)
+        elif cls == _STORE:
+            self.hierarchy.store_latency(addr)  # allocate/update line
+            latency = 1
+        else:
+            latency = self._lat[cls]
+        units[best] = issue_c + (latency if cls in self._unpipelined
+                                 else 1)
+        complete_c = issue_c + latency
+        if dst >= 0:
+            reg_ready[dst] = complete_c
+
+        # ---- RETIRE --------------------------------------------------
+        retire_c = complete_c + 1
+        if self._prev_retire > retire_c:   # in-order retirement
+            retire_c = self._prev_retire
+        rring = self._ret_ring
+        rpos = self._ret_pos
+        limit = rring[rpos] + 1            # <= retire_width per cycle
+        if limit > retire_c:
+            retire_c = limit
+        rring[rpos] = retire_c
+        self._ret_pos = rpos + 1 if rpos + 1 < len(rring) else 0
+        rob[rob_pos] = retire_c
+        self._rob_pos = rob_pos + 1 if rob_pos + 1 < len(rob) else 0
+        if cls == _LOAD:
+            lring[self._ld_pos] = retire_c
+            self._ld_pos = (self._ld_pos + 1
+                            if self._ld_pos + 1 < len(lring) else 0)
+        elif cls == _STORE:
+            sring[self._st_pos] = retire_c + 1  # buffer drains post-commit
+            self._st_pos = (self._st_pos + 1
+                            if self._st_pos + 1 < len(sring) else 0)
+        self._prev_retire = retire_c
+        self.retired += 1
+        self.last_retire_cycle = retire_c
+
+        # ---- CONTROL FLOW --------------------------------------------
+        if cls == _BRANCH:
+            correct = self.branch.predict_branch(pc, taken == 1, target)
+            if not correct:
+                redirect = complete_c + self._mispredict_penalty
+                if redirect > self._stream_cycle:
+                    self._stream_cycle = redirect
+        elif cls == _JUMP:
+            is_call = dst == _RA
+            is_return = src1 == _RA and dst < 0
+            correct = self.branch.predict_jump(pc, target, is_call,
+                                               is_return, pc + 4)
+            if not correct:
+                redirect = complete_c + self._mispredict_penalty
+                if redirect > self._stream_cycle:
+                    self._stream_cycle = redirect
+        elif cls == _SYSTEM:
+            # syscalls serialize the pipeline
+            if retire_c + 1 > self._stream_cycle:
+                self._stream_cycle = retire_c + 1
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Summary statistics for reports and tests."""
+        out = {
+            "retired": self.retired,
+            "cycles": self.last_retire_cycle,
+            "ipc": (self.retired / self.last_retire_cycle
+                    if self.last_retire_cycle else 0.0),
+            "branch_mispredict_rate": self.branch.mispredict_rate,
+        }
+        out.update(self.hierarchy.stats())
+        return out

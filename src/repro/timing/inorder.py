@@ -1,0 +1,96 @@
+"""A simple in-order (scalar) timing model.
+
+A second timing back-end for the same VM event stream.  Useful in two
+roles the simulation literature cares about:
+
+* a *cheap timing tier* — roughly 3x faster to simulate than the
+  out-of-order model, for quick relative comparisons;
+* a demonstration that the sampling framework is back-end agnostic —
+  any :class:`~repro.vm.events.InstructionSink` with ``checkpoint`` /
+  ``retired`` / ``last_retire_cycle`` plugs into the controller.
+
+The model: one instruction completes at a time; each costs its
+operation latency, loads/stores pay the same memory hierarchy as the
+OoO core, and mispredicted branches pay the front-end penalty.  IPC is
+bounded by 1.
+"""
+
+from __future__ import annotations
+
+from repro.isa import OpClass, registers
+
+from .branch import BranchUnit
+from .caches import MemoryHierarchy
+from .config import TimingConfig
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_BRANCH = int(OpClass.BRANCH)
+_JUMP = int(OpClass.JUMP)
+
+_RA = registers.RA
+
+
+class InOrderCore:
+    """Scalar in-order core sharing the Table-1 memory hierarchy."""
+
+    def __init__(self, config: TimingConfig | None = None):
+        self.config = config = config or TimingConfig()
+        self.hierarchy = MemoryHierarchy(config)
+        self.branch = BranchUnit(config)
+        self._lat = dict(config.latencies)
+        self._mispredict_penalty = config.branch_mispredict_penalty
+        self._line_shift = config.l1i.line_size.bit_length() - 1
+        self._l1i_hit = config.l1i.hit_latency
+        self._last_line = -1
+        self.retired = 0
+        self.last_retire_cycle = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.last_retire_cycle
+
+    def checkpoint(self) -> tuple:
+        return (self.retired, self.last_retire_cycle)
+
+    def ipc_since(self, checkpoint: tuple) -> float:
+        instructions = self.retired - checkpoint[0]
+        cycles = self.last_retire_cycle - checkpoint[1]
+        return instructions / cycles if cycles > 0 else 0.0
+
+    def on_inst(self, pc: int, cls: int, dst: int, src1: int, src2: int,
+                addr: int, taken: int, target: int) -> None:
+        cycle = self.last_retire_cycle
+        line = pc >> self._line_shift
+        if line != self._last_line:
+            self._last_line = line
+            cycle += self.hierarchy.fetch_latency(pc) - self._l1i_hit
+        if cls == _LOAD:
+            cycle += self.hierarchy.load_latency(addr)
+        elif cls == _STORE:
+            # stores retire into a one-entry buffer: charge the probe
+            self.hierarchy.store_latency(addr)
+            cycle += 1
+        else:
+            cycle += self._lat[cls]
+        if cls == _BRANCH:
+            if not self.branch.predict_branch(pc, taken == 1, target):
+                cycle += self._mispredict_penalty
+        elif cls == _JUMP:
+            correct = self.branch.predict_jump(
+                pc, target, dst == _RA, src1 == _RA and dst < 0, pc + 4)
+            if not correct:
+                cycle += self._mispredict_penalty
+        self.retired += 1
+        self.last_retire_cycle = cycle
+
+    def stats(self) -> dict:
+        out = {
+            "retired": self.retired,
+            "cycles": self.last_retire_cycle,
+            "ipc": (self.retired / self.last_retire_cycle
+                    if self.last_retire_cycle else 0.0),
+            "branch_mispredict_rate": self.branch.mispredict_rate,
+        }
+        out.update(self.hierarchy.stats())
+        return out

@@ -1,0 +1,50 @@
+"""Functional warming: update stateful structures without timing.
+
+SMARTS keeps caches and branch predictors continuously warm between its
+tiny measurement units (the paper's Figure 3a).  This sink performs only
+those state updates — no pipeline modelling — so it is several times
+cheaper than the full core, mirroring the cost ratio of real functional
+warming versus detailed simulation.
+"""
+
+from __future__ import annotations
+
+from repro.isa import OpClass, registers
+
+from .core import OutOfOrderCore
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_BRANCH = int(OpClass.BRANCH)
+_JUMP = int(OpClass.JUMP)
+
+_RA = registers.RA
+
+
+class FunctionalWarmingSink:
+    """Warms a core's caches, TLBs and branch predictor only."""
+
+    def __init__(self, core: OutOfOrderCore):
+        self.core = core
+        self.hierarchy = core.hierarchy
+        self.branch = core.branch
+        self._line_shift = core.config.l1i.line_size.bit_length() - 1
+        self._last_line = -1
+        self.instructions = 0
+
+    def on_inst(self, pc: int, cls: int, dst: int, src1: int, src2: int,
+                addr: int, taken: int, target: int) -> None:
+        self.instructions += 1
+        line = pc >> self._line_shift
+        if line != self._last_line:
+            self._last_line = line
+            self.hierarchy.fetch_latency(pc)
+        if cls == _LOAD:
+            self.hierarchy.load_latency(addr)
+        elif cls == _STORE:
+            self.hierarchy.store_latency(addr)
+        elif cls == _BRANCH:
+            self.branch.predict_branch(pc, taken == 1, target)
+        elif cls == _JUMP:
+            self.branch.predict_jump(pc, target, dst == _RA,
+                                     src1 == _RA and dst < 0, pc + 4)

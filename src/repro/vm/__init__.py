@@ -1,0 +1,30 @@
+"""The functional virtual machine (fast emulator) for the Z64 ISA.
+
+Provides the SimNow-analogue front end of the simulation framework: an
+interpreter, a dynamic binary translator with a bounded translation
+cache, guest fault handling and the VM-internal statistics that Dynamic
+Sampling monitors.
+"""
+
+from .code_cache import CodeCache, TranslatedBlock, block_pages
+from .events import (InstructionSink, NullSink, RecordingSink, TeeSink,
+                     unified_reg)
+from .interpreter import Interpreter
+from .machine import (MODE_EVENT, MODE_FAST, MODE_INTERP, MODE_PROFILE,
+                      MODES, Machine, MachineError)
+from .state import CpuState
+from .stats import MONITORABLE, VmStats
+from .translator import (FLAVOR_EVENT, FLAVOR_FAST, MAX_BLOCK, Translator)
+
+__all__ = [
+    "CodeCache", "TranslatedBlock", "block_pages",
+    "InstructionSink", "NullSink", "RecordingSink", "TeeSink",
+    "unified_reg",
+    "Interpreter",
+    "MODE_EVENT", "MODE_FAST", "MODE_INTERP", "MODE_PROFILE", "MODES",
+    "Machine",
+    "MachineError",
+    "CpuState",
+    "MONITORABLE", "VmStats",
+    "FLAVOR_EVENT", "FLAVOR_FAST", "MAX_BLOCK", "Translator",
+]

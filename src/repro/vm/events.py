@@ -1,0 +1,72 @@
+"""The VM-to-timing event interface.
+
+When the VM runs in EVENT mode it produces one event per retired guest
+instruction, delivered as a single positional call for speed (no event
+objects are allocated on the hot path):
+
+    sink.on_inst(pc, opclass, dst, src1, src2, addr, taken, target)
+
+* ``pc``       — virtual address of the instruction
+* ``opclass``  — ``int(repro.isa.OpClass)`` of the instruction
+* ``dst``      — destination register in the unified namespace
+                 (0-15 integer, 16-31 floating point, -1 none);
+                 the hard-wired ``r0`` is reported as -1
+* ``src1/2``   — source registers, same namespace, -1 when absent
+* ``addr``     — effective address for loads/stores, else 0
+* ``taken``    — 1 when a branch/jump redirected the PC, else 0
+* ``target``   — the next PC after this instruction (branch target or
+                 fall-through); meaningful for branches and jumps
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple
+
+
+class InstructionSink(Protocol):
+    """Anything that can consume the VM's instruction event stream."""
+
+    def on_inst(self, pc: int, opclass: int, dst: int, src1: int,
+                src2: int, addr: int, taken: int, target: int) -> None:
+        """Consume one retired-instruction event."""
+
+
+class NullSink:
+    """Discards events (useful for measuring event-generation overhead)."""
+
+    def on_inst(self, pc, opclass, dst, src1, src2, addr, taken, target):
+        pass
+
+
+class RecordingSink:
+    """Stores events as tuples; used by tests and the trace tools."""
+
+    def __init__(self, limit: int | None = None):
+        self.events: List[Tuple] = []
+        self.limit = limit
+
+    def on_inst(self, pc, opclass, dst, src1, src2, addr, taken, target):
+        if self.limit is None or len(self.events) < self.limit:
+            self.events.append(
+                (pc, opclass, dst, src1, src2, addr, taken, target))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class TeeSink:
+    """Forwards each event to several sinks (e.g., timing + trace)."""
+
+    def __init__(self, *sinks: InstructionSink):
+        self.sinks = sinks
+
+    def on_inst(self, pc, opclass, dst, src1, src2, addr, taken, target):
+        for sink in self.sinks:
+            sink.on_inst(pc, opclass, dst, src1, src2, addr, taken, target)
+
+
+def unified_reg(index: int, fp: bool) -> int:
+    """Map a register to the unified event namespace (-1 for ``r0``)."""
+    if fp:
+        return 16 + index
+    return -1 if index == 0 else index

@@ -1,0 +1,285 @@
+"""Instruction-at-a-time interpreter for Z64.
+
+This is the classic fetch-decode-execute loop used by interpreted
+emulators (the slow end of the paper's Figure 1 taxonomy).  The machine
+uses it for exact-length runs (sampling-interval tails) and the test
+suite uses it as an independent reference implementation to co-simulate
+against the binary translator.
+
+``step`` executes exactly one instruction at ``state.pc``: it updates
+registers and the PC, optionally emits one event to ``sink`` and returns
+normally, or raises a :class:`~repro.mem.faults.GuestFault` leaving the
+PC at the faulting instruction.
+"""
+
+from __future__ import annotations
+
+from repro.isa import DecodeError, Op, OP_INFO, decode
+from repro.mem.faults import (BreakpointTrap, IllegalInstruction,
+                              SyscallTrap)
+
+from .semantics import (MASK64, f2i, fdiv, fmax2, fmin2, fsqrt, idiv, irem,
+                        s64, sx8, sx16, sx32)
+
+_CLS = {op: int(info.opclass) for op, info in OP_INFO.items()}
+
+
+def _u(index: int) -> int:
+    """Integer register in the unified event namespace (-1 for r0)."""
+    return -1 if index == 0 else index
+
+
+class Interpreter:
+    """Executes one instruction at a time against shared machine state."""
+
+    def __init__(self, state, mmu):
+        self.state = state
+        self.mmu = mmu
+        #: decoded-instruction cache; flushed when code pages change
+        self._decoded = {}
+
+    def flush_decode_cache(self) -> None:
+        self._decoded.clear()
+
+    def step(self, sink=None) -> None:
+        """Execute the instruction at ``state.pc``; see module docstring."""
+        state = self.state
+        mmu = self.mmu
+        pc = state.pc
+        instr = self._decoded.get(pc)
+        if instr is None:
+            word = mmu.fetch_word(pc)
+            try:
+                instr = decode(word)
+            except DecodeError:
+                raise IllegalInstruction(pc, word) from None
+            self._decoded[pc] = instr
+        op = instr.op
+        r = state.regs
+        f = state.fregs
+        rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+        next_pc = pc + 4
+        # event fields (defaults for plain ALU ops)
+        dst, src1, src2 = _u(rd), _u(rs1), _u(rs2)
+        addr = 0
+        taken = 0
+        target = 0  # only control flow reports a target
+
+        if op == Op.ADD:
+            value = (r[rs1] + r[rs2]) & MASK64
+        elif op == Op.ADDI:
+            value = (r[rs1] + imm) & MASK64
+            src2 = -1
+        elif op == Op.SUB:
+            value = (r[rs1] - r[rs2]) & MASK64
+        elif op == Op.MUL:
+            value = (r[rs1] * r[rs2]) & MASK64
+        elif op == Op.MULH:
+            value = ((s64(r[rs1]) * s64(r[rs2])) >> 64) & MASK64
+        elif op == Op.DIV:
+            value = idiv(r[rs1], r[rs2])
+        elif op == Op.REM:
+            value = irem(r[rs1], r[rs2])
+        elif op == Op.AND:
+            value = r[rs1] & r[rs2]
+        elif op == Op.OR:
+            value = r[rs1] | r[rs2]
+        elif op == Op.XOR:
+            value = r[rs1] ^ r[rs2]
+        elif op == Op.SLL:
+            value = (r[rs1] << (r[rs2] & 63)) & MASK64
+        elif op == Op.SRL:
+            value = r[rs1] >> (r[rs2] & 63)
+        elif op == Op.SRA:
+            value = (s64(r[rs1]) >> (r[rs2] & 63)) & MASK64
+        elif op == Op.SLT:
+            value = 1 if s64(r[rs1]) < s64(r[rs2]) else 0
+        elif op == Op.SLTU:
+            value = 1 if r[rs1] < r[rs2] else 0
+        elif op == Op.ANDI:
+            value = r[rs1] & (imm & MASK64)
+            src2 = -1
+        elif op == Op.ORI:
+            value = r[rs1] | (imm & MASK64)
+            src2 = -1
+        elif op == Op.XORI:
+            value = r[rs1] ^ (imm & MASK64)
+            src2 = -1
+        elif op == Op.SLLI:
+            value = (r[rs1] << (imm & 63)) & MASK64
+            src2 = -1
+        elif op == Op.SRLI:
+            value = r[rs1] >> (imm & 63)
+            src2 = -1
+        elif op == Op.SRAI:
+            value = (s64(r[rs1]) >> (imm & 63)) & MASK64
+            src2 = -1
+        elif op == Op.SLTI:
+            value = 1 if s64(r[rs1]) < imm else 0
+            src2 = -1
+        elif op == Op.LDI:
+            value = imm & MASK64
+            src1 = src2 = -1
+        elif op == Op.ORIS:
+            value = ((r[rs1] << 16) | (imm & 0xFFFF)) & MASK64
+            src2 = -1
+        elif Op.LB <= op <= Op.FLD:  # loads
+            addr = (r[rs1] + imm) & MASK64
+            src2 = -1
+            if op == Op.LB:
+                value = sx8(mmu.read_u8(addr))
+            elif op == Op.LBU:
+                value = mmu.read_u8(addr)
+            elif op == Op.LH:
+                value = sx16(mmu.read_u16(addr))
+            elif op == Op.LHU:
+                value = mmu.read_u16(addr)
+            elif op == Op.LW:
+                value = sx32(mmu.read_u32(addr))
+            elif op == Op.LWU:
+                value = mmu.read_u32(addr)
+            elif op == Op.LD:
+                value = mmu.read_u64(addr)
+            else:  # FLD
+                f[rd] = mmu.read_f64(addr)
+                value = None
+                dst = 16 + rd
+        elif Op.SB <= op <= Op.FSD:  # stores
+            addr = (r[rs1] + imm) & MASK64
+            dst = -1
+            if op == Op.SB:
+                mmu.write_u8(addr, r[rs2] & 0xFF)
+            elif op == Op.SH:
+                mmu.write_u16(addr, r[rs2] & 0xFFFF)
+            elif op == Op.SW:
+                mmu.write_u32(addr, r[rs2] & 0xFFFFFFFF)
+            elif op == Op.SD:
+                mmu.write_u64(addr, r[rs2])
+            else:  # FSD
+                mmu.write_f64(addr, f[rs2])
+                src2 = 16 + rs2
+            value = None
+        elif Op.BEQ <= op <= Op.BGEU:
+            dst = -1
+            if op == Op.BEQ:
+                taken = 1 if r[rs1] == r[rs2] else 0
+            elif op == Op.BNE:
+                taken = 1 if r[rs1] != r[rs2] else 0
+            elif op == Op.BLT:
+                taken = 1 if s64(r[rs1]) < s64(r[rs2]) else 0
+            elif op == Op.BGE:
+                taken = 1 if s64(r[rs1]) >= s64(r[rs2]) else 0
+            elif op == Op.BLTU:
+                taken = 1 if r[rs1] < r[rs2] else 0
+            else:  # BGEU
+                taken = 1 if r[rs1] >= r[rs2] else 0
+            if taken:
+                next_pc = (pc + imm * 4) & MASK64
+            target = next_pc
+            value = None
+        elif op == Op.JAL:
+            value = (pc + 4) & MASK64
+            next_pc = (pc + imm * 4) & MASK64
+            src1 = src2 = -1
+            taken = 1
+            target = next_pc
+        elif op == Op.JALR:
+            value = (pc + 4) & MASK64
+            next_pc = (r[rs1] + imm) & MASK64 & ~3
+            src2 = -1
+            taken = 1
+            target = next_pc
+        elif op == Op.FADD:
+            f[rd] = f[rs1] + f[rs2]
+            value = None
+            dst, src1, src2 = 16 + rd, 16 + rs1, 16 + rs2
+        elif op == Op.FSUB:
+            f[rd] = f[rs1] - f[rs2]
+            value = None
+            dst, src1, src2 = 16 + rd, 16 + rs1, 16 + rs2
+        elif op == Op.FMUL:
+            f[rd] = f[rs1] * f[rs2]
+            value = None
+            dst, src1, src2 = 16 + rd, 16 + rs1, 16 + rs2
+        elif op == Op.FDIV:
+            f[rd] = fdiv(f[rs1], f[rs2])
+            value = None
+            dst, src1, src2 = 16 + rd, 16 + rs1, 16 + rs2
+        elif op == Op.FSQRT:
+            f[rd] = fsqrt(f[rs1])
+            value = None
+            dst, src1, src2 = 16 + rd, 16 + rs1, -1
+        elif op == Op.FMIN:
+            f[rd] = fmin2(f[rs1], f[rs2])
+            value = None
+            dst, src1, src2 = 16 + rd, 16 + rs1, 16 + rs2
+        elif op == Op.FMAX:
+            f[rd] = fmax2(f[rs1], f[rs2])
+            value = None
+            dst, src1, src2 = 16 + rd, 16 + rs1, 16 + rs2
+        elif op == Op.FNEG:
+            f[rd] = -f[rs1]
+            value = None
+            dst, src1, src2 = 16 + rd, 16 + rs1, -1
+        elif op == Op.FABS:
+            f[rd] = abs(f[rs1])
+            value = None
+            dst, src1, src2 = 16 + rd, 16 + rs1, -1
+        elif op == Op.FEQ:
+            value = 1 if f[rs1] == f[rs2] else 0
+            src1, src2 = 16 + rs1, 16 + rs2
+        elif op == Op.FLT:
+            value = 1 if f[rs1] < f[rs2] else 0
+            src1, src2 = 16 + rs1, 16 + rs2
+        elif op == Op.FLE:
+            value = 1 if f[rs1] <= f[rs2] else 0
+            src1, src2 = 16 + rs1, 16 + rs2
+        elif op == Op.FCVTIF:
+            f[rd] = float(s64(r[rs1]))
+            value = None
+            dst, src2 = 16 + rd, -1
+        elif op == Op.FCVTFI:
+            value = f2i(f[rs1])
+            src1, src2 = 16 + rs1, -1
+        elif op == Op.ECALL:
+            if sink is not None:
+                sink.on_inst(pc, _CLS[op], -1, -1, -1, 0, 0, next_pc)
+            raise SyscallTrap(pc)
+        elif op == Op.EBREAK:
+            if sink is not None:
+                sink.on_inst(pc, _CLS[op], -1, -1, -1, 0, 0, next_pc)
+            raise BreakpointTrap(pc)
+        elif op == Op.HALT:
+            state.halted = True
+            next_pc = pc
+            target = pc
+            value = None
+            dst = src1 = src2 = -1
+        elif op == Op.RDCYCLE:
+            value = state.cycles & MASK64
+            src1 = src2 = -1
+        elif op == Op.RDINSTR:
+            value = state.icount & MASK64
+            src1 = src2 = -1
+        else:  # pragma: no cover - every opcode is handled above
+            raise IllegalInstruction(pc)
+
+        if value is not None and rd != 0:
+            r[rd] = value
+        state.pc = next_pc
+        if sink is not None:
+            sink.on_inst(pc, _CLS[op], dst, src1, src2, addr, taken, target)
+
+    def run(self, max_instructions: int, sink=None) -> int:
+        """Step up to ``max_instructions``; returns instructions retired.
+
+        Stops early on HALT.  Guest faults propagate to the caller with
+        the PC at the faulting instruction and the retired count lost —
+        use :class:`repro.vm.machine.Machine` for fault handling.
+        """
+        state = self.state
+        executed = 0
+        while executed < max_instructions and not state.halted:
+            self.step(sink)
+            executed += 1
+        return executed

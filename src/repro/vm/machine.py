@@ -1,0 +1,306 @@
+"""The functional virtual machine (the SimNow analogue).
+
+A :class:`Machine` owns the guest's physical memory, page table, MMU,
+device bus, CPU state and the two execution engines (binary translator
+and interpreter).  It exposes three execution modes:
+
+* ``MODE_FAST``    — full-speed execution out of the translation cache.
+* ``MODE_EVENT``   — "sampled mode": every retired instruction is
+  reported to an :class:`~repro.vm.events.InstructionSink`.  This is the
+  mode a timing simulator consumes and it is roughly an order of
+  magnitude slower — the cost asymmetry at the heart of the paper.
+* ``MODE_PROFILE`` — full-speed execution plus per-basic-block execution
+  counts (Basic Block Vectors for SimPoint) accounted at dispatch
+  granularity in :attr:`profile_counts`.
+
+Throughout execution the machine maintains :class:`~repro.vm.stats.VmStats`,
+including the three statistics Dynamic Sampling monitors: translation
+cache invalidations (CPU), guest exceptions (EXC) and I/O operations
+(IO).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mem import (MMU, PageTable, PhysicalMemory)
+from repro.mem.faults import (AlignmentFault, BreakpointTrap, GuestFault,
+                              IllegalInstruction, PageFault, SyscallTrap)
+
+from .code_cache import CodeCache
+from .events import InstructionSink
+from .interpreter import Interpreter
+from .state import CpuState
+from .stats import VmStats
+from .translator import FLAVOR_EVENT, FLAVOR_FAST, MAX_BLOCK, Translator
+
+MODE_FAST = "fast"
+MODE_EVENT = "event"
+MODE_PROFILE = "profile"
+MODE_INTERP = "interp"
+
+MODES = (MODE_FAST, MODE_EVENT, MODE_PROFILE, MODE_INTERP)
+
+
+class MachineError(RuntimeError):
+    """Host-level error: the guest did something unrecoverable."""
+
+
+class Machine:
+    """A complete emulated Z64 system."""
+
+    def __init__(self, phys_size: int = 64 * 1024 * 1024,
+                 code_cache_capacity: int = 512,
+                 code_cache_policy: str = "fifo",
+                 tlb_capacity: int = 256,
+                 max_block: int = MAX_BLOCK,
+                 bus=None):
+        self.phys = PhysicalMemory(phys_size)
+        self.page_table = PageTable()
+        self.bus = bus
+        self.stats = VmStats()
+        self.mmu = MMU(self.phys, self.page_table, bus=bus,
+                       tlb_capacity=tlb_capacity)
+        self.state = CpuState()
+        self._sink_box: List[Optional[object]] = [None]
+        self.translator = Translator(self.mmu, self._sink_box,
+                                     max_block=max_block)
+        # Only the FAST cache is the architecturally-visible translation
+        # cache: its invalidations feed the CPU monitored statistic.
+        self.fast_cache = CodeCache(code_cache_capacity,
+                                    on_invalidate=self._count_invalidations,
+                                    policy=code_cache_policy)
+        self.event_cache = CodeCache(code_cache_capacity,
+                                     policy=code_cache_policy)
+        self.interpreter = Interpreter(self.state, self.mmu)
+        #: per-block instruction counts accumulated in MODE_PROFILE
+        self.profile_counts: Dict[int, int] = {}
+        #: syscall/fault handler (see repro.kernel); may be replaced
+        self.kernel = None
+        self._pending_irqs: List[int] = []
+        self.mmu.code_write_hook = self._on_code_write
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+
+    def attach_bus(self, bus) -> None:
+        """Attach the device bus after construction (used by loaders)."""
+        self.bus = bus
+        self.mmu.bus = bus
+
+    def _count_invalidations(self, dropped: int) -> None:
+        self.stats.code_cache_invalidations += dropped
+
+    def _on_code_write(self, vpn: int, addr: int) -> None:
+        """Self-modifying code: drop the translations that ``addr`` hits.
+
+        Only blocks whose code range contains the written address are
+        invalidated; plain data stores that merely share a page with
+        code (common in small programs) leave the translations alone.
+        """
+        dropped = self.fast_cache.invalidate_address(vpn, addr)
+        dropped += self.event_cache.invalidate_address(vpn, addr)
+        if dropped:
+            self.interpreter.flush_decode_cache()
+
+    def post_interrupt(self, irq: int) -> None:
+        """Raise an asynchronous interrupt, delivered at the next
+        block-dispatch boundary."""
+        self._pending_irqs.append(irq)
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def run(self, max_instructions: int, mode: str = MODE_FAST,
+            sink: Optional[InstructionSink] = None,
+            exact: bool = False) -> int:
+        """Execute up to ``max_instructions`` guest instructions.
+
+        Returns the number of instructions actually retired.  Without
+        ``exact`` the run stops at the first basic-block boundary at or
+        beyond the budget (bounded overshoot, the natural stopping grain
+        of a DBT); with ``exact`` the tail runs in the interpreter so the
+        count is exact.  Guest faults are delivered to :attr:`kernel`.
+        """
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}")
+        if max_instructions <= 0:
+            return 0
+        state = self.state
+        stats = self.stats
+        if mode == MODE_INTERP:
+            total = self._run_exact_tail(max_instructions, sink)
+            stats.instructions_interp += total
+            return total
+        event = mode == MODE_EVENT
+        profile = mode == MODE_PROFILE
+        if event:
+            if sink is None:
+                raise ValueError("MODE_EVENT requires a sink")
+            self._sink_box[0] = sink.on_inst
+            cache = self.event_cache
+            flavor = FLAVOR_EVENT
+        else:
+            cache = self.fast_cache
+            flavor = FLAVOR_FAST
+        get_block = cache.get
+        translate = self.translator.translate
+        remaining = max_instructions
+        total = 0
+        profile_counts = self.profile_counts
+
+        while remaining > 0 and not state.halted:
+            if self._pending_irqs:
+                self._deliver_interrupt()
+                if state.halted:
+                    break
+            pc = state.pc
+            entry = get_block(pc)
+            state.block_progress = 0
+            try:
+                if entry is None:
+                    entry = translate(pc, flavor)
+                    cache.insert(entry)
+                    stats.translations += 1
+                    for vpn in entry.pages:
+                        self.mmu.register_code_page(vpn)
+                if exact and entry.length > remaining:
+                    # The tail interpreter maintains icount itself.
+                    executed = self._run_exact_tail(
+                        remaining, sink if event else None)
+                else:
+                    executed = entry.fn(state, remaining)
+                    stats.block_dispatches += 1
+                    state.icount += executed
+                if profile and executed:
+                    profile_counts[pc] = \
+                        profile_counts.get(pc, 0) + executed
+            except GuestFault as fault:
+                executed = state.block_progress
+                if profile and executed:
+                    profile_counts[pc] = \
+                        profile_counts.get(pc, 0) + executed
+                state.icount += executed
+                extra = self._deliver_fault(fault, entry)
+                state.icount += extra
+                executed += extra
+            total += executed
+            remaining -= executed
+
+        if event:
+            stats.instructions_event += total
+        elif profile:
+            stats.instructions_profile += total
+        else:
+            stats.instructions_fast += total
+        return total
+
+    def run_to_completion(self, mode: str = MODE_FAST,
+                          sink: Optional[InstructionSink] = None,
+                          limit: int = 10**12,
+                          chunk: int = 1 << 24) -> int:
+        """Run until the guest halts (or ``limit`` instructions)."""
+        total = 0
+        while not self.state.halted and total < limit:
+            total += self.run(min(chunk, limit - total), mode=mode,
+                              sink=sink)
+        return total
+
+    # ------------------------------------------------------------------
+    # fault and interrupt delivery
+
+    def _deliver_fault(self, fault: GuestFault, entry) -> int:
+        """Handle a guest fault; returns extra retired instructions."""
+        state = self.state
+        stats = self.stats
+        if isinstance(fault, SyscallTrap):
+            stats.count_exception("syscall")
+            if self.kernel is None:
+                raise MachineError("ecall with no kernel attached")
+            state.pc = fault.pc
+            self.kernel.handle_syscall(self)
+            if not state.halted:
+                state.pc = fault.pc + 4
+            return 1
+        if isinstance(fault, BreakpointTrap):
+            stats.count_exception("breakpoint")
+            if self.kernel is not None and hasattr(self.kernel,
+                                                   "handle_breakpoint"):
+                self.kernel.handle_breakpoint(self)
+            else:
+                state.halted = True
+            return 1
+        if isinstance(fault, PageFault):
+            stats.count_exception("page_fault")
+            self._restore_fault_pc(entry)
+            if self.kernel is not None and \
+                    self.kernel.handle_page_fault(self, fault):
+                return 0
+            raise MachineError(str(fault)) from fault
+        if isinstance(fault, AlignmentFault):
+            stats.count_exception("alignment_fault")
+            self._restore_fault_pc(entry)
+            raise MachineError(str(fault)) from fault
+        if isinstance(fault, IllegalInstruction):
+            stats.count_exception("illegal_instruction")
+            raise MachineError(str(fault)) from fault
+        raise MachineError(str(fault)) from fault  # pragma: no cover
+
+    def _restore_fault_pc(self, entry) -> None:
+        """Point ``state.pc`` at the faulting instruction of ``entry``."""
+        if entry is not None and entry.length:
+            index = self.state.block_progress % entry.length
+            self.state.pc = entry.pc + index * 4
+
+    def _deliver_interrupt(self) -> None:
+        irq = self._pending_irqs.pop(0)
+        self.stats.count_exception("interrupt")
+        if self.kernel is not None and hasattr(self.kernel,
+                                               "handle_interrupt"):
+            self.kernel.handle_interrupt(self, irq)
+
+    def _run_exact_tail(self, count: int, sink) -> int:
+        """Interpret exactly ``count`` instructions (fault-safe).
+
+        Updates ``state.icount`` per retired instruction so guest reads
+        of the counter stay exact mid-stretch.
+        """
+        executed = 0
+        state = self.state
+        stats = self.stats
+        interp = self.interpreter
+        while executed < count and not state.halted:
+            try:
+                interp.step(sink)
+                executed += 1
+                state.icount += 1
+            except SyscallTrap as trap:
+                stats.count_exception("syscall")
+                if self.kernel is None:
+                    raise MachineError("ecall with no kernel") from trap
+                self.kernel.handle_syscall(self)
+                if not state.halted:
+                    state.pc = trap.pc + 4
+                executed += 1
+                state.icount += 1
+            except BreakpointTrap:
+                stats.count_exception("breakpoint")
+                if self.kernel is not None and hasattr(
+                        self.kernel, "handle_breakpoint"):
+                    self.kernel.handle_breakpoint(self)
+                else:
+                    state.halted = True
+                executed += 1
+                state.icount += 1
+            except PageFault as fault:
+                stats.count_exception("page_fault")
+                if not (self.kernel is not None
+                        and self.kernel.handle_page_fault(self, fault)):
+                    raise MachineError(str(fault)) from fault
+            except AlignmentFault as fault:
+                stats.count_exception("alignment_fault")
+                raise MachineError(str(fault)) from fault
+            except IllegalInstruction as fault:
+                stats.count_exception("illegal_instruction")
+                raise MachineError(str(fault)) from fault
+        return executed

@@ -1,0 +1,131 @@
+"""Shared arithmetic semantics of the Z64 ISA.
+
+Both the interpreter and the binary translator implement instruction
+behaviour in terms of these helpers, so corner cases (division by zero,
+IEEE specials, sign extension) are defined in exactly one place.
+Co-simulation tests in ``tests/integration`` additionally verify that the
+two execution engines agree instruction-for-instruction.
+"""
+
+from __future__ import annotations
+
+import math
+
+MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def s64(value: int) -> int:
+    """Reinterpret an unsigned 64-bit value as signed."""
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+def sx8(value: int) -> int:
+    """Sign-extend 8 bits into the unsigned 64-bit domain."""
+    return (value | ~0x7F) & MASK64 if value & 0x80 else value
+
+
+def sx16(value: int) -> int:
+    return (value | ~0x7FFF) & MASK64 if value & 0x8000 else value
+
+
+def sx32(value: int) -> int:
+    return (value | ~0x7FFFFFFF) & MASK64 if value & 0x80000000 else value
+
+
+def idiv(a: int, b: int) -> int:
+    """Signed 64-bit division truncating toward zero.
+
+    Division by zero yields all-ones; INT64_MIN / -1 wraps to INT64_MIN
+    (RISC-V semantics — no trap).
+    """
+    if b == 0:
+        return MASK64
+    sa, sb = s64(a), s64(b)
+    if sa == _INT64_MIN and sb == -1:
+        return _SIGN64  # INT64_MIN
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return quotient & MASK64
+
+
+def irem(a: int, b: int) -> int:
+    """Signed 64-bit remainder (sign of the dividend); rem-by-zero = a."""
+    if b == 0:
+        return a
+    sa, sb = s64(a), s64(b)
+    if sa == _INT64_MIN and sb == -1:
+        return 0
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return remainder & MASK64
+
+
+def fdiv(a: float, b: float) -> float:
+    """IEEE-754 division: finite/0 -> signed inf, 0/0 -> NaN."""
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+        return math.inf if sign > 0 else -math.inf
+    return a / b
+
+
+def fsqrt(a: float) -> float:
+    """IEEE-754 square root: sqrt of negative -> NaN."""
+    if a < 0.0:
+        return math.nan
+    return math.sqrt(a)
+
+
+def fmin2(a: float, b: float) -> float:
+    """Minimum propagating the non-NaN operand (IEEE minNum)."""
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    return b if b < a else a
+
+
+def fmax2(a: float, b: float) -> float:
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    return b if b > a else a
+
+
+def f2i(a: float) -> int:
+    """Convert float to signed 64-bit int, truncating, with saturation.
+
+    NaN converts to 0 (simpler than x86, documented ISA choice).
+    """
+    if math.isnan(a):
+        return 0
+    if a >= float(_INT64_MAX):
+        return _INT64_MAX & MASK64
+    if a <= float(_INT64_MIN):
+        return _SIGN64
+    return int(a) & MASK64
+
+
+#: Namespace injected into generated translator code and used by the
+#: interpreter; keep in one place so both engines share definitions.
+SEMANTIC_HELPERS = {
+    "M": MASK64,
+    "s64": s64,
+    "sx8": sx8,
+    "sx16": sx16,
+    "sx32": sx32,
+    "idiv": idiv,
+    "irem": irem,
+    "fdiv": fdiv,
+    "fsqrt": fsqrt,
+    "fmin2": fmin2,
+    "fmax2": fmax2,
+    "f2i": f2i,
+}

@@ -1,0 +1,77 @@
+"""Architectural CPU state of the emulated Z64 machine."""
+
+from __future__ import annotations
+
+from repro.isa import NUM_FP_REGS, NUM_INT_REGS
+
+MASK64 = (1 << 64) - 1
+
+
+class CpuState:
+    """Guest-architectural registers plus a little emulator bookkeeping.
+
+    Integer registers hold Python ints in the unsigned 64-bit range
+    ``0 .. 2**64-1``; floating-point registers hold Python floats.
+    ``r0`` is architecturally zero — the interpreter and translator never
+    write it, and :meth:`reset` re-asserts it.
+
+    ``block_progress`` is the number of instructions of the currently
+    executing translated block that had fully retired when a guest fault
+    was raised; the machine uses it for precise instruction accounting.
+    """
+
+    __slots__ = ("regs", "fregs", "pc", "halted", "icount", "cycles",
+                 "block_progress", "exit_code")
+
+    def __init__(self) -> None:
+        self.regs = [0] * NUM_INT_REGS
+        self.fregs = [0.0] * NUM_FP_REGS
+        self.pc = 0
+        self.halted = False
+        #: retired guest instructions (all modes)
+        self.icount = 0
+        #: virtual cycle counter; advanced by the sampling controller when
+        #: timing feedback is enabled, readable by the guest via rdcycle
+        self.cycles = 0
+        self.block_progress = 0
+        self.exit_code = 0
+
+    def reset(self, pc: int = 0) -> None:
+        """Reset registers and counters; start execution at ``pc``."""
+        for i in range(NUM_INT_REGS):
+            self.regs[i] = 0
+        for i in range(NUM_FP_REGS):
+            self.fregs[i] = 0.0
+        self.pc = pc
+        self.halted = False
+        self.icount = 0
+        self.cycles = 0
+        self.block_progress = 0
+        self.exit_code = 0
+
+    def write_reg(self, index: int, value: int) -> None:
+        """Write an integer register honouring the hard-wired zero."""
+        if index:
+            self.regs[index] = value & MASK64
+
+    def snapshot(self) -> dict:
+        """Copy of the architectural state (tests, checkpointing)."""
+        return {
+            "regs": list(self.regs),
+            "fregs": list(self.fregs),
+            "pc": self.pc,
+            "halted": self.halted,
+            "icount": self.icount,
+            "cycles": self.cycles,
+            "exit_code": self.exit_code,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot`."""
+        self.regs[:] = snap["regs"]
+        self.fregs[:] = snap["fregs"]
+        self.pc = snap["pc"]
+        self.halted = snap["halted"]
+        self.icount = snap["icount"]
+        self.cycles = snap["cycles"]
+        self.exit_code = snap["exit_code"]

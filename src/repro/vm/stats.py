@@ -1,0 +1,83 @@
+"""VM-internal statistics.
+
+These counters are the heart of the paper's Dynamic Sampling idea: a VM
+already tracks statistics about the emulated system and about its own
+internal structures, and those statistics correlate with program phases.
+The three the paper evaluates (Section 4.1) are:
+
+* ``code_cache_invalidations`` — the **CPU** monitored variable,
+* ``exceptions`` — the **EXC** monitored variable,
+* ``io_operations`` — the **I/O** monitored variable.
+
+Counters are monotonically increasing; samplers diff successive readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Names of the statistics Dynamic Sampling may monitor (paper §4.1).
+MONITORABLE = ("CPU", "EXC", "IO")
+
+
+@dataclass
+class VmStats:
+    """Counters maintained by :class:`repro.vm.machine.Machine`."""
+
+    # -- emulated-software statistics ---------------------------------
+    #: retired guest instructions, per execution mode
+    instructions_fast: int = 0
+    instructions_event: int = 0
+    instructions_profile: int = 0
+    instructions_interp: int = 0
+    #: guest exceptions delivered (page faults, syscalls, traps) — EXC
+    exceptions: int = 0
+    #: device operations (MMIO accesses and syscall-driven I/O) — I/O
+    io_operations: int = 0
+    #: breakdown of exceptions by fault kind
+    exception_kinds: Dict[str, int] = field(default_factory=dict)
+
+    # -- emulator-internal statistics ----------------------------------
+    #: blocks dropped from the translation cache (eviction, SMC,
+    #: unmapping) — CPU
+    code_cache_invalidations: int = 0
+    #: basic blocks translated
+    translations: int = 0
+    #: translated-block dispatches (cache hits)
+    block_dispatches: int = 0
+
+    @property
+    def instructions_total(self) -> int:
+        return (self.instructions_fast + self.instructions_event
+                + self.instructions_profile + self.instructions_interp)
+
+    def monitored(self, name: str) -> int:
+        """Read one of the Dynamic-Sampling monitorable statistics."""
+        if name == "CPU":
+            return self.code_cache_invalidations
+        if name == "EXC":
+            return self.exceptions
+        if name == "IO":
+            return self.io_operations
+        raise KeyError(f"unknown monitored statistic {name!r}; "
+                       f"choose one of {MONITORABLE}")
+
+    def count_exception(self, kind: str) -> None:
+        self.exceptions += 1
+        self.exception_kinds[kind] = self.exception_kinds.get(kind, 0) + 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat dict of all counters (for traces and tests)."""
+        return {
+            "instructions_fast": self.instructions_fast,
+            "instructions_event": self.instructions_event,
+            "instructions_profile": self.instructions_profile,
+            "instructions_interp": self.instructions_interp,
+            "instructions_total": self.instructions_total,
+            "exceptions": self.exceptions,
+            "io_operations": self.io_operations,
+            "code_cache_invalidations": self.code_cache_invalidations,
+            "translations": self.translations,
+            "block_dispatches": self.block_dispatches,
+        }

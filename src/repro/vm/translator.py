@@ -1,0 +1,396 @@
+"""Dynamic binary translator: Z64 basic blocks -> Python closures.
+
+This is a real DBT in miniature.  ``translate`` decodes one guest basic
+block, emits specialised Python source for it (constants folded, zero
+register folded, per-instruction dispatch eliminated), compiles it once
+with :func:`compile`, and returns a callable that executes the whole
+block.  The machine's dispatch loop then runs blocks out of the
+translation cache — the same structure that lets SimNow/QEMU run near
+native speed, and the reason instrumenting every instruction is so
+expensive (the paper's core premise).
+
+Two translation *flavours* exist:
+
+* ``FLAVOR_FAST`` — pure execution.  Blocks that end in a conditional
+  branch back to their own start additionally get an internal loop (the
+  analogue of fragment chaining) so hot loops execute without leaving
+  the translated code until the instruction budget runs out.
+* ``FLAVOR_EVENT`` — identical semantics, plus one ``sink`` call per
+  retired instruction carrying the event fields described in
+  :mod:`repro.vm.events`.  This is the "sampled mode" of the paper: it
+  costs an order of magnitude more than fast mode.
+
+Generated functions have signature ``fn(state, budget) -> executed`` and
+must leave ``state.pc`` at the next instruction to execute.  Before any
+instruction that can raise a guest fault the generated code updates
+``state.pc`` and ``state.block_progress`` so the machine can account
+retired instructions precisely.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa import DecodeError, Instr, OP_INFO, Op, decode
+from repro.mem.faults import (BreakpointTrap, IllegalInstruction, PageFault,
+                              SyscallTrap)
+
+from .code_cache import TranslatedBlock, block_pages
+from .semantics import MASK64, SEMANTIC_HELPERS
+
+FLAVOR_FAST = "fast"
+FLAVOR_EVENT = "event"
+
+MAX_BLOCK = 32
+
+_CLS = {op: int(info.opclass) for op, info in OP_INFO.items()}
+
+#: value expressions for integer ALU ops; {a}/{b} are operand expressions,
+#: {im} is the (signed) immediate literal
+_ALU_RR = {
+    Op.ADD: "({a} + {b}) & M",
+    Op.SUB: "({a} - {b}) & M",
+    Op.MUL: "({a} * {b}) & M",
+    Op.MULH: "((s64({a}) * s64({b})) >> 64) & M",
+    Op.DIV: "idiv({a}, {b})",
+    Op.REM: "irem({a}, {b})",
+    Op.AND: "{a} & {b}",
+    Op.OR: "{a} | {b}",
+    Op.XOR: "{a} ^ {b}",
+    Op.SLL: "({a} << ({b} & 63)) & M",
+    Op.SRL: "{a} >> ({b} & 63)",
+    Op.SRA: "(s64({a}) >> ({b} & 63)) & M",
+    Op.SLT: "(1 if s64({a}) < s64({b}) else 0)",
+    Op.SLTU: "(1 if {a} < {b} else 0)",
+}
+
+_ALU_RI = {
+    Op.ADDI: "({a} + {im}) & M",
+    Op.ANDI: "{a} & {imu}",
+    Op.ORI: "{a} | {imu}",
+    Op.XORI: "{a} ^ {imu}",
+    Op.SLLI: "({a} << {sh}) & M",
+    Op.SRLI: "{a} >> {sh}",
+    Op.SRAI: "(s64({a}) >> {sh}) & M",
+    Op.SLTI: "(1 if s64({a}) < {im} else 0)",
+    Op.LDI: "{imu}",
+    Op.ORIS: "((({a}) << 16) | {im16}) & M",
+}
+
+_LOADS = {
+    Op.LB: "sx8(ld1({ea}))",
+    Op.LBU: "ld1({ea})",
+    Op.LH: "sx16(ld2({ea}))",
+    Op.LHU: "ld2({ea})",
+    Op.LW: "sx32(ld4({ea}))",
+    Op.LWU: "ld4({ea})",
+    Op.LD: "ld8({ea})",
+}
+
+_STORES = {
+    Op.SB: "st1({ea}, {b} & 0xFF)",
+    Op.SH: "st2({ea}, {b} & 0xFFFF)",
+    Op.SW: "st4({ea}, {b} & 0xFFFFFFFF)",
+    Op.SD: "st8({ea}, {b})",
+}
+
+_BRANCH_COND = {
+    Op.BEQ: "{a} == {b}",
+    Op.BNE: "{a} != {b}",
+    Op.BLT: "s64({a}) < s64({b})",
+    Op.BGE: "s64({a}) >= s64({b})",
+    Op.BLTU: "{a} < {b}",
+    Op.BGEU: "{a} >= {b}",
+}
+
+_FP_RR = {
+    Op.FADD: "f[{rs1}] + f[{rs2}]",
+    Op.FSUB: "f[{rs1}] - f[{rs2}]",
+    Op.FMUL: "f[{rs1}] * f[{rs2}]",
+    Op.FDIV: "fdiv(f[{rs1}], f[{rs2}])",
+    Op.FMIN: "fmin2(f[{rs1}], f[{rs2}])",
+    Op.FMAX: "fmax2(f[{rs1}], f[{rs2}])",
+}
+
+_FP_UNARY = {
+    Op.FSQRT: "fsqrt(f[{rs1}])",
+    Op.FNEG: "-f[{rs1}]",
+    Op.FABS: "abs(f[{rs1}])",
+}
+
+_FP_CMP = {
+    Op.FEQ: "(1 if f[{rs1}] == f[{rs2}] else 0)",
+    Op.FLT: "(1 if f[{rs1}] < f[{rs2}] else 0)",
+    Op.FLE: "(1 if f[{rs1}] <= f[{rs2}] else 0)",
+}
+
+_TERMINATOR_CLASSES = frozenset((5, 6, 11))  # branch, jump, system
+
+
+def _u_int(index: int) -> int:
+    return -1 if index == 0 else index
+
+
+class Translator:
+    """Compiles guest basic blocks to Python; owned by the Machine."""
+
+    def __init__(self, mmu, sink_box: list, max_block: int = MAX_BLOCK):
+        self.mmu = mmu
+        self.sink_box = sink_box
+        self.max_block = max_block
+        self._env_base = dict(SEMANTIC_HELPERS)
+        self._env_base.update({
+            "ld1": mmu.read_u8, "ld2": mmu.read_u16,
+            "ld4": mmu.read_u32, "ld8": mmu.read_u64, "ldf": mmu.read_f64,
+            "st1": mmu.write_u8, "st2": mmu.write_u16,
+            "st4": mmu.write_u32, "st8": mmu.write_u64, "stf": mmu.write_f64,
+            "SyscallTrap": SyscallTrap, "BreakpointTrap": BreakpointTrap,
+            "SINK": sink_box,
+        })
+        #: generated source by block pc (debugging / tests)
+        self.last_source: str = ""
+
+    # ------------------------------------------------------------------
+
+    def translate(self, pc: int, flavor: str) -> TranslatedBlock:
+        """Decode and compile the basic block starting at ``pc``."""
+        instrs = self._decode_block(pc)
+        source = self._generate(pc, instrs, flavor)
+        self.last_source = source
+        code = compile(source, f"<block 0x{pc:x} {flavor}>", "exec")
+        namespace = dict(self._env_base)
+        exec(code, namespace)  # noqa: S102 - this *is* the JIT
+        fn = namespace["_block"]
+        return TranslatedBlock(pc, fn, len(instrs),
+                               block_pages(pc, len(instrs)))
+
+    def _decode_block(self, pc: int) -> List[Instr]:
+        instrs: List[Instr] = []
+        mmu = self.mmu
+        current = pc
+        while len(instrs) < self.max_block:
+            try:
+                word = mmu.fetch_word(current)
+            except PageFault:
+                if instrs:
+                    break  # block ends at the mapped region's edge
+                raise
+            try:
+                instr = decode(word)
+            except DecodeError:
+                if instrs:
+                    break  # the bad word faults when it is reached
+                raise IllegalInstruction(pc, word) from None
+            instrs.append(instr)
+            if _CLS[instr.op] in _TERMINATOR_CLASSES:
+                break
+            current += 4
+        return instrs
+
+    # ------------------------------------------------------------------
+    # code generation
+
+    def _generate(self, pc0: int, instrs: List[Instr], flavor: str) -> str:
+        event = flavor == FLAVOR_EVENT
+        last = instrs[-1]
+        last_pc = pc0 + (len(instrs) - 1) * 4
+        loop = (not event
+                and last.op in _BRANCH_COND
+                and (last_pc + last.imm * 4) & MASK64 == pc0
+                and len(instrs) >= 1)
+        lines: List[str] = ["def _block(state, budget):",
+                            "    r = state.regs",
+                            "    f = state.fregs"]
+        if event:
+            lines.append("    sink = SINK[0]")
+        indent = "    "
+        progress = "{i}"
+        if loop:
+            lines.append("    n = 0")
+            lines.append("    while 1:")
+            indent = "        "
+            progress = "n + {i}"
+
+        for index, instr in enumerate(instrs[:-1]):
+            self._gen_body(lines, indent, instr, pc0 + index * 4, index,
+                           progress, event)
+        self._gen_terminator(lines, indent, last, last_pc,
+                             len(instrs) - 1, len(instrs), pc0, progress,
+                             event, loop)
+        return "\n".join(lines) + "\n"
+
+    # -- non-terminator instructions -----------------------------------
+
+    def _gen_body(self, lines: List[str], ind: str, instr: Instr, pc: int,
+                  index: int, progress: str, event: bool) -> None:
+        op = instr.op
+        rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+        a = f"r[{rs1}]" if rs1 else "0"
+        b = f"r[{rs2}]" if rs2 else "0"
+        cls = _CLS[op]
+        emit = lines.append
+
+        def guard() -> None:
+            """Progress bookkeeping before a faulting operation.
+
+            The machine reconstructs the faulting PC as
+            ``block.pc + (progress % block.length) * 4`` — blocks are
+            sequential by construction, so no per-op PC store is needed.
+            """
+            emit(f"{ind}state.block_progress = "
+                 + progress.format(i=index))
+
+        def event_call(dst: int, s1: int, s2: int, addr: str = "0",
+                       taken: int = 0, target: str = "0") -> None:
+            if event:
+                emit(f"{ind}sink({pc}, {cls}, {dst}, {s1}, {s2}, {addr}, "
+                     f"{taken}, {target})")
+
+        if op in _ALU_RR:
+            expr = _ALU_RR[op].format(a=a, b=b)
+            if rd:
+                emit(f"{ind}r[{rd}] = {expr}")
+            event_call(_u_int(rd), _u_int(rs1), _u_int(rs2))
+        elif op in _ALU_RI:
+            expr = _ALU_RI[op].format(
+                a=a, im=imm, imu=imm & MASK64, sh=imm & 63,
+                im16=imm & 0xFFFF)
+            if rd:
+                emit(f"{ind}r[{rd}] = {expr}")
+            event_call(_u_int(rd), _u_int(rs1), -1)
+        elif op in _LOADS or op == Op.FLD:
+            guard()
+            ea = f"({a} + {imm}) & M" if rs1 else f"{imm & MASK64}"
+            emit(f"{ind}ea = {ea}")
+            if op == Op.FLD:
+                emit(f"{ind}f[{rd}] = ldf(ea)")
+                event_call(16 + rd, _u_int(rs1), -1, "ea")
+            else:
+                expr = _LOADS[op].format(ea="ea")
+                if rd:
+                    emit(f"{ind}r[{rd}] = {expr}")
+                else:
+                    emit(f"{ind}{expr}")
+                event_call(_u_int(rd), _u_int(rs1), -1, "ea")
+        elif op in _STORES or op == Op.FSD:
+            guard()
+            ea = f"({a} + {imm}) & M" if rs1 else f"{imm & MASK64}"
+            emit(f"{ind}ea = {ea}")
+            if op == Op.FSD:
+                emit(f"{ind}stf(ea, f[{rs2}])")
+                event_call(-1, _u_int(rs1), 16 + rs2, "ea")
+            else:
+                emit(f"{ind}{_STORES[op].format(ea='ea', b=b)}")
+                event_call(-1, _u_int(rs1), _u_int(rs2), "ea")
+        elif op in _FP_RR:
+            emit(f"{ind}f[{rd}] = {_FP_RR[op].format(rs1=rs1, rs2=rs2)}")
+            event_call(16 + rd, 16 + rs1, 16 + rs2)
+        elif op in _FP_UNARY:
+            emit(f"{ind}f[{rd}] = {_FP_UNARY[op].format(rs1=rs1)}")
+            event_call(16 + rd, 16 + rs1, -1)
+        elif op in _FP_CMP:
+            if rd:
+                emit(f"{ind}r[{rd}] = "
+                     f"{_FP_CMP[op].format(rs1=rs1, rs2=rs2)}")
+            event_call(_u_int(rd), 16 + rs1, 16 + rs2)
+        elif op == Op.FCVTIF:
+            emit(f"{ind}f[{rd}] = float(s64({a}))")
+            event_call(16 + rd, _u_int(rs1), -1)
+        elif op == Op.FCVTFI:
+            if rd:
+                emit(f"{ind}r[{rd}] = f2i(f[{rs1}])")
+            event_call(_u_int(rd), 16 + rs1, -1)
+        else:  # pragma: no cover - terminators never reach _gen_body
+            raise AssertionError(f"unexpected body opcode {op!r}")
+
+    # -- terminators ----------------------------------------------------
+
+    def _gen_terminator(self, lines: List[str], ind: str, instr: Instr,
+                        pc: int, index: int, length: int, pc0: int,
+                        progress: str, event: bool, loop: bool) -> None:
+        op = instr.op
+        rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+        a = f"r[{rs1}]" if rs1 else "0"
+        b = f"r[{rs2}]" if rs2 else "0"
+        cls = _CLS[op]
+        fall = (pc + 4) & MASK64
+        emit = lines.append
+
+        def sink_line(dst: int, s1: int, s2: int, taken: int,
+                      target: str, indent: str) -> None:
+            if event:
+                emit(f"{indent}sink({pc}, {cls}, {dst}, {s1}, {s2}, 0, "
+                     f"{taken}, {target})")
+
+        if op in _BRANCH_COND:
+            cond = _BRANCH_COND[op].format(a=a, b=b)
+            target = (pc + imm * 4) & MASK64
+            if loop:
+                # Conditional branch back to the block start: iterate
+                # inside the translated code while the budget allows.
+                emit(f"{ind}n += {length}")
+                emit(f"{ind}if {cond}:")
+                emit(f"{ind}    if n + {length} <= budget:")
+                emit(f"{ind}        continue")
+                emit(f"{ind}    state.pc = {pc0}")
+                emit(f"{ind}    return n")
+                emit(f"{ind}state.pc = {fall}")
+                emit(f"{ind}return n")
+                return
+            emit(f"{ind}if {cond}:")
+            sink_line(-1, _u_int(rs1), _u_int(rs2), 1, str(target),
+                      ind + "    ")
+            emit(f"{ind}    state.pc = {target}")
+            emit(f"{ind}    return {length}")
+            sink_line(-1, _u_int(rs1), _u_int(rs2), 0, str(fall), ind)
+            emit(f"{ind}state.pc = {fall}")
+            emit(f"{ind}return {length}")
+            return
+        if op == Op.JAL:
+            target = (pc + imm * 4) & MASK64
+            if rd:
+                emit(f"{ind}r[{rd}] = {fall}")
+            sink_line(_u_int(rd), -1, -1, 1, str(target), ind)
+            emit(f"{ind}state.pc = {target}")
+            emit(f"{ind}return {length}")
+            return
+        if op == Op.JALR:
+            emit(f"{ind}t = ({a} + {imm}) & M & ~3")
+            if rd:
+                emit(f"{ind}r[{rd}] = {fall}")
+            sink_line(_u_int(rd), _u_int(rs1), -1, 1, "t", ind)
+            emit(f"{ind}state.pc = t")
+            emit(f"{ind}return {length}")
+            return
+        if op in (Op.ECALL, Op.EBREAK):
+            trap = "SyscallTrap" if op == Op.ECALL else "BreakpointTrap"
+            emit(f"{ind}state.pc = {pc}")
+            emit(f"{ind}state.block_progress = "
+                 + progress.format(i=index))
+            sink_line(-1, -1, -1, 0, str(fall), ind)
+            emit(f"{ind}raise {trap}({pc})")
+            return
+        if op == Op.HALT:
+            emit(f"{ind}state.pc = {pc}")
+            emit(f"{ind}state.halted = True")
+            sink_line(-1, -1, -1, 0, str(pc), ind)
+            emit(f"{ind}return {length}")
+            return
+        if op == Op.RDCYCLE:
+            if rd:
+                emit(f"{ind}r[{rd}] = state.cycles & M")
+            sink_line(_u_int(rd), -1, -1, 0, "0", ind)
+            emit(f"{ind}state.pc = {fall}")
+            emit(f"{ind}return {length}")
+            return
+        if op == Op.RDINSTR:
+            if rd:
+                emit(f"{ind}r[{rd}] = (state.icount + {index}) & M")
+            sink_line(_u_int(rd), -1, -1, 0, "0", ind)
+            emit(f"{ind}state.pc = {fall}")
+            emit(f"{ind}return {length}")
+            return
+        # Block ended by MAX_BLOCK or a page edge: plain fallthrough.
+        self._gen_body(lines, ind, instr, pc, index, progress, event)
+        emit(f"{ind}state.pc = {fall}")
+        emit(f"{ind}return {length}")

@@ -1,0 +1,19 @@
+"""Synthetic SPEC CPU2000-like workloads and the construction DSL."""
+
+from .dsl import PhaseInfo, Workload, WorkloadBuilder
+from .kernels import KERNELS
+from .spec2000 import (BenchmarkSpec, EXAMPLE_BENCHMARK, FP_BENCHMARKS,
+                       INTEGER_BENCHMARKS, SCALE, SPEC2000, SUITE_ORDER,
+                       build_benchmark, plan_phase)
+from .suite import (SUITE_MACHINE_KWARGS, benchmark_names, get_spec,
+                    load_benchmark, load_suite, scale_sizes)
+
+__all__ = [
+    "PhaseInfo", "Workload", "WorkloadBuilder",
+    "KERNELS",
+    "BenchmarkSpec", "EXAMPLE_BENCHMARK", "FP_BENCHMARKS",
+    "INTEGER_BENCHMARKS", "SCALE", "SPEC2000", "SUITE_ORDER",
+    "build_benchmark", "plan_phase",
+    "SUITE_MACHINE_KWARGS", "benchmark_names", "get_spec",
+    "load_benchmark", "load_suite", "scale_sizes",
+]

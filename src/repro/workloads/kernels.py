@@ -1,0 +1,590 @@
+"""Computational kernels for synthetic benchmarks.
+
+Each kernel emits a self-contained assembly *phase* with a
+characteristic microarchitectural behaviour — and therefore a
+characteristic IPC under the timing simulator:
+
+=============== ====================================================
+``stream``      sequential FP reduction — bandwidth-bound, high IPC
+``matmul``      naive dense FP matmul — FP units + L1 reuse
+``stencil``     1D 3-point FP stencil — FP with neighbour reuse
+``pointer_chase`` dependent random loads — latency-bound, low IPC
+``gather``      independent indirect loads — memory-level parallelism
+``branchy``     data-dependent branches — mispredict-bound
+``crc``         shift/xor bit twiddling — int ALU bound
+``string_scan`` byte scanning — small loads + compares
+``calls``       recursive call tree — call/return, RAS, stack traffic
+``sort``        insertion sort passes — compares + swaps
+``console_io``  write bytes to the console — I/O signal
+``disk_io``     write/read disk sectors — I/O signal
+``net_io``      send/receive loopback packets — I/O signal
+=============== ====================================================
+
+Working sets
+------------
+
+Memory kernels accept an optional ``slot``.  Without it the phase maps
+and initialises a fresh working set every time (first-touch page faults
+— an EXC burst at the phase boundary).  With a slot, the base pointer
+is cached in the process-global table at
+:data:`repro.kernel.GLOBALS_BASE`: the first phase using the slot maps
+and initialises the buffer (the program's *initialization phase*, as in
+the paper's Figure 2), and later phases reuse it and consist almost
+entirely of steady-state work — the behaviour of real SPEC programs
+whose phases revisit long-lived data structures.
+
+Every emitter returns ``(asm_text, estimated_instructions)``; the
+estimate is for a *cold* (initialising) execution.  Register use inside
+a phase: ``t0``-``t6``, ``s0``-``s3`` and ``gp`` are freely clobbered;
+``sp``/``ra`` follow the calling convention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.kernel import GLOBALS_BASE
+
+Asm = Tuple[str, int]
+
+
+def _map_region(nbytes: int) -> str:
+    """Map ``nbytes`` of fresh demand-paged memory; base left in t0."""
+    return f"""
+    li t0, {nbytes}
+    li t7, 10
+    ecall
+"""
+
+
+def _region_open(uid: str, nbytes: int, slot: Optional[int]) -> str:
+    """Resolve the working-set base into s0, mapping it when needed.
+
+    Followed by the kernel's init code and then :func:`_region_close`;
+    with a slot, a previously-initialised buffer skips both.
+    """
+    if slot is None:
+        return _map_region(nbytes) + "    mv s0, t0\n"
+    offset = slot * 8
+    return f"""
+    li t6, {GLOBALS_BASE}
+    ld s0, {offset}(t6)
+    bne s0, zero, {uid}_wsready
+{_map_region(nbytes)}
+    mv s0, t0
+    li t6, {GLOBALS_BASE}
+    sd s0, {offset}(t6)
+"""
+
+
+def _region_close(uid: str, slot: Optional[int]) -> str:
+    return f"{uid}_wsready:\n" if slot is not None else ""
+
+
+def stream(uid: str, n: int = 1024, iters: int = 10,
+           slot: Optional[int] = None) -> Asm:
+    """Sequential sum over ``n`` doubles, ``iters`` passes."""
+    asm = f"""
+; --- stream: n={n} iters={iters} slot={slot}
+{_region_open(uid, n * 8, slot)}
+    li t2, {n}
+    li t1, 0
+    mv s1, s0
+{uid}_init:
+    fcvtif f1, t1
+    fsd f1, 0(s1)
+    addi s1, s1, 8
+    addi t1, t1, 1
+    blt t1, t2, {uid}_init
+{_region_close(uid, slot)}
+    li t2, {n}
+    li t3, {iters}
+{uid}_pass:
+    mv s1, s0
+    li t1, 0
+    fcvtif f2, zero
+{uid}_sum:
+    fld f1, 0(s1)
+    fadd f2, f2, f1
+    addi s1, s1, 8
+    addi t1, t1, 1
+    blt t1, t2, {uid}_sum
+    addi t3, t3, -1
+    bne t3, zero, {uid}_pass
+"""
+    return asm, 5 * n + 5 * n * iters + 18
+
+
+def stencil(uid: str, n: int = 1024, iters: int = 10,
+            slot: Optional[int] = None) -> Asm:
+    """1D 3-point stencil over ``n`` doubles, ``iters`` sweeps."""
+    asm = f"""
+; --- stencil: n={n} iters={iters} slot={slot}
+{_region_open(uid, 2 * n * 8, slot)}
+    li t2, {n}
+    li t1, 0
+    mv t3, s0
+{uid}_init:
+    fcvtif f1, t1
+    fsd f1, 0(t3)
+    addi t3, t3, 8
+    addi t1, t1, 1
+    blt t1, t2, {uid}_init
+{_region_close(uid, slot)}
+    li t1, {n * 8}
+    add s1, s0, t1       ; output array
+    li t4, {iters}
+{uid}_sweep:
+    li t1, 1
+    li t2, {n - 1}
+{uid}_row:
+    slli t3, t1, 3
+    add t3, s0, t3
+    fld f1, -8(t3)
+    fld f2, 0(t3)
+    fld f3, 8(t3)
+    fadd f4, f1, f2
+    fadd f4, f4, f3
+    add t5, s1, t3
+    sub t5, t5, s0
+    fsd f4, 0(t5)
+    addi t1, t1, 1
+    blt t1, t2, {uid}_row
+    addi t4, t4, -1
+    bne t4, zero, {uid}_sweep
+"""
+    return asm, 5 * n + 13 * (n - 2) * iters + 22
+
+
+def matmul(uid: str, n: int = 16, reps: int = 1,
+           slot: Optional[int] = None) -> Asm:
+    """Naive ``n`` x ``n`` double matrix multiply, ``reps`` times."""
+    asm = f"""
+; --- matmul: n={n} reps={reps} slot={slot}
+{_region_open(uid, 3 * n * n * 8, slot)}
+    li t1, 0
+    li t2, {2 * n * n}
+    mv t3, s0
+{uid}_init:
+    fcvtif f1, t1
+    fsd f1, 0(t3)
+    addi t3, t3, 8
+    addi t1, t1, 1
+    blt t1, t2, {uid}_init
+{_region_close(uid, slot)}
+    li t1, {n * n * 8}
+    add s1, s0, t1           ; B
+    add s2, s1, t1           ; C
+    li gp, {n}
+    li s3, {reps}
+{uid}_rep:
+    li t1, 0
+{uid}_iloop:
+    li t2, 0
+{uid}_jloop:
+    fcvtif f3, zero
+    li t3, 0
+{uid}_kloop:
+    mul t4, t1, gp
+    add t4, t4, t3
+    slli t4, t4, 3
+    add t4, s0, t4
+    fld f1, 0(t4)
+    mul t5, t3, gp
+    add t5, t5, t2
+    slli t5, t5, 3
+    add t5, s1, t5
+    fld f2, 0(t5)
+    fmul f4, f1, f2
+    fadd f3, f3, f4
+    addi t3, t3, 1
+    blt t3, gp, {uid}_kloop
+    mul t4, t1, gp
+    add t4, t4, t2
+    slli t4, t4, 3
+    add t4, s2, t4
+    fsd f3, 0(t4)
+    addi t2, t2, 1
+    blt t2, gp, {uid}_jloop
+    addi t1, t1, 1
+    blt t1, gp, {uid}_iloop
+    addi s3, s3, -1
+    bne s3, zero, {uid}_rep
+"""
+    inner = 14 * n * n * n + 10 * n * n + 3 * n
+    return asm, 5 * 2 * n * n + inner * reps + 26
+
+
+def pointer_chase(uid: str, n: int = 4096, steps: int = 10000,
+                  stride: int = 0, slot: Optional[int] = None) -> Asm:
+    """Chase a permutation of ``n`` nodes for ``steps`` hops.
+
+    The permutation is a fixed coprime stride, giving a full cycle with
+    poor spatial locality for large ``n`` — dependent loads bound by
+    memory latency (the `mcf` behaviour).
+    """
+    if stride == 0:
+        stride = (int(n * 0.618) | 1)
+        while n % stride == 0 or stride % 2 == 0:
+            stride += 1
+    asm = f"""
+; --- pointer_chase: n={n} steps={steps} stride={stride} slot={slot}
+{_region_open(uid, n * 8, slot)}
+    li t1, 0
+    li t2, {n}
+    li t4, {stride}
+{uid}_build:
+    add t5, t1, t4
+    blt t5, t2, {uid}_nowrap
+    sub t5, t5, t2
+{uid}_nowrap:
+    slli t6, t5, 3
+    add t6, s0, t6
+    slli t3, t1, 3
+    add t3, s0, t3
+    sd t6, 0(t3)
+    addi t1, t1, 1
+    blt t1, t2, {uid}_build
+{_region_close(uid, slot)}
+    li t3, {steps}
+    mv t5, s0
+{uid}_chase:
+    ld t5, 0(t5)
+    addi t3, t3, -1
+    bne t3, zero, {uid}_chase
+"""
+    return asm, 10 * n + 3 * steps + 14
+
+
+def gather(uid: str, n: int = 4096, iters: int = 4,
+           slot: Optional[int] = None) -> Asm:
+    """Indirect, independent loads: ``acc += data[idx[i]]`` (the `art`
+    behaviour — cache-hostile but with memory-level parallelism)."""
+    stride = 1031 if n > 1031 else ((n // 2) | 1)
+    asm = f"""
+; --- gather: n={n} iters={iters} stride={stride} slot={slot}
+{_region_open(uid, 2 * n * 8, slot)}
+    li t1, 0
+    li t2, {n}
+    li t4, 0
+{uid}_build:
+    slli t3, t1, 3
+    add t3, s0, t3
+    slli t6, t4, 3
+    sd t6, 0(t3)             ; idx[i] = perm(i) * 8
+    addi t4, t4, {min(stride, 2047)}
+    blt t4, t2, {uid}_nw
+    sub t4, t4, t2
+{uid}_nw:
+    addi t1, t1, 1
+    blt t1, t2, {uid}_build
+{_region_close(uid, slot)}
+    li t2, {n}
+    li t0, {n * 8}
+    add s1, s0, t0           ; data array (zero-filled is fine)
+    li t5, {iters}
+{uid}_pass:
+    li t1, 0
+    li t6, 0
+{uid}_gather:
+    slli t3, t1, 3
+    add t3, s0, t3
+    ld t4, 0(t3)             ; idx
+    add t4, s1, t4
+    ld t0, 0(t4)             ; data[idx]
+    add t6, t6, t0
+    addi t1, t1, 1
+    blt t1, t2, {uid}_gather
+    addi t5, t5, -1
+    bne t5, zero, {uid}_pass
+"""
+    return asm, 9 * n + 8 * n * iters + 18
+
+
+def branchy(uid: str, iters: int = 10000, seed: int = 12345,
+            taken_bias: int = 1) -> Asm:
+    """LCG-driven data-dependent branches (mispredict-bound).
+
+    ``taken_bias`` selects the mask width on the deciding LCG bits:
+    1 is effectively random; wider masks make the branch mostly
+    not-taken (more predictable).
+    """
+    mask = (1 << taken_bias) - 1
+    asm = f"""
+; --- branchy: iters={iters} seed={seed} mask={mask}
+    li t1, {seed}
+    li t3, {iters}
+    li t4, 0
+    li t5, 1664525
+    li t6, 1013904223
+{uid}_loop:
+    mul t1, t1, t5
+    add t1, t1, t6
+    srli t2, t1, 13
+    andi t2, t2, {mask}
+    bne t2, zero, {uid}_skip
+    addi t4, t4, 7
+{uid}_skip:
+    addi t3, t3, -1
+    bne t3, zero, {uid}_loop
+"""
+    return asm, 8 * iters + 8
+
+
+def crc(uid: str, iters: int = 10000, seed: int = 0x1234) -> Asm:
+    """Shift/xor bit twiddling loop (gzip/bzip2-style integer work)."""
+    asm = f"""
+; --- crc: iters={iters}
+    li t0, {seed}
+    li t3, {iters}
+    li t5, 0x04C11DB7
+{uid}_loop:
+    srli t1, t0, 1
+    andi t2, t0, 1
+    beq t2, zero, {uid}_nox
+    xor t1, t1, t5
+{uid}_nox:
+    slli t4, t0, 7
+    xor t0, t1, t4
+    and t0, t0, t5
+    add t0, t0, t3
+    addi t3, t3, -1
+    bne t3, zero, {uid}_loop
+"""
+    return asm, 9 * iters + 6
+
+
+def string_scan(uid: str, n: int = 4096, iters: int = 10,
+                needle: int = 0x41, slot: Optional[int] = None) -> Asm:
+    """Byte-wise scan counting occurrences of ``needle``."""
+    asm = f"""
+; --- string_scan: n={n} iters={iters} slot={slot}
+{_region_open(uid, n, slot)}
+    li t1, 0
+    li t2, {n}
+    li t4, 3
+{uid}_init:
+    add t3, s0, t1
+    andi t5, t4, 0xFF
+    sb t5, 0(t3)
+    addi t4, t4, 7
+    addi t1, t1, 1
+    blt t1, t2, {uid}_init
+{_region_close(uid, slot)}
+    li t2, {n}
+    li t6, {iters}
+{uid}_pass:
+    li t1, 0
+    li t5, 0
+{uid}_scan:
+    add t3, s0, t1
+    lbu t4, 0(t3)
+    xori t4, t4, {needle}
+    bne t4, zero, {uid}_miss
+    addi t5, t5, 1
+{uid}_miss:
+    addi t1, t1, 1
+    blt t1, t2, {uid}_scan
+    addi t6, t6, -1
+    bne t6, zero, {uid}_pass
+"""
+    return asm, 7 * n + 8 * n * iters + 16
+
+
+def calls(uid: str, depth: int = 12, reps: int = 4) -> Asm:
+    """Recursive Fibonacci call tree (RAS/call-return behaviour)."""
+    asm = f"""
+; --- calls: depth={depth} reps={reps}
+    li s3, {reps}
+{uid}_rep:
+    li t0, {depth}
+    call {uid}_fib
+    addi s3, s3, -1
+    bne s3, zero, {uid}_rep
+    j {uid}_done
+{uid}_fib:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    sd t0, 8(sp)
+    li t2, 2
+    blt t0, t2, {uid}_base
+    addi t0, t0, -1
+    call {uid}_fib
+    ld t0, 8(sp)
+    addi t0, t0, -2
+    sd t1, 8(sp)
+    call {uid}_fib
+    ld t2, 8(sp)
+    add t1, t1, t2
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+{uid}_base:
+    mv t1, t0
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+{uid}_done:
+"""
+    fib = [1, 1]
+    for _ in range(depth):
+        fib.append(fib[-1] + fib[-2])
+    calls_count = 2 * fib[depth + 1] - 1
+    return asm, (14 * calls_count + 5) * reps
+
+
+def sort(uid: str, n: int = 256, reps: int = 2,
+         slot: Optional[int] = None) -> Asm:
+    """Insertion-sort passes over a pseudo-random array.
+
+    The array is refilled from an LCG before each pass (sorting sorted
+    data is trivial), so the fill is steady-state work, not setup.
+    """
+    asm = f"""
+; --- sort: n={n} reps={reps} slot={slot}
+{_region_open(uid, n * 8, slot)}
+{_region_close(uid, slot)}
+    li s3, {reps}
+{uid}_rep:
+    ; (re)fill with LCG values
+    li t1, 0
+    li t2, {n}
+    li t4, 987654321
+{uid}_fill:
+    li t5, 25173
+    mul t4, t4, t5
+    li t5, 13849
+    add t4, t4, t5
+    li t5, 0xFFFF
+    and t4, t4, t5
+    slli t3, t1, 3
+    add t3, s0, t3
+    sd t4, 0(t3)
+    addi t1, t1, 1
+    blt t1, t2, {uid}_fill
+    ; insertion sort
+    li t1, 1
+{uid}_outer:
+    slli t3, t1, 3
+    add t3, s0, t3
+    ld t4, 0(t3)             ; key
+    mv t5, t1                ; j
+{uid}_inner:
+    beq t5, zero, {uid}_place
+    slli t6, t5, 3
+    add t6, s0, t6
+    ld t0, -8(t6)
+    bge t4, t0, {uid}_place
+    sd t0, 0(t6)
+    addi t5, t5, -1
+    j {uid}_inner
+{uid}_place:
+    slli t6, t5, 3
+    add t6, s0, t6
+    sd t4, 0(t6)
+    addi t1, t1, 1
+    blt t1, t2, {uid}_outer
+    addi s3, s3, -1
+    bne s3, zero, {uid}_rep
+"""
+    return asm, (10 * n + 7 * n * n // 4 + 8 * n) * reps + 10
+
+
+def console_io(uid: str, nbytes: int = 64, reps: int = 1) -> Asm:
+    """Write a buffer to the console (an I/O phase marker)."""
+    nbytes = min(nbytes, 4096)
+    asm = f"""
+; --- console_io: nbytes={nbytes} reps={reps}
+{_map_region(4096)}
+    mv s0, t0
+    li t1, 0
+    li t2, {nbytes}
+{uid}_fill:
+    add t3, s0, t1
+    andi t4, t1, 63
+    addi t4, t4, 0x20
+    sb t4, 0(t3)
+    addi t1, t1, 1
+    blt t1, t2, {uid}_fill
+    li s3, {reps}
+{uid}_rep:
+    li t0, 1
+    mv t1, s0
+    li t2, {nbytes}
+    li t7, 1
+    ecall
+    addi s3, s3, -1
+    bne s3, zero, {uid}_rep
+"""
+    return asm, 7 * nbytes + 8 * reps + 10
+
+
+def disk_io(uid: str, lba: int = 0, nsect: int = 4, reps: int = 1,
+            write: bool = True) -> Asm:
+    """Transfer ``nsect`` sectors to/from the disk, ``reps`` times."""
+    syscall = 5 if write else 4
+    asm = f"""
+; --- disk_io: lba={lba} nsect={nsect} reps={reps} write={write}
+{_map_region(nsect * 512 + 4096)}
+    mv s0, t0
+    sd zero, 0(s0)
+    li s3, {reps}
+    li s1, {lba}
+{uid}_rep:
+    mv t0, s1
+    mv t1, s0
+    li t2, {nsect}
+    li t7, {syscall}
+    ecall
+    addi s1, s1, 1
+    addi s3, s3, -1
+    bne s3, zero, {uid}_rep
+"""
+    return asm, 8 * reps + 10
+
+
+def net_io(uid: str, packet: int = 256, reps: int = 4) -> Asm:
+    """Send a packet and receive the loopback echo, ``reps`` times."""
+    packet = min(packet, 4096)
+    asm = f"""
+; --- net_io: packet={packet} reps={reps}
+{_map_region(4096)}
+    mv s0, t0
+    sd zero, 0(s0)
+    li s3, {reps}
+{uid}_rep:
+    mv t0, s0
+    li t1, {packet}
+    li t7, 6
+    ecall
+    mv t0, s0
+    li t1, {packet}
+    li t7, 7
+    ecall
+    addi s3, s3, -1
+    bne s3, zero, {uid}_rep
+"""
+    return asm, 10 * reps + 10
+
+
+#: kernels that accept a working-set reuse ``slot``
+SLOTTED_KERNELS = frozenset((
+    "stream", "stencil", "matmul", "pointer_chase", "gather",
+    "string_scan", "sort"))
+
+#: name -> emitter, for the phase planner and the DSL
+KERNELS = {
+    "stream": stream,
+    "stencil": stencil,
+    "matmul": matmul,
+    "pointer_chase": pointer_chase,
+    "gather": gather,
+    "branchy": branchy,
+    "crc": crc,
+    "string_scan": string_scan,
+    "calls": calls,
+    "sort": sort,
+    "console_io": console_io,
+    "disk_io": disk_io,
+    "net_io": net_io,
+}

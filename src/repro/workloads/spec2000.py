@@ -1,0 +1,362 @@
+"""Synthetic SPEC CPU2000 benchmark suite (the paper's Table 2).
+
+Each of the 26 benchmarks is generated from a *phase recipe* modelled on
+the published behaviour of the real program: the kernels it mixes, its
+working-set sizes relative to the (scaled) cache hierarchy, its phase
+count and regularity, and where it performs I/O.  Phase-to-phase
+parameter jitter (seeded per benchmark) makes successive phases differ
+in IPC, giving each benchmark the phase structure that sampling
+mechanisms must track.
+
+Instruction counts scale from the paper's Table 2: a benchmark that ran
+N billion instructions on real SPEC runs ``N * SCALE[size]`` here.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .dsl import Workload, WorkloadBuilder
+
+#: instructions per paper-billion for each size class
+SCALE = {
+    "tiny": 600,      # test-suite runs
+    "small": 12000,   # default for benchmarks / figures
+    "paper": 30000,   # full reproduction runs
+}
+
+#: minimum number of 1K-instruction sampling intervals per benchmark —
+#: sampling mechanisms need a meaningful interval count to operate on,
+#: so short benchmarks are floored (documented scaling rule)
+MIN_INTERVALS = {
+    "tiny": 40,
+    "small": 1000,
+    "paper": 2400,
+}
+
+#: matches the paper's Figure 2/4 subject
+EXAMPLE_BENCHMARK = "perlbmk"
+
+
+# ----------------------------------------------------------------------
+# phase planning: invert each kernel's cost model
+
+def _fib_calls(depth: int) -> int:
+    a, b = 1, 1
+    for _ in range(depth + 1):
+        a, b = b, a + b
+    return 2 * a - 1
+
+
+def plan_phase(builder: WorkloadBuilder, kernel: str, target: int,
+               code_copies: int = 1, reuse_key: str | None = None,
+               cap_target: int | None = None, **fixed) -> None:
+    """Append ``kernel`` sized so the phase runs ~``target`` instructions.
+
+    Working-set parameters are capped by the budget: a phase's one-time
+    setup (mapping and initialising its working set) must not dwarf its
+    steady-state loop, so ``n`` shrinks when the target is small.  This
+    keeps every size class faithful in *shape* while scaling total work.
+
+    ``cap_target`` decouples the working-set cap from the (possibly
+    jittered) length target, so phases that share a working set via
+    ``reuse_key`` always derive the same buffer size.
+    """
+    target = max(target, 256)
+    params = dict(fixed)
+    copies = max(1, min(code_copies, target // 2000))
+    n_budget = max(cap_target if cap_target is not None else target, 256)
+
+    def cap_n(default: int, setup_cost_per_elem: int) -> int:
+        requested = params.get("n", default)
+        budget_cap = max(64, n_budget // (3 * setup_cost_per_elem))
+        params["n"] = min(requested, budget_cap)
+        return params["n"]
+
+    if kernel == "stream":
+        n = cap_n(1024, 5)
+        params["iters"] = max(1, (target - 5 * n) // (5 * n))
+    elif kernel == "stencil":
+        n = cap_n(1024, 5)
+        params["iters"] = max(1, (target - 5 * n) // (13 * max(n - 2, 1)))
+    elif kernel == "matmul":
+        n = params.get("n", 16)
+        n = min(n, max(6, round((n_budget / (2 * 14)) ** (1 / 3))))
+        params["n"] = n
+        per_rep = 14 * n ** 3 + 10 * n ** 2 + 3 * n
+        params["reps"] = max(1, (target - 10 * n * n) // per_rep)
+    elif kernel == "pointer_chase":
+        n = cap_n(4096, 10)
+        params["steps"] = max(64, (target - 10 * n) // 3)
+    elif kernel == "gather":
+        n = cap_n(4096, 11)
+        params["iters"] = max(1, (target - 11 * n) // (9 * n))
+    elif kernel == "branchy":
+        params["iters"] = max(16, target // 8)
+    elif kernel == "crc":
+        params["iters"] = max(16, target // 9)
+    elif kernel == "string_scan":
+        n = cap_n(4096, 8)
+        params["iters"] = max(1, (target - 8 * n) // (8 * n))
+    elif kernel == "calls":
+        depth = params.get("depth", 12)
+        while depth > 4 and 14 * _fib_calls(depth) > target:
+            depth -= 1
+        params["depth"] = depth
+        params["reps"] = max(1, target // (14 * _fib_calls(depth)))
+    elif kernel == "sort":
+        n = params.get("n", 256)
+        budget_cap = max(32, int(math.sqrt(n_budget * 4 / 7 / 2)))
+        n = min(n, budget_cap)
+        params["n"] = n
+        per_rep = 10 * n + 7 * n * n // 4 + 8 * n
+        params["reps"] = max(1, target // per_rep)
+    # the I/O kernels are tiny fixed-cost markers; keep given params
+    builder.phase(kernel, code_copies=copies, reuse_key=reuse_key,
+                  **params)
+
+
+# ----------------------------------------------------------------------
+# recipe machinery
+
+#: one phase within a round: (weight, kernel, base parameters)
+Segment = Tuple[float, str, Dict]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Static description of one synthetic SPEC benchmark."""
+
+    name: str
+    ref_input: str
+    paper_billions: int          # Table 2, column 3
+    paper_simpoints: int         # Table 2, column 4 (K=300)
+    rounds: int                  # phase-structure repetitions
+    segments: Tuple[Segment, ...]
+    io_kernel: str = ""          # I/O marker between rounds ("" = none)
+    io_params: Tuple = ()
+    code_copies: int = 1
+    #: +/- fraction of working-set jitter between rounds (drives the
+    #: phase-to-phase IPC variation that sampling must track)
+    jitter: float = 0.5
+
+    def target_instructions(self, size: str = "small") -> int:
+        return max(self.paper_billions * SCALE[size],
+                   MIN_INTERVALS[size] * 1000)
+
+
+def _jittered(value: int, rng: random.Random, fraction: float) -> int:
+    if fraction <= 0:
+        return value
+    factor = 1.0 + rng.uniform(-fraction, fraction)
+    return max(16, int(value * factor))
+
+
+def build_benchmark(spec: BenchmarkSpec, size: str = "small") -> Workload:
+    """Materialise one benchmark at the requested size class."""
+    if size not in SCALE:
+        raise KeyError(f"unknown size {size!r}; choose from {list(SCALE)}")
+    seed = zlib.crc32(spec.name.encode("utf-8")) & 0x7FFFFFFF
+    builder = WorkloadBuilder(spec.name, seed=seed)
+    builder.ref_input = spec.ref_input
+    rng = builder.rng
+    total = spec.target_instructions(size)
+    weight_sum = sum(weight for weight, _, _ in spec.segments)
+    per_round = total / spec.rounds
+    # Working sets are sized (with jitter) once per segment and shared
+    # across rounds: round 1 is the program's initialization phase;
+    # later rounds revisit long-lived data, like real SPEC programs.
+    segment_params = []
+    for weight, kernel, base_params in spec.segments:
+        params = dict(base_params)
+        if "n" in params:
+            params["n"] = _jittered(params["n"], rng, spec.jitter)
+        segment_params.append((weight, kernel, params))
+    for _ in range(spec.rounds):
+        for index, (weight, kernel, params) in enumerate(segment_params):
+            # phase *lengths* vary between rounds (the paper's IPC
+            # traces show recurring phases of uneven duration)
+            nominal = int(per_round * weight / weight_sum)
+            target = _jittered(nominal, rng, min(spec.jitter, 0.3))
+            plan_phase(builder, kernel, target,
+                       code_copies=spec.code_copies,
+                       reuse_key=f"seg{index}", cap_target=nominal,
+                       **dict(params))
+            # "Applications write data to devices when they have
+            # finished a particular task" (paper §4.1): a small output
+            # flush ends every compute phase, giving the I/O statistic
+            # its phase-boundary correlation.
+            builder.phase("console_io", nbytes=16, reps=2)
+        if spec.io_kernel:
+            builder.phase(spec.io_kernel, **dict(spec.io_params))
+        else:
+            # OS housekeeping: a full-system VM always shows baseline
+            # device activity (timer, logging); model it with a tiny
+            # console flush between rounds.
+            builder.phase("console_io", nbytes=8, reps=2)
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# the 26 benchmarks
+
+def _spec(name: str, ref_input: str, billions: int, simpoints: int,
+          rounds: int, segments: List[Segment], io: str = "",
+          io_params: Dict | None = None, code_copies: int = 1,
+          jitter: float = 0.5) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name, ref_input=ref_input, paper_billions=billions,
+        paper_simpoints=simpoints, rounds=rounds,
+        segments=tuple((w, k, dict(p)) for w, k, p in segments),
+        io_kernel=io, io_params=tuple((io_params or {}).items()),
+        code_copies=code_copies, jitter=jitter)
+
+
+SPEC2000: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in (
+    # ---- integer ------------------------------------------------------
+    _spec("gzip", "graphic", 70, 131, 6, [
+        (0.4, "crc", {}),
+        (0.3, "string_scan", {"n": 8192}),
+        (0.3, "stream", {"n": 2048}),
+    ], io="disk_io", io_params={"nsect": 4, "reps": 2}),
+    _spec("vpr", "place", 93, 89, 5, [
+        (0.35, "branchy", {"taken_bias": 1}),
+        (0.35, "pointer_chase", {"n": 8192}),
+        (0.3, "sort", {"n": 192}),
+    ]),
+    _spec("gcc", "166.i", 29, 166, 8, [
+        (0.3, "branchy", {"taken_bias": 1}),
+        (0.25, "string_scan", {"n": 4096}),
+        (0.2, "pointer_chase", {"n": 4096}),
+        (0.15, "calls", {"depth": 10}),
+        (0.1, "sort", {"n": 128}),
+    ], code_copies=10, jitter=0.8),
+    _spec("mcf", "inp.in", 48, 86, 4, [
+        (0.7, "pointer_chase", {"n": 32768}),
+        (0.3, "stream", {"n": 4096}),
+    ], jitter=0.3),
+    _spec("crafty", "crafty.in", 141, 123, 6, [
+        (0.5, "branchy", {"taken_bias": 1}),
+        (0.3, "crc", {}),
+        (0.2, "gather", {"n": 2048}),
+    ]),
+    _spec("parser", "ref.in", 240, 153, 10, [
+        (0.4, "string_scan", {"n": 8192}),
+        (0.3, "branchy", {"taken_bias": 1}),
+        (0.3, "pointer_chase", {"n": 8192}),
+    ], jitter=0.7),
+    _spec("eon", "cook", 73, 110, 5, [
+        (0.3, "calls", {"depth": 11}),
+        (0.4, "matmul", {"n": 12}),
+        (0.3, "stream", {"n": 1024}),
+    ]),
+    _spec("perlbmk", "diffmail", 32, 181, 6, [
+        (0.35, "string_scan", {"n": 4096}),
+        (0.25, "branchy", {"taken_bias": 1}),
+        (0.2, "calls", {"depth": 10}),
+        (0.2, "pointer_chase", {"n": 2048}),
+    ], io="console_io", io_params={"nbytes": 128, "reps": 3},
+        code_copies=4, jitter=0.8),
+    _spec("gap", "ref.in", 195, 120, 5, [
+        (0.4, "crc", {}),
+        (0.3, "stream", {"n": 4096}),
+        (0.3, "sort", {"n": 256}),
+    ]),
+    _spec("vortex", "lendian1.raw", 112, 91, 6, [
+        (0.4, "pointer_chase", {"n": 8192}),
+        (0.3, "string_scan", {"n": 4096}),
+        (0.3, "crc", {}),
+    ], io="disk_io", io_params={"nsect": 8, "reps": 2}),
+    _spec("bzip2", "source", 85, 113, 6, [
+        (0.4, "sort", {"n": 256}),
+        (0.4, "crc", {}),
+        (0.2, "string_scan", {"n": 8192}),
+    ], io="disk_io", io_params={"nsect": 4, "reps": 2}),
+    _spec("twolf", "ref", 240, 132, 8, [
+        (0.4, "branchy", {"taken_bias": 1}),
+        (0.3, "gather", {"n": 8192}),
+        (0.3, "pointer_chase", {"n": 8192}),
+    ]),
+    # ---- floating point ----------------------------------------------
+    _spec("wupwise", "wupwise.in", 240, 28, 3, [
+        (0.6, "matmul", {"n": 20}),
+        (0.4, "stream", {"n": 4096}),
+    ], jitter=0.1),
+    _spec("swim", "swim.in", 226, 135, 5, [
+        (0.7, "stencil", {"n": 16384}),
+        (0.3, "stream", {"n": 8192}),
+    ], jitter=0.4),
+    _spec("mgrid", "mgrid.in", 240, 124, 6, [
+        (0.8, "stencil", {"n": 8192}),
+        (0.2, "stream", {"n": 2048}),
+    ], jitter=0.6),
+    _spec("applu", "applu.in", 240, 128, 6, [
+        (0.5, "stencil", {"n": 8192}),
+        (0.3, "matmul", {"n": 16}),
+        (0.2, "stream", {"n": 4096}),
+    ]),
+    _spec("mesa", "mesa.in", 240, 81, 6, [
+        (0.3, "matmul", {"n": 12}),
+        (0.3, "gather", {"n": 4096}),
+        (0.2, "branchy", {"taken_bias": 1}),
+        (0.2, "stream", {"n": 2048}),
+    ], jitter=0.3),
+    _spec("galgel", "galgel.in", 240, 134, 5, [
+        (0.5, "matmul", {"n": 20}),
+        (0.3, "gather", {"n": 8192}),
+        (0.2, "stream", {"n": 4096}),
+    ]),
+    _spec("art", "c756hel.in", 56, 169, 4, [
+        (0.8, "gather", {"n": 32768}),
+        (0.2, "stream", {"n": 2048}),
+    ], jitter=0.7),
+    _spec("equake", "inp.in", 112, 168, 5, [
+        (0.4, "gather", {"n": 8192}),
+        (0.3, "stencil", {"n": 4096}),
+        (0.3, "pointer_chase", {"n": 8192}),
+    ], jitter=0.7),
+    _spec("facerec", "ref.in", 240, 147, 6, [
+        (0.4, "matmul", {"n": 16}),
+        (0.3, "stream", {"n": 4096}),
+        (0.3, "gather", {"n": 4096}),
+    ]),
+    _spec("ammp", "ammp-ref.in", 240, 153, 5, [
+        (0.4, "pointer_chase", {"n": 16384}),
+        (0.3, "stencil", {"n": 4096}),
+        (0.3, "stream", {"n": 4096}),
+    ]),
+    _spec("lucas", "lucas2.in", 240, 44, 3, [
+        (0.6, "stream", {"n": 16384}),
+        (0.4, "stencil", {"n": 8192}),
+    ], jitter=0.15),
+    _spec("fma3d", "fma3d.in", 240, 104, 7, [
+        (0.4, "stencil", {"n": 4096}),
+        (0.2, "calls", {"depth": 10}),
+        (0.2, "matmul", {"n": 12}),
+        (0.2, "stream", {"n": 4096}),
+    ]),
+    _spec("sixtrack", "fort.3", 240, 235, 10, [
+        (0.3, "matmul", {"n": 12}),
+        (0.3, "stencil", {"n": 2048}),
+        (0.2, "stream", {"n": 2048}),
+        (0.2, "gather", {"n": 2048}),
+    ], jitter=0.9),
+    _spec("apsi", "apsi.in", 240, 94, 6, [
+        (0.3, "stencil", {"n": 4096}),
+        (0.3, "matmul", {"n": 14}),
+        (0.2, "gather", {"n": 4096}),
+        (0.2, "stream", {"n": 4096}),
+    ], jitter=0.3),
+)}
+
+#: suite order as printed in the paper's Table 2
+SUITE_ORDER = tuple(SPEC2000)
+
+INTEGER_BENCHMARKS = ("gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+                      "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf")
+FP_BENCHMARKS = tuple(name for name in SUITE_ORDER
+                      if name not in INTEGER_BENCHMARKS)

@@ -1,0 +1,58 @@
+"""Benchmark suite registry and convenience accessors."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .dsl import Workload
+from .spec2000 import (BenchmarkSpec, SCALE, SPEC2000, SUITE_ORDER,
+                       build_benchmark)
+
+#: VM knobs used for suite runs; the translation-cache capacity is scaled
+#: down with the workloads (just like TimingConfig.small scales the
+#: simulated caches) so phase transitions visibly turn the cache over.
+SUITE_MACHINE_KWARGS = {
+    "code_cache_capacity": 40,
+    "tlb_capacity": 128,
+}
+
+_CACHE: Dict[Tuple[str, str], Workload] = {}
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """The 26 SPEC CPU2000 benchmark names, in Table 2 order."""
+    return SUITE_ORDER
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    if name not in SPEC2000:
+        raise KeyError(f"unknown benchmark {name!r}")
+    return SPEC2000[name]
+
+
+def load_benchmark(name: str, size: str = "small",
+                   use_cache: bool = True) -> Workload:
+    """Build (or fetch the memoised) workload for one benchmark.
+
+    Workload construction is deterministic, so memoising by
+    ``(name, size)`` is safe and saves repeated assembly time in the
+    experiment harness.
+    """
+    key = (name, size)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    workload = build_benchmark(get_spec(name), size=size)
+    if use_cache:
+        _CACHE[key] = workload
+    return workload
+
+
+def load_suite(size: str = "small",
+               names: Optional[List[str]] = None) -> Iterator[Workload]:
+    """Yield workloads for the whole suite (or a named subset)."""
+    for name in (names or SUITE_ORDER):
+        yield load_benchmark(name, size=size)
+
+
+def scale_sizes() -> Tuple[str, ...]:
+    return tuple(SCALE)

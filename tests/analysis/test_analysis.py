@@ -1,0 +1,117 @@
+"""Tests for the analysis helpers (metrics, Pareto, rendering)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (PolicySummary, ascii_scatter, ascii_series,
+                            dominates, format_table, harmonic_mean,
+                            pareto_frontier, summarize_policy)
+from repro.sampling import PolicyResult
+
+
+def make_result(policy="p", benchmark="b", ipc=1.0, seconds=1.0):
+    return PolicyResult(
+        policy=policy, benchmark=benchmark, ipc=ipc,
+        total_instructions=1000, fast_instructions=0,
+        profile_instructions=0, warming_instructions=0,
+        timed_instructions=1000, timed_intervals=1,
+        wall_seconds=seconds, modeled_seconds=seconds)
+
+
+# ----------------------------------------------------------------------
+# pareto
+
+def test_pareto_frontier_simple():
+    points = [("a", 1.0, 10.0), ("b", 2.0, 5.0), ("c", 0.5, 20.0)]
+    # c dominates both a and b
+    frontier = pareto_frontier(points)
+    assert [p[0] for p in frontier] == ["c"]
+
+
+def test_pareto_frontier_tradeoff():
+    points = [("accurate", 0.5, 5.0), ("fast", 5.0, 100.0),
+              ("dominated", 5.0, 5.0), ("middle", 2.0, 50.0)]
+    frontier = pareto_frontier(points)
+    labels = [p[0] for p in frontier]
+    assert labels == ["accurate", "middle", "fast"]
+    assert "dominated" not in labels
+
+
+def test_dominates():
+    assert dominates((1.0, 10.0), (2.0, 5.0))
+    assert not dominates((1.0, 10.0), (0.5, 20.0))
+    assert not dominates((1.0, 10.0), (1.0, 10.0))  # equal: no
+
+
+@given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                          st.floats(0.1, 1000, allow_nan=False)),
+                min_size=1, max_size=20))
+def test_pareto_frontier_members_are_not_dominated(raw):
+    points = [(f"p{i}", e, s) for i, (e, s) in enumerate(raw)]
+    frontier = pareto_frontier(points)
+    assert frontier  # never empty for non-empty input
+    for _, err, speed in frontier:
+        for _, other_err, other_speed in points:
+            assert not (other_err < err and other_speed > speed)
+
+
+# ----------------------------------------------------------------------
+# metrics
+
+def test_harmonic_mean():
+    assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+    assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+    assert harmonic_mean([]) == 0.0
+
+
+def test_summarize_policy():
+    references = {"x": make_result("full", "x", ipc=1.0, seconds=10.0),
+                  "y": make_result("full", "y", ipc=2.0, seconds=10.0)}
+    results = [make_result("fast", "x", ipc=1.1, seconds=1.0),
+               make_result("fast", "y", ipc=2.0, seconds=1.0)]
+    summary = summarize_policy(results, references)
+    assert isinstance(summary, PolicySummary)
+    assert summary.mean_error == pytest.approx(0.05)
+    assert summary.max_error == pytest.approx(0.1)
+    assert summary.speedup == pytest.approx(10.0)
+    assert summary.benchmarks == 2
+
+
+def test_summarize_policy_empty():
+    with pytest.raises(ValueError):
+        summarize_policy([], {})
+
+
+# ----------------------------------------------------------------------
+# rendering
+
+def test_format_table_alignment():
+    text = format_table(("name", "value"),
+                        [("a", 1), ("long-name", 123456.0)],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert all(len(line) <= 80 for line in lines)
+
+
+def test_ascii_scatter_contains_markers_and_legend():
+    text = ascii_scatter([("one", 1.0, 10.0), ("two", 5.0, 100.0)])
+    assert "A" in text
+    assert "B" in text
+    assert "one" in text and "two" in text
+
+
+def test_ascii_scatter_empty():
+    assert "no points" in ascii_scatter([])
+
+
+def test_ascii_series_plots():
+    text = ascii_series([("ipc", [1.0, 2.0, 1.5, 0.5])], title="demo")
+    assert "demo" in text
+    assert "*" in text
+
+
+def test_ascii_series_empty():
+    assert "no data" in ascii_series([])
+    assert "no data" in ascii_series([("x", [])])

@@ -1,0 +1,176 @@
+"""Unit tests for the device models and the MMIO bus."""
+
+import pytest
+
+from repro.devices import (BlockDevice, Bus, BusError, ConsoleDevice,
+                           NicDevice, SECTOR_SIZE, TimerDevice)
+from repro.vm import VmStats
+
+
+# ----------------------------------------------------------------------
+# bus
+
+def test_bus_attach_and_route():
+    stats = VmStats()
+    bus = Bus(stats=stats)
+    console = ConsoleDevice()
+    bus.attach(console, 0x1000)
+    bus.write(0x1000, 1, ord("A"))
+    assert console.output == b"A"
+    assert stats.io_operations == 1
+
+
+def test_bus_rejects_overlapping_windows():
+    bus = Bus()
+    bus.attach(ConsoleDevice(), 0x1000)
+    with pytest.raises(BusError):
+        bus.attach(BlockDevice(), 0x1800)
+
+
+def test_bus_unmapped_access():
+    bus = Bus()
+    with pytest.raises(BusError):
+        bus.read(0x9999, 4)
+    with pytest.raises(BusError):
+        bus.write(0x9999, 4, 1)
+
+
+def test_bus_counts_reads_and_writes():
+    stats = VmStats()
+    bus = Bus(stats=stats)
+    bus.attach(ConsoleDevice(), 0)
+    bus.read(0x8, 8)   # STATUS
+    bus.write(0x0, 1, 65)
+    bus.count_io(3)
+    assert stats.io_operations == 5
+
+
+# ----------------------------------------------------------------------
+# console
+
+def test_console_output_and_input():
+    console = ConsoleDevice()
+    console.write_bytes(b"hello ")
+    console.write_bytes(b"world")
+    assert console.output_text() == "hello world"
+    console.feed_input(b"xy")
+    assert console.read_bytes(10) == b"xy"
+    assert console.read_bytes(10) == b""
+
+
+def test_console_mmio():
+    console = ConsoleDevice()
+    console.feed_input(b"a")
+    assert console.mmio_read(0x08, 8) == 1      # input available
+    assert console.mmio_read(0x00, 1) == ord("a")
+    assert console.mmio_read(0x08, 8) == 0
+    assert console.mmio_read(0x00, 1) == 0      # empty queue
+    console.mmio_write(0x00, 1, ord("z"))
+    assert console.output == b"z"
+
+
+# ----------------------------------------------------------------------
+# block device
+
+def test_block_sector_roundtrip():
+    disk = BlockDevice()
+    payload = bytes(range(256)) * 2
+    disk.write_sectors(5, payload)
+    assert disk.read_sectors(5, 1) == payload
+    assert disk.sectors_transferred == 2
+
+
+def test_block_write_pads_partial_sector():
+    disk = BlockDevice()
+    disk.write_sectors(0, b"abc")
+    sector = disk.read_sectors(0, 1)
+    assert sector[:3] == b"abc"
+    assert len(sector) == SECTOR_SIZE
+    assert sector[3:] == b"\x00" * (SECTOR_SIZE - 3)
+
+
+def test_block_out_of_range():
+    disk = BlockDevice(num_sectors=4)
+    with pytest.raises(ValueError):
+        disk.read_sectors(4, 1)
+
+
+def test_block_mmio_load_store():
+    disk = BlockDevice()
+    disk.write_sectors(7, b"Z" * SECTOR_SIZE)
+    disk.mmio_write(0x00, 8, 7)   # LBA
+    disk.mmio_write(0x18, 8, 1)   # CMD_LOAD
+    disk.mmio_write(0x10, 8, 0)   # BUFFER = 0
+    assert disk.mmio_read(0x20, 1) == ord("Z")
+    # patch one byte and store back
+    disk.mmio_write(0x10, 8, 0)
+    disk.mmio_write(0x20, 1, ord("Q"))
+    disk.mmio_write(0x18, 8, 2)   # CMD_STORE
+    assert disk.read_sectors(7, 1)[0] == ord("Q")
+
+
+# ----------------------------------------------------------------------
+# timer
+
+def test_timer_posts_interrupt_on_deadline():
+    class FakeMachine:
+        def __init__(self):
+            self.irqs = []
+
+        def post_interrupt(self, irq):
+            self.irqs.append(irq)
+
+    machine = FakeMachine()
+    timer = TimerDevice(machine)
+    timer.mmio_write(0x08, 8, 1000)  # DEADLINE
+    timer.mmio_write(0x10, 8, 1)     # enable
+    timer.advance(500)
+    assert machine.irqs == []
+    timer.advance(1000)
+    assert machine.irqs == [1]
+    # one-shot: advancing further does not re-fire
+    timer.advance(2000)
+    assert machine.irqs == [1]
+    assert timer.interrupts_posted == 1
+
+
+def test_timer_mmio_readback():
+    timer = TimerDevice()
+    timer.advance(123)
+    assert timer.mmio_read(0x00, 8) == 123
+    timer.mmio_write(0x08, 8, 55)
+    assert timer.mmio_read(0x08, 8) == 55
+    assert timer.mmio_read(0x10, 8) == 0
+
+
+# ----------------------------------------------------------------------
+# nic
+
+def test_nic_loopback_echo():
+    nic = NicDevice()
+    nic.send(b"ping")
+    assert nic.mmio_read(0x00, 8) == 1
+    assert nic.mmio_read(0x08, 8) == 4
+    assert nic.recv(100) == b"ping"
+    assert nic.recv(100) == b""
+    assert nic.packets_sent == 1
+    assert nic.packets_received == 1
+
+
+def test_nic_custom_peer():
+    def peer(packet):
+        if packet == b"drop":
+            return None
+        return packet.upper()
+
+    nic = NicDevice(peer=peer)
+    nic.send(b"hello")
+    nic.send(b"drop")
+    assert nic.recv(100) == b"HELLO"
+    assert nic.recv(100) == b""
+
+
+def test_nic_truncates_oversized_packets():
+    nic = NicDevice()
+    nic.send(b"x" * 10000)
+    assert len(nic.recv(10000)) == 4096

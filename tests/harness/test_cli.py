@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    # the default ResultCache was created at import time; point run_policy
+    # at a fresh one for these tests
+    from repro.harness import experiments
+    monkeypatch.setattr(experiments, "_DEFAULT_CACHE",
+                        experiments.ResultCache(tmp_path / "c.json"))
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "gzip" in out
+    assert "apsi" in out
+    assert "CPU-300-1M-inf" in out
+
+
+def test_run_command(capsys):
+    code = main(["run", "gzip", "--policy", "EXC-300-1M-10",
+                 "--size", "tiny"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "vs full" in out
+
+
+def test_run_full_policy(capsys):
+    assert main(["run", "mcf", "--policy", "full", "--size", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "vs full" not in out  # no self-comparison
+
+
+def test_suite_command(capsys):
+    code = main(["suite", "--policy", "EXC-300-1M-10", "--size", "tiny",
+                 "--benchmarks", "gzip,mcf"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean error" in out
+    assert "speedup" in out
+
+
+def test_figure_command(capsys):
+    assert main(["figure", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+
+
+def test_figure_unknown(capsys):
+    assert main(["figure", "fig99"]) == 2
+
+
+def test_exec_command(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+_start:
+    la t1, msg
+    li t2, 3
+    li t0, 1
+    li t7, 1
+    ecall
+    li t0, 5
+    li t7, 0
+    ecall
+msg:
+    .ascii "ok\\n"
+""")
+    assert main(["exec", str(source)]) == 5
+    out = capsys.readouterr().out
+    assert "ok" in out
+    assert "exit code 5" in out

@@ -1,0 +1,115 @@
+"""Tests for the experiment harness (registry, cache, traces)."""
+
+import pytest
+
+from repro.harness import (ResultCache, collect_interval_trace,
+                           compare_phase_detection, modeled_seconds_for,
+                           phase_match_score, policy_factory, run_policy)
+from repro.harness.traces import PhaseComparison
+from repro.sampling import (DynamicSampler, FullTiming, SimPointSampler,
+                            SmartsSampler)
+
+
+# ----------------------------------------------------------------------
+# policy registry
+
+def test_policy_factory_known_keys():
+    assert isinstance(policy_factory("full")(), FullTiming)
+    assert isinstance(policy_factory("smarts")(), SmartsSampler)
+    assert isinstance(policy_factory("simpoint")(), SimPointSampler)
+    assert isinstance(policy_factory("simpoint+prof")(), SimPointSampler)
+    sampler = policy_factory("CPU-300-1M-inf")()
+    assert isinstance(sampler, DynamicSampler)
+    assert sampler.config.max_func is None
+    assert sampler.config.sensitivity == pytest.approx(3.0)
+    sampler = policy_factory("IO-100-10M-10")()
+    assert sampler.config.max_func == 10
+    assert sampler.config.interval_length == 10000
+
+
+def test_policy_factory_unknown_key():
+    with pytest.raises(KeyError):
+        policy_factory("magic")
+    with pytest.raises(KeyError):
+        policy_factory("XYZ-300-1M-inf")
+
+
+# ----------------------------------------------------------------------
+# result cache
+
+def make_result(policy="p", benchmark="b", ipc=1.0, seconds=1.0):
+    from repro.sampling import PolicyResult
+    return PolicyResult(
+        policy=policy, benchmark=benchmark, ipc=ipc,
+        total_instructions=1000, fast_instructions=0,
+        profile_instructions=0, warming_instructions=0,
+        timed_instructions=1000, timed_intervals=1,
+        wall_seconds=seconds, modeled_seconds=seconds)
+
+
+def test_result_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache.json")
+    assert cache.get("k") is None
+    result = make_result("full", "gzip", ipc=1.5)
+    cache.put("k", result)
+    loaded = cache.get("k")
+    assert loaded.ipc == 1.5
+    # survives a fresh instance (really persisted)
+    again = ResultCache(tmp_path / "cache.json")
+    assert again.get("k").benchmark == "gzip"
+
+
+def test_result_cache_corrupt_file(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{ not json")
+    cache = ResultCache(path)
+    assert cache.get("anything") is None
+
+
+def test_run_policy_uses_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache.json")
+    first = run_policy("gzip", "EXC-300-1M-10", size="tiny", cache=cache)
+    second = run_policy("gzip", "EXC-300-1M-10", size="tiny", cache=cache)
+    assert first.ipc == second.ipc
+    assert (tmp_path / "cache.json").exists()
+
+
+def test_modeled_seconds_for_simpoint_prof(tmp_path):
+    cache = ResultCache(tmp_path / "cache.json")
+    result = run_policy("gzip", "simpoint", size="tiny", cache=cache)
+    base = modeled_seconds_for("simpoint", result)
+    with_prof = modeled_seconds_for("simpoint+prof", result)
+    assert with_prof > base
+
+
+# ----------------------------------------------------------------------
+# traces
+
+def test_interval_trace_shapes():
+    trace = collect_interval_trace("gzip", size="tiny",
+                                   max_intervals=30)
+    assert trace.intervals <= 30
+    assert len(trace.ipc) == trace.intervals
+    assert len(trace.starts) == trace.intervals
+    for variable in ("CPU", "EXC", "IO"):
+        assert len(trace.stats[variable]) == trace.intervals
+    assert all(0 <= ipc <= 3.2 for ipc in trace.ipc)
+
+
+def test_phase_comparison_runs():
+    comparison = compare_phase_detection("gzip", size="tiny",
+                                         variable="EXC",
+                                         sensitivity=100)
+    assert comparison.num_intervals > 0
+    assert isinstance(comparison.simpoint_intervals, list)
+
+
+def test_phase_match_score():
+    comparison = PhaseComparison(
+        benchmark="x", interval_length=1000, num_intervals=100,
+        simpoint_intervals=[10, 50, 90],
+        dynamic_intervals=[12, 49, 70])
+    assert phase_match_score(comparison, tolerance=5) \
+        == pytest.approx(2 / 3)
+    empty = PhaseComparison("x", 1000, 100, [10], [])
+    assert phase_match_score(empty) == 0.0

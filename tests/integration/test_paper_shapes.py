@@ -1,0 +1,102 @@
+"""End-to-end shape tests: the paper's qualitative claims at tiny scale.
+
+These run the complete pipeline (workload -> VM -> timing -> sampling)
+on a few tiny benchmarks and assert the *relationships* the paper
+establishes, not absolute numbers:
+
+* full timing is the accuracy reference (definitionally exact);
+* every sampling policy is cheaper than full timing;
+* SMARTS pays for continuous warming (single-digit modeled speedup);
+* SimPoint's profiling pass erases most of its speed advantage;
+* Dynamic Sampling needs no profiling pass and runs mostly at full
+  speed.
+"""
+
+import pytest
+
+from repro.harness import run_policy, modeled_seconds_for
+from repro.sampling import accuracy_error
+from repro.workloads import SUITE_MACHINE_KWARGS, load_benchmark
+
+BENCHES = ("gzip", "mcf", "swim")
+SIZE = "tiny"
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    from repro.harness import ResultCache
+    cache = ResultCache(tmp_path_factory.mktemp("cache") / "r.json")
+    policies = ("full", "smarts", "simpoint", "EXC-100-1M-10",
+                "CPU-300-1M-10")
+    return {policy: {name: run_policy(name, policy, size=SIZE,
+                                      cache=cache)
+                     for name in BENCHES}
+            for policy in policies}
+
+
+def test_all_policies_cheaper_than_full(results):
+    for policy, per_bench in results.items():
+        if policy == "full":
+            continue
+        for name in BENCHES:
+            assert (per_bench[name].modeled_seconds
+                    < results["full"][name].modeled_seconds), \
+                (policy, name)
+
+
+def test_sampling_policies_are_roughly_accurate(results):
+    """At tiny scale errors are loose, but estimates must be sane.
+
+    SMARTS is excluded: a tiny benchmark only contains a handful of its
+    sampling periods, so its CLT-based estimate is undefined there (the
+    real SMARTS configuration targets thousands of units).
+    """
+    for policy, per_bench in results.items():
+        if policy == "smarts":
+            continue
+        for name in BENCHES:
+            error = accuracy_error(per_bench[name].ipc,
+                                   results["full"][name].ipc)
+            assert error < 1.0, (policy, name, error)
+
+
+def test_smarts_cost_structure(results):
+    """SMARTS: warming dominates; no fast execution at all."""
+    for name in BENCHES:
+        result = results["smarts"][name]
+        assert result.fast_instructions == 0
+        assert result.warming_instructions > result.timed_instructions
+
+
+def test_simpoint_cost_structure(results):
+    """SimPoint profiles the whole program once."""
+    for name in BENCHES:
+        result = results["simpoint"][name]
+        assert result.profile_instructions \
+            >= 0.9 * results["full"][name].total_instructions
+        with_prof = modeled_seconds_for("simpoint+prof", result)
+        assert with_prof > result.modeled_seconds
+
+
+def test_dynamic_sampling_cost_structure(results):
+    """Dynamic Sampling: mostly fast execution, no profiling."""
+    for name in BENCHES:
+        result = results["CPU-300-1M-10"][name]
+        assert result.profile_instructions == 0
+        assert result.fast_instructions > result.timed_instructions
+
+
+def test_dynamic_sampling_without_profiling_beats_simpoint_end_to_end(
+        results):
+    """Counting profiling, DS is cheaper than SimPoint (the paper's
+    system-level argument for why SimPoint doesn't fit live VMs)."""
+    for name in BENCHES:
+        ds_seconds = results["EXC-100-1M-10"][name].modeled_seconds
+        simpoint_total = modeled_seconds_for(
+            "simpoint+prof", results["simpoint"][name])
+        assert ds_seconds < simpoint_total
+
+
+def test_full_timing_ipc_within_machine_width(results):
+    for name in BENCHES:
+        assert 0.0 < results["full"][name].ipc <= 3.0

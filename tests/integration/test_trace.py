@@ -1,0 +1,114 @@
+"""Tests for trace-driven simulation (record / replay)."""
+
+import pytest
+
+from repro.timing import OutOfOrderCore, TimingConfig
+from repro.trace import (EVENT_SIZE, TraceRecorder, iter_trace,
+                         record_trace, replay_trace)
+from repro.vm import MODE_EVENT, RecordingSink
+from repro.workloads import SUITE_MACHINE_KWARGS, WorkloadBuilder
+
+
+def small_workload():
+    builder = WorkloadBuilder("trace-demo", seed=5)
+    builder.phase("crc", iters=2000)
+    builder.phase("stream", n=256, iters=4)
+    builder.phase("branchy", iters=3000)
+    return builder.build()
+
+
+def test_record_and_iterate(tmp_path):
+    path = tmp_path / "demo.ztrc"
+    events = record_trace(small_workload(), path)
+    assert events > 5000
+    replayed = list(iter_trace(path))
+    assert len(replayed) == events
+    # events look sane
+    pcs = {event[0] for event in replayed[:100]}
+    assert all(pc % 4 == 0 for pc in pcs)
+
+
+def test_trace_matches_live_event_stream(tmp_path):
+    workload = small_workload()
+    live = RecordingSink()
+    system = workload.boot()
+    system.run_to_completion(mode=MODE_EVENT, sink=live)
+
+    path = tmp_path / "demo.ztrc"
+    record_trace(workload, path)
+    recorded = list(iter_trace(path))
+    assert len(recorded) == len(live.events)
+    assert recorded[:500] == live.events[:500]
+    assert recorded[-500:] == live.events[-500:]
+
+
+def test_replay_reproduces_execution_driven_timing(tmp_path):
+    """Trace-driven and execution-driven timing agree cycle-exactly."""
+    workload = small_workload()
+
+    live_core = OutOfOrderCore(TimingConfig.small())
+    system = workload.boot()
+    system.run_to_completion(mode=MODE_EVENT, sink=live_core)
+
+    path = tmp_path / "demo.ztrc"
+    record_trace(workload, path)
+    replay_core = OutOfOrderCore(TimingConfig.small())
+    replayed = replay_trace(path, replay_core)
+
+    assert replayed == live_core.retired
+    assert replay_core.cycles == live_core.cycles
+    assert replay_core.stats() == live_core.stats()
+
+
+def test_replay_supports_different_timing_models(tmp_path):
+    """One functional run, several timing experiments."""
+    path = tmp_path / "demo.ztrc"
+    record_trace(small_workload(), path)
+    small = OutOfOrderCore(TimingConfig.small())
+    big = OutOfOrderCore(TimingConfig.opteron_like())
+    replay_trace(path, small)
+    replay_trace(path, big)
+    assert small.retired == big.retired
+    # the bigger hierarchy never misses more on the same access stream
+    assert big.hierarchy.l1d.misses <= small.hierarchy.l1d.misses
+    assert big.hierarchy.l2.misses <= small.hierarchy.l2.misses
+    # and the two configurations do measure different machines
+    assert big.cycles != small.cycles
+
+
+def test_uncompressed_traces(tmp_path):
+    path = tmp_path / "plain.ztrc"
+    events = record_trace(small_workload(), path, compress=False)
+    assert path.stat().st_size == len(b"ZTRC\x01") + events * EVENT_SIZE
+    assert len(list(iter_trace(path))) == events
+
+
+def test_compression_shrinks_the_file(tmp_path):
+    plain = tmp_path / "plain.ztrc"
+    packed = tmp_path / "packed.ztrc"
+    record_trace(small_workload(), plain, compress=False)
+    record_trace(small_workload(), packed, compress=True)
+    assert packed.stat().st_size < plain.stat().st_size / 3
+
+
+def test_max_events_limits_recording_and_replay(tmp_path):
+    path = tmp_path / "demo.ztrc"
+    record_trace(small_workload(), path, max_instructions=1000)
+    total = len(list(iter_trace(path)))
+    assert 1000 <= total <= 1100  # block-grain overshoot
+    sink = RecordingSink()
+    assert replay_trace(path, sink, max_events=100) == 100
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bogus.ztrc"
+    path.write_bytes(b"NOPE" + b"\x00" * 64)
+    with pytest.raises(ValueError):
+        list(iter_trace(path))
+
+
+def test_recorder_context_manager_flushes(tmp_path):
+    path = tmp_path / "ctx.ztrc"
+    with TraceRecorder(path, compress=False) as recorder:
+        recorder.on_inst(0x1000, 0, 1, 2, 3, 0, 0, 0)
+    assert len(list(iter_trace(path))) == 1

@@ -1,0 +1,234 @@
+"""Tests for the two-pass assembler and disassembler."""
+
+import pytest
+
+from repro.isa import (AssemblerError, Op, assemble, decode, disassemble,
+                       disassemble_word)
+
+
+def _words(program, count=None):
+    """Return the decoded instructions of the first segment."""
+    seg = program.segments[0]
+    end = len(seg.data) if count is None else count * 4
+    return [decode(int.from_bytes(seg.data[i:i + 4], "little"))
+            for i in range(0, end, 4)]
+
+
+def test_simple_program_assembles():
+    program = assemble("""
+        addi t0, zero, 5
+        addi t1, zero, 7
+        add  t2, t0, t1
+        halt
+    """)
+    ops = [w.op for w in _words(program)]
+    assert ops == [Op.ADDI, Op.ADDI, Op.ADD, Op.HALT]
+
+
+def test_labels_and_branches_resolve():
+    program = assemble("""
+    _start:
+        addi t0, zero, 0
+    loop:
+        addi t0, t0, 1
+        blt  t0, t1, loop
+        halt
+    """)
+    words = _words(program)
+    branch = words[2]
+    assert branch.op == Op.BLT
+    # branch at base+8 targets base+4 -> displacement -1 word
+    assert branch.imm == -1
+    assert program.entry == program.segments[0].base
+
+
+def test_forward_references_resolve():
+    program = assemble("""
+        j done
+        addi t0, zero, 1
+    done:
+        halt
+    """)
+    words = _words(program)
+    assert words[0].op == Op.JAL
+    assert words[0].imm == 2
+
+
+def test_load_store_offset_syntax():
+    program = assemble("""
+        ld  t0, 16(sp)
+        sd  t0, -8(sp)
+        lb  t1, (gp)
+    """)
+    words = _words(program)
+    assert (words[0].op, words[0].imm, words[0].rs1) == (Op.LD, 16, 15)
+    assert (words[1].op, words[1].imm) == (Op.SD, -8)
+    assert (words[2].op, words[2].imm, words[2].rs1) == (Op.LB, 0, 13)
+
+
+def test_li_small_medium_large():
+    small = assemble("li t0, 42")
+    assert [w.op for w in _words(small)] == [Op.LDI]
+
+    medium = assemble("li t0, 0x12345678")
+    words = _words(medium)
+    assert [w.op for w in words] == [Op.LDI, Op.ORIS]
+
+    large = assemble("li t0, 0x123456789abcdef0")
+    words = _words(large)
+    assert [w.op for w in words] == [Op.LDI, Op.ORIS, Op.ORIS, Op.ORIS]
+
+
+def test_li_negative_fits_one_word():
+    program = assemble("li t0, -5")
+    words = _words(program)
+    assert [w.op for w in words] == [Op.LDI]
+    assert words[0].imm == -5
+
+
+def test_la_is_always_two_words():
+    program = assemble("""
+        la t0, data
+        halt
+    data:
+        .quad 99
+    """)
+    words = _words(program, count=3)
+    assert [w.op for w in words] == [Op.LDI, Op.ORIS, Op.HALT]
+
+
+def test_pseudo_instructions():
+    program = assemble("""
+        nop
+        mv   t1, t0
+        not  t2, t1
+        neg  t3, t2
+        snez t4, t3
+        seqz t5, t4
+        ret
+    """)
+    ops = [w.op for w in _words(program)]
+    assert ops == [Op.ADDI, Op.ADDI, Op.XORI, Op.SUB, Op.SLTU,
+                   Op.SLTU, Op.XORI, Op.JALR]
+
+
+def test_data_directives():
+    program = assemble("""
+        .org 0x2000
+        .byte 1, 2, 3
+        .align 4
+        .word 0xdeadbeef
+        .quad 0x1122334455667788
+        .asciiz "hi"
+    """)
+    seg = program.segments[0]
+    assert seg.base == 0x2000
+    assert seg.data[0:3] == bytes([1, 2, 3])
+    assert seg.data[4:8] == (0xDEADBEEF).to_bytes(4, "little")
+    assert seg.data[8:16] == (0x1122334455667788).to_bytes(8, "little")
+    assert seg.data[16:19] == b"hi\x00"
+
+
+def test_double_directive():
+    import struct
+    program = assemble(".double 2.5")
+    assert program.segments[0].data == struct.pack("<d", 2.5)
+
+
+def test_equ_constants():
+    program = assemble("""
+        .equ COUNT, 10
+        addi t0, zero, COUNT
+    """)
+    assert _words(program)[0].imm == 10
+
+
+def test_entry_directive():
+    program = assemble("""
+        .entry main
+        nop
+    main:
+        halt
+    """)
+    assert program.entry == program.symbols["main"]
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a:\nnop\na:\nnop")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("j nowhere")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate t0, t1")
+
+
+def test_unknown_register_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("add t0, t1, r99")
+
+
+def test_overlapping_segments_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("""
+            .org 0x1000
+            .space 16
+            .org 0x1008
+            .space 16
+        """)
+
+
+def test_fp_instructions():
+    program = assemble("""
+        fadd f1, f2, f3
+        fsqrt f4, f5
+        feq  t0, f1, f2
+        fcvtif f0, t1
+        fcvtfi t2, f0
+        fld  f6, 8(sp)
+        fsd  f6, 8(sp)
+    """)
+    words = _words(program)
+    assert words[0].op == Op.FADD and words[0].rd == 1
+    assert words[2].op == Op.FEQ and words[2].rd == 1  # t0 == r1
+    assert words[3].op == Op.FCVTIF
+    assert words[5].op == Op.FLD and words[5].rd == 6
+    assert words[6].op == Op.FSD and words[6].rs2 == 6
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+        ; full line comment
+        # hash comment
+        nop  ; trailing
+        nop  # trailing hash
+    """)
+    assert len(_words(program)) == 2
+
+
+def test_disassemble_roundtrip():
+    source = """
+        addi t0, zero, 5
+        ld   t1, 16(sp)
+        sd   t1, -8(sp)
+        beq  t0, t1, 0x1000
+        jal  ra, 0x1000
+        fadd f1, f2, f3
+        halt
+    """
+    program = assemble(source, base=0x1000)
+    seg = program.segments[0]
+    listing = list(disassemble(bytes(seg.data), base=seg.base))
+    # Re-assemble the disassembly and compare the bytes.
+    text = "\n".join(line for _, line in listing)
+    again = assemble(text, base=0x1000)
+    assert bytes(again.segments[0].data) == bytes(seg.data)
+
+
+def test_disassemble_word_handles_garbage():
+    assert disassemble_word(0xFFFFFFFF).startswith(".word")

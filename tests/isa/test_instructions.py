@@ -1,0 +1,125 @@
+"""Unit and property tests for instruction encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (DecodeError, Format, Instr, OP_INFO, Op, OpClass,
+                       decode, encode, is_block_terminator, sext16, sext20)
+
+
+def test_every_opcode_has_info():
+    for op in Op:
+        info = OP_INFO[op]
+        assert info.op is op
+        assert info.mnemonic == op.name.lower()
+        assert info.fmt in (Format.R, Format.I, Format.S, Format.B,
+                            Format.J, Format.N)
+
+
+def test_opcode_values_are_unique():
+    values = [int(op) for op in Op]
+    assert len(values) == len(set(values))
+
+
+def test_sext16_boundaries():
+    assert sext16(0x7FFF) == 32767
+    assert sext16(0x8000) == -32768
+    assert sext16(0xFFFF) == -1
+    assert sext16(0) == 0
+
+
+def test_sext20_boundaries():
+    assert sext20(0x7FFFF) == (1 << 19) - 1
+    assert sext20(0x80000) == -(1 << 19)
+    assert sext20(0xFFFFF) == -1
+
+
+def test_decode_rejects_illegal_opcode():
+    with pytest.raises(DecodeError):
+        decode(0xFF000000)
+
+
+def test_encode_rejects_out_of_range_immediate():
+    with pytest.raises(DecodeError):
+        encode(Instr(Op.ADDI, rd=1, rs1=2, imm=1 << 20))
+    with pytest.raises(DecodeError):
+        encode(Instr(Op.BEQ, rs1=1, rs2=2, imm=1 << 18))
+
+
+def test_r_format_roundtrip():
+    instr = Instr(Op.ADD, rd=3, rs1=4, rs2=5)
+    assert decode(encode(instr)) == instr
+
+
+def test_i_format_negative_imm_roundtrip():
+    instr = Instr(Op.ADDI, rd=1, rs1=2, imm=-42)
+    assert decode(encode(instr)) == instr
+
+
+def test_b_format_split_immediate_roundtrip():
+    for imm in (-32768, -1, 0, 1, 4095, 4096, 32767):
+        instr = Instr(Op.BNE, rs1=7, rs2=8, imm=imm)
+        assert decode(encode(instr)) == instr
+
+
+def test_j_format_roundtrip():
+    instr = Instr(Op.JAL, rd=14, imm=-100000)
+    assert decode(encode(instr)) == instr
+
+
+def test_block_terminators():
+    assert is_block_terminator(Op.BEQ)
+    assert is_block_terminator(Op.JAL)
+    assert is_block_terminator(Op.ECALL)
+    assert is_block_terminator(Op.HALT)
+    assert not is_block_terminator(Op.ADD)
+    assert not is_block_terminator(Op.LD)
+
+
+def _instr_strategy():
+    ops = st.sampled_from(list(Op))
+
+    def build(op, rd, rs1, rs2, imm16, imm20):
+        fmt = OP_INFO[op].fmt
+        if fmt == Format.R:
+            return Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+        if fmt == Format.I:
+            return Instr(op, rd=rd, rs1=rs1, imm=imm16)
+        if fmt in (Format.S, Format.B):
+            return Instr(op, rs1=rs1, rs2=rs2, imm=imm16)
+        if fmt == Format.J:
+            return Instr(op, rd=rd, imm=imm20)
+        return Instr(op)
+
+    return st.builds(
+        build, ops,
+        st.integers(0, 15), st.integers(0, 15), st.integers(0, 15),
+        st.integers(-(1 << 15), (1 << 15) - 1),
+        st.integers(-(1 << 19), (1 << 19) - 1))
+
+
+@given(_instr_strategy())
+def test_encode_decode_roundtrip(instr):
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)
+    assert decode(word) == instr
+
+
+@given(st.integers(0, (1 << 32) - 1))
+def test_decode_never_crashes_unexpectedly(word):
+    try:
+        instr = decode(word)
+    except DecodeError:
+        return
+    # A successfully decoded word re-encodes to a word that decodes to the
+    # same instruction (unused fields may differ, so compare decodes).
+    assert decode(encode(instr)) == instr
+
+
+def test_branch_opclass_mapping():
+    assert OP_INFO[Op.BEQ].opclass is OpClass.BRANCH
+    assert OP_INFO[Op.JAL].opclass is OpClass.JUMP
+    assert OP_INFO[Op.LD].opclass is OpClass.LOAD
+    assert OP_INFO[Op.SD].opclass is OpClass.STORE
+    assert OP_INFO[Op.FDIV].opclass is OpClass.FP_DIV
+    assert OP_INFO[Op.MUL].opclass is OpClass.INT_MUL

@@ -1,0 +1,96 @@
+"""Tests for full-system checkpoint/restore."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.kernel import boot
+from repro.kernel.checkpoint import take, restore
+from repro.workloads import WorkloadBuilder
+
+
+def build_system():
+    builder = WorkloadBuilder("ckpt", seed=9)
+    builder.phase("crc", iters=5000)
+    builder.phase("stream", n=512, iters=6)
+    builder.phase("console_io", nbytes=24)
+    builder.phase("disk_io", nsect=2, reps=1)
+    builder.phase("branchy", iters=8000)
+    return builder.build()
+
+
+def run_reference():
+    system = build_system().boot()
+    system.run_to_completion()
+    return system
+
+
+def test_restore_resumes_bit_identically():
+    reference = run_reference()
+
+    system = build_system().boot()
+    system.run(40_000)
+    checkpoint = take(system)
+    # diverge: run to the end once
+    system.run_to_completion()
+    first_end = system.machine.state.snapshot()
+    assert first_end == reference.machine.state.snapshot()
+
+    # rewind and replay: must reach the identical end state
+    restore(system, checkpoint)
+    assert system.machine.state.icount <= 40_000 + 64
+    system.run_to_completion()
+    assert system.machine.state.snapshot() == first_end
+    assert system.output == reference.output
+    assert (system.disk._sectors.keys()
+            == reference.disk._sectors.keys())
+
+
+def test_restore_preserves_monitored_statistics():
+    system = build_system().boot()
+    system.run(40_000)
+    saved = system.machine.stats.snapshot()
+    checkpoint = take(system)
+    system.run_to_completion()
+    restore(system, checkpoint)
+    assert system.machine.stats.snapshot() == saved
+
+
+def test_checkpoint_is_independent_of_later_execution():
+    system = build_system().boot()
+    system.run(30_000)
+    checkpoint = take(system)
+    memory_before = checkpoint.memory_bytes
+    system.run_to_completion()  # mutates guest memory
+    assert checkpoint.memory_bytes == memory_before
+    restore(system, checkpoint)
+    again = take(system)
+    assert again.cpu == checkpoint.cpu
+    assert again.frames == checkpoint.frames
+
+
+def test_restore_across_mode_switches():
+    from repro.vm import MODE_EVENT, NullSink
+    system = build_system().boot()
+    system.run(20_000)
+    checkpoint = take(system)
+    system.run(5_000, mode=MODE_EVENT, sink=NullSink())
+    restore(system, checkpoint)
+    system.run_to_completion()
+    assert system.exit_code == 0
+
+
+def test_checkpoint_captures_devices():
+    system = boot(assemble("""
+    _start:
+        la t1, msg
+        li t2, 3
+        li t0, 1
+        li t7, 1
+        ecall
+        halt
+    msg:
+        .ascii "abc"
+    """))
+    system.run_to_completion()
+    checkpoint = take(system)
+    assert checkpoint.console["output"] == b"abc"

@@ -1,0 +1,252 @@
+"""Tests for the kernel layer: syscalls, loader, demand regions."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.kernel import Kernel, boot
+from repro.vm import MachineError
+
+
+def run(source):
+    system = boot(assemble("_start:\n" + source))
+    system.run_to_completion()
+    return system
+
+
+def test_exit_code():
+    system = run("li t0, 17\nli t7, 0\necall")
+    assert system.exit_code == 17
+    assert system.machine.state.halted
+
+
+def test_console_write():
+    system = run("""
+        la t1, msg
+        li t2, 5
+        li t0, 1         ; channel
+        li t7, 1         ; SYS_WRITE
+        ecall
+        mv t3, t0        ; bytes written
+        li t7, 0
+        li t0, 0
+        ecall
+    msg:
+        .ascii "hello"
+    """)
+    assert system.output == "hello"
+    assert system.machine.state.regs[4] == 5
+    assert system.machine.stats.io_operations >= 1
+
+
+def test_console_read():
+    system = boot(assemble("""
+    _start:
+        li t7, 10        ; SYS_MAP
+        li t0, 0x1000
+        ecall
+        mv t1, t0        ; buffer
+        li t0, 1         ; channel
+        li t2, 10
+        li t7, 2         ; SYS_READ
+        ecall
+        mv t3, t0        ; bytes read
+        lb t4, 0(t1)
+        li t7, 0
+        li t0, 0
+        ecall
+    """))
+    system.console.feed_input(b"A!")
+    system.run_to_completion()
+    assert system.machine.state.regs[4] == 2
+    assert system.machine.state.regs[5] == ord("A")
+
+
+def test_brk_grows_heap():
+    system = run("""
+        li t7, 3
+        li t0, 0
+        ecall            ; query
+        mv t1, t0
+        addi t0, t1, 0x3000
+        li t7, 3
+        ecall            ; grow
+        sd t1, 0(t1)     ; demand fault + store
+        ld t2, 0(t1)
+        li t7, 0
+        li t0, 0
+        ecall
+    """)
+    regs = system.machine.state.regs
+    assert regs[3] == regs[2]  # loaded back the stored pointer
+
+
+def test_brk_below_base_fails():
+    system = run("""
+        li t0, 0x10      ; far below the heap base
+        li t7, 3
+        ecall
+        mv t1, t0
+        li t7, 0
+        li t0, 0
+        ecall
+    """)
+    assert system.machine.state.regs[2] == (1 << 64) - 1
+
+
+def test_block_device_syscalls():
+    system = boot(assemble("""
+    _start:
+        li t7, 10
+        li t0, 0x1000
+        ecall            ; map a buffer
+        mv t1, t0
+        li t0, 3         ; lba
+        li t2, 1         ; nsect
+        li t7, 4         ; SYS_BLK_READ
+        ecall
+        lb t3, 0(t1)     ; first byte of sector 3
+        ; write it back to lba 9
+        li t0, 9
+        li t7, 5         ; SYS_BLK_WRITE
+        ecall
+        li t7, 0
+        li t0, 0
+        ecall
+    """))
+    system.disk.write_sectors(3, b"\x7f" + b"\x00" * 511)
+    system.run_to_completion()
+    assert system.machine.state.regs[4] == 0x7F
+    assert system.disk.read_sectors(9, 1)[0] == 0x7F
+
+
+def test_nic_syscalls_roundtrip():
+    system = run("""
+        li t7, 10
+        li t0, 0x1000
+        ecall               ; map a buffer
+        mv t3, t0           ; t3 = buffer
+        li t4, 0x676e6970   ; "ping" little-endian
+        sw t4, 0(t3)
+        mv t0, t3
+        li t1, 4
+        li t7, 6            ; SYS_NET_SEND(buf, len)
+        ecall
+        mv t5, t0           ; bytes sent
+        mv t0, t3
+        li t1, 4
+        li t7, 7            ; SYS_NET_RECV(buf, maxlen): loopback echo
+        ecall
+        mv t6, t0           ; bytes received
+        lw t2, 0(t3)
+        li t7, 0
+        li t0, 0
+        ecall
+    """)
+    regs = system.machine.state.regs
+    assert regs[6] == 4          # sent
+    assert regs[7] == 4          # received (echo)
+    assert regs[3] == 0x676E6970  # payload intact
+    assert system.nic.packets_sent == 1
+
+
+def test_time_syscall_reads_virtual_cycles():
+    system = boot(assemble("""
+    _start:
+        li t7, 8
+        ecall
+        mv t1, t0
+        li t7, 0
+        li t0, 0
+        ecall
+    """))
+    system.machine.state.cycles = 4242
+    system.run_to_completion()
+    assert system.machine.state.regs[2] == 4242
+
+
+def test_map_unmap_region():
+    system = run("""
+        li t0, 0x2000
+        li t7, 10        ; SYS_MAP
+        ecall
+        mv t1, t0
+        li t2, 77
+        sd t2, 0(t1)     ; touch (demand fault)
+        ld t3, 0(t1)
+        mv t0, t1
+        li t1, 0x2000
+        li t7, 11        ; SYS_UNMAP
+        ecall
+        li t7, 0
+        li t0, 0
+        ecall
+    """)
+    assert system.machine.state.regs[4] == 77
+
+
+def test_access_after_unmap_crashes():
+    system = boot(assemble("""
+    _start:
+        li t0, 0x2000
+        li t7, 10
+        ecall
+        mv t1, t0
+        sd t1, 0(t1)
+        mv t0, t1
+        li t1, 0x2000
+        li t7, 11
+        ecall
+        ld t2, 0(t1)     ; wait: t1 now holds the size, not the base
+        halt
+    """))
+    # t1 holds 0x2000 after the unmap setup, which is an unmapped
+    # address -> the final load must crash.
+    with pytest.raises(MachineError):
+        system.run_to_completion()
+
+
+def test_unknown_syscall_crashes():
+    system = boot(assemble("_start:\nli t7, 999\necall\nhalt"))
+    with pytest.raises(MachineError):
+        system.run_to_completion()
+
+
+def test_write_to_bad_channel_returns_error():
+    system = run("""
+        li t0, 9         ; not the console channel
+        la t1, msg
+        li t2, 3
+        li t7, 1
+        ecall
+        mv t3, t0
+        li t7, 0
+        li t0, 0
+        ecall
+    msg:
+        .ascii "abc"
+    """)
+    assert system.machine.state.regs[4] == (1 << 64) - 1
+
+
+def test_syscall_counts_tracked():
+    system = run("""
+        li t7, 9
+        ecall
+        ecall
+        li t7, 0
+        li t0, 0
+        ecall
+    """)
+    assert system.kernel.syscall_counts[9] == 2
+    assert system.kernel.syscall_counts[0] == 1
+
+
+def test_kernel_region_bookkeeping():
+    kernel = Kernel()
+    kernel.set_heap(0x10000, 0x1000)
+    kernel.add_region(0x50000, 0x2000)
+    assert kernel._region_containing(0x10000)
+    assert kernel._region_containing(0x10FFF)
+    assert kernel._region_containing(0x11000) is None
+    assert kernel._region_containing(0x51000)
+    assert kernel._region_containing(0x52000) is None

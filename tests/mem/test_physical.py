@@ -1,0 +1,59 @@
+"""Tests for demand-allocated physical memory."""
+
+import pytest
+
+from repro.mem import PAGE_SIZE, PhysicalMemory, PhysicalMemoryError
+
+
+def test_size_must_be_page_multiple():
+    with pytest.raises(PhysicalMemoryError):
+        PhysicalMemory(PAGE_SIZE + 1)
+    with pytest.raises(PhysicalMemoryError):
+        PhysicalMemory(0)
+
+
+def test_frames_allocated_on_demand():
+    phys = PhysicalMemory(16 * PAGE_SIZE)
+    assert phys.frames_touched == 0
+    phys.frame(3)
+    assert phys.frames_touched == 1
+    phys.frame(3)
+    assert phys.frames_touched == 1
+
+
+def test_alloc_frame_is_linear_and_bounded():
+    phys = PhysicalMemory(2 * PAGE_SIZE)
+    assert phys.alloc_frame() == 0
+    assert phys.alloc_frame() == 1
+    with pytest.raises(PhysicalMemoryError):
+        phys.alloc_frame()
+
+
+def test_frame_out_of_range():
+    phys = PhysicalMemory(2 * PAGE_SIZE)
+    with pytest.raises(PhysicalMemoryError):
+        phys.frame(2)
+    with pytest.raises(PhysicalMemoryError):
+        phys.frame(-1)
+
+
+def test_read_write_within_frame():
+    phys = PhysicalMemory(4 * PAGE_SIZE)
+    phys.write(100, b"hello")
+    assert phys.read(100, 5) == b"hello"
+    assert phys.read(99, 1) == b"\x00"
+
+
+def test_read_write_across_frame_boundary():
+    phys = PhysicalMemory(4 * PAGE_SIZE)
+    addr = PAGE_SIZE - 2
+    phys.write(addr, b"abcdef")
+    assert phys.read(addr, 6) == b"abcdef"
+    assert phys.frames_touched == 2
+
+
+def test_iter_frames_sorted():
+    phys = PhysicalMemory(8 * PAGE_SIZE)
+    phys.frame(5)
+    phys.frame(1)
+    assert [pfn for pfn, _ in phys.iter_frames()] == [1, 5]

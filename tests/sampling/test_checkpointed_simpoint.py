@@ -1,0 +1,61 @@
+"""Tests for checkpoint-based SimPoint."""
+
+import pytest
+
+from repro.sampling import (CheckpointedSimPointSampler, FullTiming,
+                            SimPointConfig, SimPointSampler,
+                            SimulationController, accuracy_error)
+from repro.workloads import SUITE_MACHINE_KWARGS, WorkloadBuilder
+
+
+def workload():
+    builder = WorkloadBuilder("ckpt-sp", seed=11)
+    for _ in range(4):
+        builder.phase("crc", iters=4000)
+        builder.phase("stream", n=512, iters=8, reuse_key="ws")
+        builder.phase("console_io", nbytes=16, reps=2)
+    return builder.build()
+
+
+def controller(w):
+    return SimulationController(w, machine_kwargs=SUITE_MACHINE_KWARGS)
+
+
+CONFIG = SimPointConfig(interval_length=1000, max_clusters=12,
+                        warmup_length=2000)
+
+
+def test_checkpointed_simpoint_no_fast_forward():
+    w = workload()
+    result = CheckpointedSimPointSampler(CONFIG).run(controller(w))
+    # pass 2 never fast-forwards: restore replaces it entirely
+    assert result.fast_instructions == 0
+    assert result.timed_intervals >= 2
+    assert result.extra["checkpoint_bytes"] > 0
+
+
+def test_checkpointed_matches_plain_simpoint_points():
+    w = workload()
+    plain = SimPointSampler(CONFIG).run(controller(w))
+    ckpt = CheckpointedSimPointSampler(CONFIG).run(controller(w))
+    # identical profiling/clustering -> identical point count
+    assert (ckpt.extra["num_simpoints"]
+            == plain.extra["num_simpoints"])
+    # and closely matching IPC estimates (state differs only through
+    # what warming rebuilds after a restore vs after a fast-forward)
+    assert ckpt.ipc == pytest.approx(plain.ipc, rel=0.15)
+
+
+def test_checkpointed_simpoint_is_reasonably_accurate():
+    w = workload()
+    full = FullTiming().run(controller(w))
+    ckpt = CheckpointedSimPointSampler(CONFIG).run(controller(w))
+    assert accuracy_error(ckpt.ipc, full.ipc) < 0.30
+
+
+def test_checkpointed_charges_only_warming_and_timed():
+    w = workload()
+    result = CheckpointedSimPointSampler(CONFIG).run(controller(w))
+    # modeled time excludes the (large) profiling instruction count
+    assert result.modeled_seconds \
+        < result.extra["modeled_seconds_all_modes"]

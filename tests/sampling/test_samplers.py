@@ -1,0 +1,271 @@
+"""Tests for the sampling policies and the controller."""
+
+import pytest
+
+from repro.workloads import WorkloadBuilder, load_benchmark, \
+    SUITE_MACHINE_KWARGS
+from repro.sampling import (CostModel, DynamicSampler,
+                            DynamicSamplingConfig, FullTiming,
+                            SimPointConfig, SimPointSampler,
+                            SimulationController, SmartsConfig,
+                            SmartsSampler, accuracy_error, dynamic_config,
+                            full_sweep)
+
+
+def tiny_workload(name="tiny", phases=6):
+    builder = WorkloadBuilder(name, seed=3)
+    for i in range(phases):
+        if i % 2 == 0:
+            builder.phase("crc", iters=4000)
+        else:
+            builder.phase("stream", n=512, iters=8)
+        builder.phase("console_io", nbytes=16, reps=2)
+    return builder.build()
+
+
+def make_controller(workload=None, **kwargs):
+    return SimulationController(workload or tiny_workload(),
+                                machine_kwargs=SUITE_MACHINE_KWARGS,
+                                **kwargs)
+
+
+# ----------------------------------------------------------------------
+# controller
+
+def test_controller_mode_accounting():
+    controller = make_controller()
+    controller.run_fast(1000)
+    controller.run_profile(1000)
+    controller.run_warming(1000)
+    controller.run_timed(1000)
+    b = controller.breakdown
+    assert b.fast_instructions >= 1000
+    assert b.profile_instructions >= 1000
+    assert b.warming_instructions >= 1000
+    assert b.timed_instructions >= 1000
+    assert b.total_instructions == controller.icount
+    assert b.total_wall_seconds > 0
+
+
+def test_controller_timed_returns_cycles():
+    controller = make_controller()
+    executed, cycles = controller.run_timed(2000)
+    assert executed >= 2000
+    assert cycles > executed / 3.1  # IPC can't beat the width
+
+
+def test_controller_take_profile():
+    controller = make_controller()
+    controller.run_profile(2000)
+    counts = controller.take_profile()
+    assert sum(counts.values()) >= 2000
+    assert controller.take_profile() == {}
+
+
+def test_controller_stat_reads():
+    controller = make_controller()
+    controller.run_fast(100_000)
+    assert controller.read_stat("EXC") > 0
+    with pytest.raises(KeyError):
+        controller.read_stat("NOPE")
+
+
+def test_controller_feedback_updates_guest_clock():
+    controller = make_controller(feedback=True)
+    controller.run_timed(2000)
+    assert controller.machine.state.cycles > 0
+    assert controller.system.timer.now == controller.machine.state.cycles
+
+
+def test_controller_no_feedback_by_default():
+    controller = make_controller()
+    controller.run_timed(2000)
+    assert controller.machine.state.cycles == 0
+
+
+# ----------------------------------------------------------------------
+# full timing
+
+def test_full_timing_runs_everything_detailed():
+    controller = make_controller()
+    result = FullTiming(chunk=4096).run(controller)
+    assert controller.finished
+    assert result.fast_instructions == 0
+    assert result.timed_instructions == result.total_instructions
+    assert 0 < result.ipc <= 3.0
+    assert result.policy == "full"
+
+
+# ----------------------------------------------------------------------
+# SMARTS
+
+def test_smarts_samples_systematically():
+    controller = make_controller()
+    result = SmartsSampler(SmartsConfig(1000, 200, 50)).run(controller)
+    assert controller.finished
+    assert result.timed_intervals > 5
+    assert result.warming_instructions > result.timed_instructions
+    assert 0 < result.ipc <= 3.0
+    assert "cpi_confidence" in result.extra
+
+
+def test_smarts_accuracy_on_tiny_workload():
+    workload = tiny_workload()
+    full = FullTiming().run(make_controller(workload))
+    smarts = SmartsSampler(SmartsConfig(1000, 200, 50)).run(
+        make_controller(workload))
+    assert accuracy_error(smarts.ipc, full.ipc) < 0.15
+
+
+# ----------------------------------------------------------------------
+# Dynamic Sampling
+
+def test_dynamic_config_validation():
+    with pytest.raises(ValueError):
+        DynamicSamplingConfig(sensitivity=-1)
+    with pytest.raises(ValueError):
+        DynamicSamplingConfig(interval_length=0)
+    with pytest.raises(ValueError):
+        DynamicSamplingConfig(max_func=0)
+    with pytest.raises(ValueError):
+        DynamicSamplingConfig(variables=("BOGUS",))
+
+
+def test_dynamic_config_display():
+    config = dynamic_config("CPU", 300, "1M", None)
+    assert config.display == "CPU-300-1M-inf"
+    config = dynamic_config("IO", 100, "10M", 10)
+    assert config.display == "IO-100-10M-10"
+
+
+def test_dynamic_sampler_takes_samples():
+    config = DynamicSamplingConfig(variables=("EXC",), sensitivity=1.0,
+                                   interval_length=1000, max_func=10,
+                                   warmup_length=1000)
+    controller = make_controller()
+    result = DynamicSampler(config).run(controller)
+    assert controller.finished
+    assert result.timed_intervals >= 2
+    assert 0 < result.ipc <= 3.0
+    # most instructions ran at full speed
+    assert result.fast_instructions > result.timed_instructions
+
+
+def test_dynamic_max_func_forces_sampling():
+    # With an impossible sensitivity, only max_func triggers sampling.
+    config = DynamicSamplingConfig(variables=("CPU",), sensitivity=1e9,
+                                   interval_length=1000, max_func=5,
+                                   warmup_length=500)
+    controller = make_controller()
+    result = DynamicSampler(config).run(controller)
+    total_intervals = result.total_instructions / 1000
+    assert result.timed_intervals >= total_intervals / 10 - 2
+
+
+def test_dynamic_no_max_func_no_signal_no_samples():
+    config = DynamicSamplingConfig(variables=("CPU",), sensitivity=1e9,
+                                   interval_length=1000, max_func=None)
+    controller = make_controller()
+    result = DynamicSampler(config).run(controller)
+    assert result.timed_intervals == 0
+    assert result.ipc == pytest.approx(1.0)  # documented fallback
+
+
+def test_dynamic_multivariable_extension():
+    config = DynamicSamplingConfig(variables=("CPU", "IO"),
+                                   sensitivity=1.0,
+                                   interval_length=1000, max_func=None,
+                                   warmup_length=500)
+    controller = make_controller()
+    result = DynamicSampler(config).run(controller)
+    assert result.timed_intervals >= 1
+    assert "CPU+IO" in result.policy
+
+
+def test_full_sweep_grid_size():
+    grid = full_sweep()
+    assert len(grid) == 3 * 3 * 3 * 2
+    labels = {config.display for config in grid}
+    assert "CPU-300-1M-inf" in labels
+    assert "EXC-500-100M-10" in labels
+
+
+# ----------------------------------------------------------------------
+# SimPoint
+
+def test_simpoint_end_to_end():
+    workload = tiny_workload(phases=8)
+    controller = make_controller(workload)
+    config = SimPointConfig(interval_length=1000, max_clusters=10,
+                            warmup_length=1000)
+    result = SimPointSampler(config).run(controller)
+    assert result.timed_intervals >= 2
+    assert result.profile_instructions > 0
+    assert 0 < result.ipc <= 3.0
+    assert result.extra["num_simpoints"] == result.timed_intervals
+    # SimPoint charges only warming+timed; profiling cost is separate
+    assert result.extra["modeled_seconds_with_profiling"] \
+        > result.modeled_seconds
+
+
+def test_simpoint_accuracy_on_tiny_workload():
+    workload = tiny_workload(phases=8)
+    full = FullTiming().run(make_controller(workload))
+    config = SimPointConfig(interval_length=1000, max_clusters=10,
+                            warmup_length=2000)
+    simpoint = SimPointSampler(config).run(make_controller(workload))
+    assert accuracy_error(simpoint.ipc, full.ipc) < 0.25
+
+
+# ----------------------------------------------------------------------
+# cost model / result plumbing
+
+def test_cost_model_modeled_seconds():
+    model = CostModel(fast_ips=100e6, profile_ips=10e6, warming_ips=2e6,
+                      timing_ips=0.5e6)
+    seconds = model.modeled_seconds(fast=100e6, profile=10e6,
+                                    warming=2e6, timed=0.5e6)
+    assert seconds == pytest.approx(4.0)
+
+
+def test_policy_result_roundtrip():
+    controller = make_controller()
+    result = FullTiming(chunk=4096).run(controller)
+    from repro.sampling import PolicyResult
+    clone = PolicyResult.from_dict(result.to_dict())
+    assert clone.ipc == result.ipc
+    assert clone.policy == result.policy
+    assert clone.extra == result.extra
+
+
+def test_results_are_deterministic():
+    workload = tiny_workload()
+    config = dynamic_config("EXC", 100, "1M", 10)
+    first = DynamicSampler(config).run(make_controller(workload))
+    second = DynamicSampler(config).run(make_controller(workload))
+    assert first.ipc == second.ipc
+    assert first.timed_intervals == second.timed_intervals
+    assert first.total_instructions == second.total_instructions
+
+
+def test_smarts_matched_sampling_stops_early():
+    """With a loose confidence target, SMARTS stops measuring early
+    and fast-forwards the rest with warming only."""
+    workload = tiny_workload(phases=10)
+    everything = SmartsSampler(SmartsConfig(1000, 200, 50)).run(
+        make_controller(workload))
+    matched = SmartsSampler(SmartsConfig(
+        1000, 200, 50, target_confidence=0.5, min_units=5)).run(
+        make_controller(workload))
+    assert matched.timed_intervals < everything.timed_intervals
+    assert matched.extra["confident_after_units"] is not None
+    assert matched.timed_instructions < everything.timed_instructions
+    # both still estimate the same machine
+    assert abs(matched.ipc - everything.ipc) / everything.ipc < 0.3
+
+
+def test_smarts_matched_sampling_disabled_by_default():
+    workload = tiny_workload()
+    result = SmartsSampler(SmartsConfig(1000, 200, 50)).run(
+        make_controller(workload))
+    assert result.extra["confident_after_units"] is None

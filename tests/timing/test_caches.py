@@ -1,0 +1,147 @@
+"""Tests for caches, TLBs and the memory hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timing import (Cache, CacheConfig, MemoryHierarchy, TimingConfig,
+                          Tlb, TlbConfig)
+
+
+def small_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheConfig(size=size, assoc=assoc, line_size=line,
+                             hit_latency=1))
+
+
+def test_cache_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(size=1000, assoc=2, line_size=64, hit_latency=1)
+    with pytest.raises(ValueError):
+        # 3 sets: not a power of two
+        CacheConfig(size=3 * 2 * 64, assoc=2, line_size=64, hit_latency=1)
+
+
+def test_cold_miss_then_hit():
+    cache = small_cache()
+    assert not cache.access(0x1000)
+    assert cache.access(0x1000)
+    assert cache.access(0x103F)  # same 64B line
+    assert not cache.access(0x1040)  # next line
+    assert cache.hits == 2
+    assert cache.misses == 2
+
+
+def test_lru_within_set():
+    cache = small_cache(size=2 * 64, assoc=2, line=64)  # 1 set, 2 ways
+    a, b, c = 0x0, 0x1000, 0x2000
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)      # a is MRU
+    cache.access(c)      # evicts b (LRU)
+    assert cache.access(a)
+    assert not cache.access(b)
+
+
+def test_conflict_misses_in_direct_mapped():
+    cache = small_cache(size=4 * 64, assoc=1, line=64)  # 4 sets, 1 way
+    stride = 4 * 64  # maps to the same set
+    cache.access(0)
+    cache.access(stride)
+    assert not cache.access(0)  # conflict-evicted
+
+
+def test_cache_flush():
+    cache = small_cache()
+    cache.access(0)
+    cache.flush()
+    assert not cache.access(0)
+
+
+def test_miss_rate():
+    cache = small_cache()
+    assert cache.miss_rate == 0.0
+    cache.access(0)
+    cache.access(0)
+    assert cache.miss_rate == pytest.approx(0.5)
+
+
+def test_tlb_fully_associative():
+    tlb = Tlb(TlbConfig(entries=4, assoc=4))
+    for vpn in range(4):
+        assert not tlb.access(vpn << 12)
+    for vpn in range(4):
+        assert tlb.access(vpn << 12)
+    tlb.access(4 << 12)  # evicts LRU (vpn 0)
+    assert not tlb.access(0)
+
+
+def test_hierarchy_latencies_compose():
+    config = TimingConfig()
+    hierarchy = MemoryHierarchy(config)
+    cold = hierarchy.load_latency(0x10000)
+    expected_cold = (config.l2_tlb_latency + config.tlb_walk_latency
+                     + config.l2.hit_latency + config.memory_latency)
+    assert cold == expected_cold
+    warm = hierarchy.load_latency(0x10000)
+    assert warm == config.l1d.hit_latency
+
+
+def test_hierarchy_l2_shared_between_i_and_d():
+    hierarchy = MemoryHierarchy(TimingConfig())
+    hierarchy.fetch_latency(0x4000)          # fills L2 via the I side
+    hierarchy.dtlb.access(0x4000)            # pre-warm the D TLB
+    latency = hierarchy.load_latency(0x4000)
+    config = hierarchy.config
+    # L1D misses but L2 hits (shared, 128B line covers the fetch line)
+    assert latency == config.l1d.hit_latency + config.l2.hit_latency \
+        or latency == config.l2.hit_latency
+
+
+def test_hierarchy_stats_keys():
+    hierarchy = MemoryHierarchy(TimingConfig())
+    hierarchy.load_latency(0)
+    stats = hierarchy.stats()
+    for key in ("l1i_miss_rate", "l1d_miss_rate", "l2_miss_rate",
+                "dtlb_misses"):
+        assert key in stats
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+def test_cache_matches_reference_lru_model(addresses):
+    """The cache must behave exactly like an ideal LRU set-assoc cache."""
+    config = CacheConfig(size=8 * 64, assoc=2, line_size=64, hit_latency=1)
+    cache = Cache(config)
+    reference = {}  # set index -> list of tags, MRU first
+    for addr in addresses:
+        line = addr >> 6
+        set_index = line & (config.num_sets - 1)
+        ways = reference.setdefault(set_index, [])
+        expected_hit = line in ways
+        if expected_hit:
+            ways.remove(line)
+        ways.insert(0, line)
+        del ways[config.assoc:]
+        assert cache.access(addr) == expected_hit
+
+
+def test_working_set_behaviour():
+    """Working sets within capacity hit; larger ones thrash."""
+    cache = small_cache(size=4096, assoc=2, line=64)  # 64 lines
+    fits = [i * 64 for i in range(32)]
+    for addr in fits:
+        cache.access(addr)
+    cache.hits = cache.misses = 0
+    for _ in range(10):
+        for addr in fits:
+            cache.access(addr)
+    assert cache.miss_rate == 0.0
+
+    too_big = [i * 64 for i in range(256)]
+    for _ in range(3):
+        for addr in too_big:
+            cache.access(addr)
+    # after the warm round everything misses (LRU thrash)
+    cache.hits = cache.misses = 0
+    for addr in too_big:
+        cache.access(addr)
+    assert cache.miss_rate == 1.0

@@ -1,0 +1,172 @@
+"""Tests for the out-of-order core timing model."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.timing import OutOfOrderCore, TimingConfig
+
+ALU = int(OpClass.INT_ALU)
+LOAD = int(OpClass.LOAD)
+STORE = int(OpClass.STORE)
+BRANCH = int(OpClass.BRANCH)
+DIV = int(OpClass.INT_DIV)
+FPADD = int(OpClass.FP_ADD)
+
+
+def feed_alu(core, count, dst=-1, src=-1, start_pc=0x1000):
+    """Independent ALU ops cycling through one I-cache line of PCs."""
+    for i in range(count):
+        core.on_inst(start_pc + (i % 16) * 4, ALU, dst, src, -1, 0, 0, 0)
+
+
+def test_ipc_bounded_by_width():
+    core = OutOfOrderCore()
+    # fully independent ALU ops on one cache line region; long enough to
+    # amortize the cold instruction-fetch miss
+    feed_alu(core, 30000)
+    ipc = core.retired / core.cycles
+    assert ipc <= core.config.issue_width + 0.01
+    assert ipc > 2.8  # independent ops approach the width
+
+
+def test_dependent_chain_serializes():
+    core = OutOfOrderCore()
+    # every op reads the previous result: IPC ~ 1
+    for i in range(2000):
+        core.on_inst(0x1000 + (i % 8) * 4, ALU, 5, 5, -1, 0, 0, 0)
+    ipc = core.retired / core.cycles
+    assert 0.8 < ipc <= 1.1
+
+
+def test_unpipelined_divider_throughput():
+    core = OutOfOrderCore()
+    config = core.config
+    # independent divides: 4 int units, each busy `latency` cycles
+    for i in range(1000):
+        core.on_inst(0x1000, DIV, -1, -1, -1, 0, 0, 0)
+    cycles_per_div = core.cycles / 1000
+    expected = config.latencies[DIV] / config.int_units
+    assert cycles_per_div == pytest.approx(expected, rel=0.2)
+
+
+def test_fp_uses_separate_units():
+    core = OutOfOrderCore()
+    # interleave int and fp: they should overlap, not serialize
+    for i in range(1000):
+        core.on_inst(0x1000, ALU, -1, -1, -1, 0, 0, 0)
+        core.on_inst(0x1004, FPADD, -1, -1, -1, 0, 0, 0)
+    ipc = core.retired / core.cycles
+    assert ipc > 2.0
+
+
+def test_load_miss_stalls_dependent():
+    config = TimingConfig()
+    core = OutOfOrderCore(config)
+    core.on_inst(0x1000, ALU, 1, -1, -1, 0, 0, 0)  # establish a baseline
+    before = core.last_retire_cycle
+    # cold load (miss to memory) then a dependent ALU op
+    core.on_inst(0x1004, LOAD, 3, 1, -1, 0x100000, 0, 0)
+    core.on_inst(0x1008, ALU, 4, 3, -1, 0, 0, 0)
+    stall = core.last_retire_cycle - before
+    assert stall >= config.memory_latency
+
+
+def test_cache_hit_load_is_fast():
+    core = OutOfOrderCore()
+    core.on_inst(0x1000, LOAD, 3, 1, -1, 0x8000, 0, 0)   # warm the line
+    before = core.last_retire_cycle
+    core.on_inst(0x1004, LOAD, 5, 1, -1, 0x8000, 0, 0)
+    core.on_inst(0x1008, ALU, 6, 5, -1, 0, 0, 0)
+    assert core.last_retire_cycle - before < 10
+
+
+def test_mispredicted_branch_costs_penalty():
+    config = TimingConfig()
+
+    def run(pattern):
+        core = OutOfOrderCore(config)
+        for i, taken in enumerate(pattern):
+            core.on_inst(0x1000, BRANCH, -1, 1, 2, 0,
+                         1 if taken else 0, 0x2000 if taken else 0x1004)
+            core.on_inst(0x2000 if taken else 0x1004, ALU, -1, -1, -1,
+                         0, 0, 0)
+        return core
+
+    import random
+    rng = random.Random(1)
+    predictable = run([False] * 2000)
+    random_pattern = run([rng.random() < 0.5 for _ in range(2000)])
+    # random branches must cost noticeably more cycles
+    assert random_pattern.cycles > predictable.cycles * 1.5
+
+
+def test_window_limits_mlp():
+    """A window-full stall: long-latency op plus >192 younger ops."""
+    config = TimingConfig()
+    core = OutOfOrderCore(config)
+    # one cold load (190+ cycles)...
+    core.on_inst(0x1000, LOAD, 3, -1, -1, 0x200000, 0, 0)
+    # ...and 300 independent single-cycle ops behind it
+    feed_alu(core, 300)
+    # retirement is in-order: nothing retires before the load returns,
+    # so the window (192) forces dispatch stalls for ops beyond it.
+    assert core.cycles >= config.memory_latency
+
+
+def test_in_order_retirement_monotonic():
+    core = OutOfOrderCore()
+    last = 0
+    for i in range(500):
+        cls = LOAD if i % 7 == 0 else ALU
+        core.on_inst(0x1000 + (i % 16) * 4, cls, i % 8, (i + 1) % 8, -1,
+                     (i * 64) % 4096, 0, 0)
+        assert core.last_retire_cycle >= last
+        last = core.last_retire_cycle
+
+
+def test_retire_width_bounds_throughput():
+    core = OutOfOrderCore()
+    feed_alu(core, 3001)
+    # 3001 instructions at width 3 need at least 1000 cycles
+    assert core.cycles >= 1000
+
+
+def test_checkpoint_ipc_measurement():
+    core = OutOfOrderCore()
+    feed_alu(core, 100)
+    checkpoint = core.checkpoint()
+    feed_alu(core, 900)
+    ipc = core.ipc_since(checkpoint)
+    assert 0 < ipc <= core.config.issue_width
+    assert core.ipc_since(core.checkpoint()) == 0.0
+
+
+def test_store_buffer_pressure():
+    """More in-flight stores than buffer entries still makes progress."""
+    core = OutOfOrderCore()
+    for i in range(200):
+        core.on_inst(0x1000, STORE, -1, 1, 2, (i * 8) % 512, 0, 0)
+    assert core.retired == 200
+    assert core.cycles > 0
+
+
+def test_stats_shape():
+    core = OutOfOrderCore()
+    feed_alu(core, 10)
+    stats = core.stats()
+    assert stats["retired"] == 10
+    assert stats["cycles"] == core.cycles
+    assert 0 <= stats["ipc"] <= 3
+
+
+def test_deterministic():
+    def run():
+        core = OutOfOrderCore()
+        for i in range(1000):
+            core.on_inst(0x1000 + (i % 32) * 4,
+                         LOAD if i % 5 == 0 else ALU,
+                         i % 8, (i + 3) % 8, -1, (i * 24) % 8192,
+                         0, 0)
+        return core.cycles
+
+    assert run() == run()

@@ -1,0 +1,87 @@
+"""Tests for the in-order timing model."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.timing import InOrderCore, OutOfOrderCore, TimingConfig
+from repro.vm import MODE_EVENT
+from repro.workloads import WorkloadBuilder
+
+ALU = int(OpClass.INT_ALU)
+LOAD = int(OpClass.LOAD)
+BRANCH = int(OpClass.BRANCH)
+
+
+def test_ipc_bounded_by_one():
+    core = InOrderCore()
+    for i in range(5000):
+        core.on_inst(0x1000 + (i % 16) * 4, ALU, -1, -1, -1, 0, 0, 0)
+    assert core.retired / core.cycles <= 1.0
+
+
+def test_load_miss_costs_memory_latency():
+    config = TimingConfig()
+    core = InOrderCore(config)
+    before = core.cycles
+    core.on_inst(0x1000, LOAD, 3, 1, -1, 0x80000, 0, 0)
+    assert core.cycles - before >= config.memory_latency
+
+
+def test_mispredicts_add_penalty():
+    config = TimingConfig()
+
+    def run(pattern):
+        core = InOrderCore(config)
+        for taken in pattern:
+            core.on_inst(0x1000, BRANCH, -1, 1, 2, 0,
+                         1 if taken else 0, 0x2000 if taken else 0x1004)
+        return core.cycles
+
+    import random
+    rng = random.Random(3)
+    assert run([rng.random() < 0.5 for _ in range(3000)]) \
+        > run([False] * 3000) * 1.5
+
+
+def test_inorder_slower_than_out_of_order_on_ilp_code():
+    """On a real workload the OoO core extracts parallelism the
+    in-order core cannot."""
+    builder = WorkloadBuilder("ilp", seed=2)
+    builder.phase("stream", n=1024, iters=10)
+    builder.phase("crc", iters=5000)
+    workload = builder.build()
+
+    ooo = OutOfOrderCore(TimingConfig.small())
+    system = workload.boot()
+    system.run_to_completion(mode=MODE_EVENT, sink=ooo)
+
+    inorder = InOrderCore(TimingConfig.small())
+    system = workload.boot()
+    system.run_to_completion(mode=MODE_EVENT, sink=inorder)
+
+    assert inorder.retired == ooo.retired
+    assert inorder.cycles > ooo.cycles
+
+
+def test_inorder_plugs_into_the_controller():
+    """The sampling controller accepts any conforming timing core."""
+    from repro.sampling import SimulationController
+    builder = WorkloadBuilder("plug", seed=4)
+    builder.phase("branchy", iters=6000)
+    controller = SimulationController(builder.build())
+    controller.core = InOrderCore(TimingConfig.small())
+    from repro.timing import FunctionalWarmingSink
+    controller.warming_sink = FunctionalWarmingSink(controller.core)
+    executed, cycles = controller.run_timed(2000)
+    assert executed >= 2000
+    assert cycles >= executed  # IPC <= 1
+
+
+def test_checkpoint_interface():
+    core = InOrderCore()
+    core.on_inst(0x1000, ALU, -1, -1, -1, 0, 0, 0)
+    mark = core.checkpoint()
+    for i in range(100):
+        core.on_inst(0x1000 + (i % 8) * 4, ALU, -1, -1, -1, 0, 0, 0)
+    assert 0 < core.ipc_since(mark) <= 1.0
+    assert core.stats()["retired"] == 101

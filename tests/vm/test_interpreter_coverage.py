@@ -1,0 +1,174 @@
+"""Direct interpreter coverage: every opcode through MODE_INTERP.
+
+Co-simulation tests already compare the interpreter against the
+translator statistically; these pin specific architectural corner cases
+on the interpreter path directly.
+"""
+
+import math
+
+import pytest
+
+from repro.isa import assemble
+from repro.kernel import boot
+from repro.vm import MODE_INTERP
+
+
+def run(body, fregs=False):
+    source = f"_start:\n{body}\n    halt\n"
+    system = boot(assemble(source))
+    system.run_to_completion(mode=MODE_INTERP)
+    state = system.machine.state
+    return state.fregs if fregs else state.regs
+
+
+def test_mulh_signed_high_bits():
+    regs = run("""
+        li t0, -1
+        li t1, -1
+        mulh t2, t0, t1     ; (-1 * -1) >> 64 == 0
+        li t3, 1
+        slli t3, t3, 62
+        mulh t4, t3, t3     ; 2^124 >> 64 == 2^60
+    """)
+    assert regs[3] == 0
+    assert regs[5] == 1 << 60
+
+
+def test_oris_builds_constants():
+    regs = run("""
+        ldi t0, 0x12
+        oris t0, t0, 0x3456
+        oris t0, t0, 0x789a
+    """)
+    assert regs[1] == 0x1234_5678_9A
+
+
+def test_sll_uses_low_six_bits():
+    regs = run("""
+        li t0, 1
+        li t1, 65          ; shift amount wraps to 1
+        sll t2, t0, t1
+        srl t3, t2, t1
+    """)
+    assert regs[3] == 2
+    assert regs[4] == 1
+
+
+def test_jalr_clears_low_bits():
+    regs = run("""
+        la t0, target
+        addi t0, t0, 2     ; misalign the pointer
+        jalr ra, t0, 1     ; (t0 + 1) & ~3 lands on target
+        nop
+    target:
+        li t2, 55
+    """)
+    assert regs[3] == 55
+
+
+def test_fmin_fmax_and_nan():
+    fregs = run("""
+        li t0, 3
+        li t1, 7
+        fcvtif f1, t0
+        fcvtif f2, t1
+        fmin f3, f1, f2
+        fmax f4, f1, f2
+        li t2, 0
+        fcvtif f5, t2
+        fdiv f6, f5, f5    ; 0/0 = NaN
+        fmin f7, f6, f2    ; NaN propagates the other operand
+    """, fregs=True)
+    assert fregs[3] == 3.0
+    assert fregs[4] == 7.0
+    assert math.isnan(fregs[6])
+    assert fregs[7] == 7.0
+
+
+def test_fcvtfi_saturation_and_nan():
+    regs = run("""
+        li t0, 1
+        fcvtif f1, t0
+        li t1, 0
+        fcvtif f2, t1
+        fdiv f3, f1, f2    ; +inf
+        fcvtfi t2, f3      ; saturates to INT64_MAX
+        fdiv f4, f2, f2    ; NaN
+        fcvtfi t3, f4      ; 0
+        fneg f5, f3
+        fcvtfi t4, f5      ; INT64_MIN
+    """)
+    assert regs[3] == (1 << 63) - 1
+    assert regs[4] == 0
+    assert regs[5] == 1 << 63
+
+
+def test_byte_and_half_stores():
+    regs = run("""
+        la t0, buf
+        li t1, 0x1122334455667788
+        sb t1, 0(t0)
+        sh t1, 2(t0)
+        sw t1, 4(t0)
+        ld t2, 0(t0)
+        j skip
+        .align 8
+    buf:
+        .quad 0
+    skip:
+        nop
+    """)
+    # careful: buf layout -> byte 0x88 at +0, half 0x7788 at +2,
+    # word 0x55667788 at +4
+    assert regs[3] == 0x5566778877880088
+
+
+def test_branch_all_conditions():
+    regs = run("""
+        li t0, -1
+        li t1, 1
+        li t6, 0
+        bge t1, t0, a      ; signed: 1 >= -1 taken
+        j done
+    a:
+        addi t6, t6, 1
+        bgeu t0, t1, b     ; unsigned: ffff.. >= 1 taken
+        j done
+    b:
+        addi t6, t6, 1
+        blt t0, t1, c      ; signed taken
+        j done
+    c:
+        addi t6, t6, 1
+        bltu t1, t0, d     ; unsigned taken
+        j done
+    d:
+        addi t6, t6, 1
+    done:
+        nop
+    """)
+    assert regs[7] == 4
+
+
+def test_rdcycle_reads_virtual_clock():
+    source = "_start:\n    rdcycle t5\n    halt\n"
+    system = boot(assemble(source))
+    system.machine.state.cycles = 777
+    system.run_to_completion(mode=MODE_INTERP)
+    assert system.machine.state.regs[6] == 777
+
+
+def test_interp_mode_accounts_instructions():
+    source = "_start:\n    nop\n    nop\n    halt\n"
+    system = boot(assemble(source))
+    system.run_to_completion(mode=MODE_INTERP)
+    assert system.machine.stats.instructions_interp == 3
+    assert system.machine.stats.instructions_fast == 0
+
+
+def test_ebreak_halts_via_kernel():
+    system = boot(assemble("_start:\n    ebreak\n    nop"))
+    system.run_to_completion(mode=MODE_INTERP)
+    assert system.machine.state.halted
+    assert system.exit_code == 0xB

@@ -1,0 +1,147 @@
+"""Property tests for the shared arithmetic semantics.
+
+The helpers in ``repro.vm.semantics`` define the ISA's corner cases for
+both execution engines; these tests pin them against independent
+references (ctypes-style two's-complement arithmetic, IEEE-754 via the
+struct module).
+"""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm.semantics import (MASK64, f2i, fdiv, fmax2, fmin2, fsqrt,
+                                idiv, irem, s64, sx8, sx16, sx32)
+
+u64 = st.integers(0, MASK64)
+i64 = st.integers(-(1 << 63), (1 << 63) - 1)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@given(u64)
+def test_s64_roundtrip(value):
+    signed = s64(value)
+    assert -(1 << 63) <= signed < (1 << 63)
+    assert signed & MASK64 == value
+
+
+@given(st.integers(0, 255))
+def test_sx8_matches_struct(value):
+    expected = struct.unpack("<b", bytes([value]))[0]
+    assert s64(sx8(value)) == expected
+
+
+@given(st.integers(0, 0xFFFF))
+def test_sx16_matches_struct(value):
+    expected = struct.unpack("<h", value.to_bytes(2, "little"))[0]
+    assert s64(sx16(value)) == expected
+
+
+@given(st.integers(0, 0xFFFFFFFF))
+def test_sx32_matches_struct(value):
+    expected = struct.unpack("<i", value.to_bytes(4, "little"))[0]
+    assert s64(sx32(value)) == expected
+
+
+@given(i64, i64)
+def test_idiv_matches_c_semantics(a, b):
+    ua, ub = a & MASK64, b & MASK64
+    if b == 0:
+        assert idiv(ua, ub) == MASK64
+    elif a == -(1 << 63) and b == -1:
+        assert idiv(ua, ub) == 1 << 63
+    else:
+        expected = int(a / b)  # trunc toward zero (fine for 53-bit)...
+        # use exact integer trunc division instead of float
+        expected = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected = -expected
+        assert s64(idiv(ua, ub)) == expected
+
+
+@given(i64, i64)
+def test_div_rem_identity(a, b):
+    ua, ub = a & MASK64, b & MASK64
+    if b == 0 or (a == -(1 << 63) and b == -1):
+        return
+    quotient = s64(idiv(ua, ub))
+    remainder = s64(irem(ua, ub))
+    assert quotient * b + remainder == a
+    assert abs(remainder) < abs(b)
+    if remainder:
+        assert (remainder < 0) == (a < 0)
+
+
+def test_irem_by_zero_returns_dividend():
+    assert irem(7, 0) == 7
+    assert irem(MASK64, 0) == MASK64
+
+
+def test_irem_overflow_case():
+    assert irem(1 << 63, MASK64) == 0  # INT64_MIN % -1
+
+
+@given(finite, finite)
+def test_fdiv_matches_ieee(a, b):
+    result = fdiv(a, b)
+    if b != 0:
+        assert result == a / b or (math.isnan(result)
+                                   and math.isnan(a / b))
+    elif a == 0:
+        assert math.isnan(result)
+    else:
+        assert math.isinf(result)
+        assert (result > 0) == ((a > 0) == (math.copysign(1, b) > 0))
+
+
+def test_fdiv_zero_by_zero_nan():
+    assert math.isnan(fdiv(0.0, 0.0))
+    assert math.isnan(fdiv(float("nan"), 0.0))
+
+
+@given(st.floats(min_value=0, allow_nan=False, allow_infinity=False))
+def test_fsqrt_matches_math(a):
+    assert fsqrt(a) == math.sqrt(a)
+
+
+def test_fsqrt_negative_is_nan():
+    assert math.isnan(fsqrt(-1.0))
+
+
+@given(finite, finite)
+def test_fmin_fmax_ordering(a, b):
+    low, high = fmin2(a, b), fmax2(a, b)
+    assert low <= high
+    assert {low, high} <= {a, b}
+
+
+def test_fmin_fmax_nan_propagation():
+    nan = float("nan")
+    assert fmin2(nan, 2.0) == 2.0
+    assert fmin2(2.0, nan) == 2.0
+    assert fmax2(nan, -1.0) == -1.0
+    assert math.isnan(fmin2(nan, nan))
+
+
+@given(finite)
+def test_f2i_saturates(a):
+    result = s64(f2i(a))
+    assert -(1 << 63) <= result < (1 << 63)
+    if abs(a) < 2**52:
+        assert result == int(a)
+
+
+def test_f2i_specials():
+    assert f2i(float("nan")) == 0
+    assert s64(f2i(float("inf"))) == (1 << 63) - 1
+    assert s64(f2i(float("-inf"))) == -(1 << 63)
+    assert s64(f2i(1e300)) == (1 << 63) - 1
+
+
+@given(u64, u64)
+def test_idiv_irem_unsigned_domain(a, b):
+    # results always stay in the unsigned 64-bit domain
+    assert 0 <= idiv(a, b) <= MASK64
+    assert 0 <= irem(a, b) <= MASK64

@@ -1,0 +1,163 @@
+"""Tests for the kernels, DSL and the synthetic SPEC suite."""
+
+import pytest
+
+from repro.workloads import (KERNELS, SPEC2000, SUITE_MACHINE_KWARGS,
+                             SUITE_ORDER, WorkloadBuilder, benchmark_names,
+                             build_benchmark, get_spec, load_benchmark)
+from repro.workloads.spec2000 import SCALE, plan_phase
+
+
+def run_workload(workload):
+    system = workload.boot(**SUITE_MACHINE_KWARGS)
+    system.run_to_completion(limit=50_000_000)
+    assert system.machine.state.halted, "workload did not terminate"
+    assert system.exit_code == 0
+    return system
+
+
+# ----------------------------------------------------------------------
+# kernels
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_each_kernel_runs_and_terminates(kernel):
+    builder = WorkloadBuilder(f"unit-{kernel}")
+    builder.phase(kernel)
+    system = run_workload(builder.build())
+    assert system.machine.state.icount > 0
+
+
+def test_kernel_estimates_are_reasonable():
+    """Estimated instruction counts within 2x of reality."""
+    builder = WorkloadBuilder("estimates")
+    for kernel in ("stream", "stencil", "pointer_chase", "branchy",
+                   "crc", "string_scan", "gather"):
+        builder.phase(kernel)
+    workload = builder.build()
+    system = run_workload(workload)
+    actual = system.machine.state.icount
+    estimate = workload.estimated_instructions
+    assert 0.5 < actual / estimate < 2.0
+
+
+def test_io_kernels_touch_devices():
+    builder = WorkloadBuilder("io")
+    builder.phase("console_io", nbytes=32)
+    builder.phase("disk_io", nsect=2, reps=2)
+    builder.phase("net_io", packet=64, reps=2)
+    system = run_workload(builder.build())
+    assert len(system.console.output) == 32
+    assert system.disk.sectors_transferred >= 4
+    assert system.nic.packets_sent == 2
+    assert system.machine.stats.io_operations >= 7
+
+
+def test_unknown_kernel_rejected():
+    builder = WorkloadBuilder("bad")
+    with pytest.raises(KeyError):
+        builder.phase("frobnicate")
+
+
+def test_empty_workload_rejected():
+    with pytest.raises(ValueError):
+        WorkloadBuilder("empty").build()
+
+
+def test_code_copies_inflates_code_footprint():
+    plain = WorkloadBuilder("p")
+    plain.phase("crc", iters=1000)
+    fat = WorkloadBuilder("f")
+    fat.phase("crc", iters=1000, code_copies=8)
+    plain_loops = [s for s in plain.build().program.symbols
+                   if s.endswith("_loop")]
+    fat_loops = [s for s in fat.build().program.symbols
+                 if s.endswith("_loop")]
+    assert len(plain_loops) == 1
+    assert len(fat_loops) == 8
+
+
+def test_plan_phase_hits_target():
+    for kernel in ("stream", "branchy", "pointer_chase", "matmul",
+                   "sort", "calls", "stencil", "gather", "crc",
+                   "string_scan"):
+        builder = WorkloadBuilder(f"plan-{kernel}")
+        plan_phase(builder, kernel, 50_000)
+        system = run_workload(builder.build())
+        actual = system.machine.state.icount
+        assert 15_000 < actual < 150_000, (kernel, actual)
+
+
+# ----------------------------------------------------------------------
+# the SPEC suite
+
+def test_suite_has_26_benchmarks():
+    assert len(SUITE_ORDER) == 26
+    assert SUITE_ORDER[0] == "gzip"
+    assert "perlbmk" in SUITE_ORDER
+    assert "apsi" in SUITE_ORDER
+
+
+def test_table2_metadata_matches_paper():
+    spec = get_spec("parser")
+    assert spec.paper_billions == 240
+    assert spec.ref_input == "ref.in"
+    spec = get_spec("wupwise")
+    assert spec.paper_simpoints == 28
+    spec = get_spec("sixtrack")
+    assert spec.paper_simpoints == 235
+
+
+def test_workload_is_deterministic():
+    first = build_benchmark(get_spec("gzip"), size="tiny")
+    second = build_benchmark(get_spec("gzip"), size="tiny")
+    assert first.program.flatten() == second.program.flatten()
+    system_a = run_workload(first)
+    system_b = run_workload(second)
+    assert (system_a.machine.state.icount
+            == system_b.machine.state.icount)
+    assert (system_a.machine.stats.snapshot()
+            == system_b.machine.stats.snapshot())
+
+
+def test_load_benchmark_memoises():
+    a = load_benchmark("vpr", size="tiny")
+    b = load_benchmark("vpr", size="tiny")
+    assert a is b
+    c = load_benchmark("vpr", size="tiny", use_cache=False)
+    assert c is not a
+
+
+@pytest.mark.parametrize("name", ["gzip", "mcf", "perlbmk", "swim",
+                                  "art", "sixtrack"])
+def test_representative_benchmarks_run_at_tiny(name):
+    workload = load_benchmark(name, size="tiny")
+    system = run_workload(workload)
+    target = get_spec(name).target_instructions("tiny")
+    actual = system.machine.state.icount
+    assert 0.4 * target < actual < 3.0 * target
+
+
+def test_scale_ordering():
+    tiny = get_spec("mcf").target_instructions("tiny")
+    small = get_spec("mcf").target_instructions("small")
+    paper = get_spec("mcf").target_instructions("paper")
+    assert tiny < small < paper
+    assert SCALE["paper"] // SCALE["tiny"] > 10
+
+
+def test_monitored_signals_present():
+    """Each benchmark must produce EXC activity; most produce CPU."""
+    workload = load_benchmark("gzip", size="tiny")
+    system = run_workload(workload)
+    stats = system.machine.stats
+    assert stats.monitored("EXC") > 10
+    assert stats.monitored("CPU") > 0
+    assert stats.monitored("IO") > 0
+
+
+def test_spec_table_complete():
+    for name, spec in SPEC2000.items():
+        assert spec.paper_billions > 0
+        assert spec.paper_simpoints > 0
+        assert spec.rounds >= 3
+        assert spec.segments, name
