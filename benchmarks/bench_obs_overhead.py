@@ -1,0 +1,40 @@
+"""Overhead guard: instrumentation must be free when tracing is off.
+
+The ``repro.obs`` seams in the controller and the dynamic sampler run
+on every interval; with no tracer installed and metrics disabled (the
+default) they must not slow the simulator down.  The guard compares a
+fresh ``full``-policy run against the pre-instrumentation wall-clock
+recorded in the committed result cache (``benchmarks/.cache``): the
+best of three fresh runs must stay within 5 %.
+
+If the cache entry is missing (e.g. after a cache-version bump) the
+first run of this guard repopulates it through the normal
+:func:`run_policy` machinery and the comparison becomes a same-machine
+regression check for later runs.
+"""
+
+from repro import obs
+from repro.harness import ResultCache, run_policy
+
+BENCHMARK = "gzip"
+SIZE = "small"  # long enough (~2 s) that wall-clock noise is small
+KEY = f"{BENCHMARK}|full|{SIZE}"
+TOLERANCE = 1.05
+
+
+def test_tracing_disabled_overhead():
+    assert not obs.current_tracer().enabled
+    assert not obs.metrics_enabled()
+    cache = ResultCache()
+    baseline = cache.get(KEY)
+    if baseline is None:  # repopulate after a cache wipe
+        baseline = run_policy(BENCHMARK, "full", size=SIZE, cache=cache)
+    fresh = min(
+        (run_policy(BENCHMARK, "full", size=SIZE, use_cache=False)
+         for _ in range(3)),
+        key=lambda result: result.wall_seconds)
+    assert fresh.ipc == baseline.ipc  # instrumentation is behavioural no-op
+    assert fresh.wall_seconds <= baseline.wall_seconds * TOLERANCE, (
+        f"tracing-disabled run took {fresh.wall_seconds:.3f}s vs "
+        f"{baseline.wall_seconds:.3f}s baseline "
+        f"(> {TOLERANCE:.0%})")

@@ -1,12 +1,15 @@
 """Result analysis: aggregate metrics, Pareto frontier, text rendering."""
 
-from .metrics import PolicySummary, harmonic_mean, summarize_policy
+from .metrics import (PolicySummary, decision_series, harmonic_mean,
+                      summarize_policy, trigger_rate)
 from .pareto import dominates, pareto_frontier
-from .reporting import (ascii_scatter, ascii_series, format_speedup,
-                        format_table)
+from .reporting import (ascii_scatter, ascii_series, format_run_summary,
+                        format_speedup, format_table)
 
 __all__ = [
     "PolicySummary", "harmonic_mean", "summarize_policy",
+    "decision_series", "trigger_rate",
     "dominates", "pareto_frontier",
-    "ascii_scatter", "ascii_series", "format_speedup", "format_table",
+    "ascii_scatter", "ascii_series", "format_run_summary",
+    "format_speedup", "format_table",
 ]

@@ -59,3 +59,40 @@ def summarize_policy(results: List[PolicyResult],
         total_wall_seconds=sum(r.wall_seconds for r in results),
         benchmarks=len(results),
     )
+
+
+# ----------------------------------------------------------------------
+# sampling-decision timeline consumers (repro.obs interval records)
+
+def decision_series(records: Sequence[Dict],
+                    variable: str) -> Dict[str, List]:
+    """Per-interval series for one monitored variable.
+
+    ``records`` are the interval records produced by
+    :func:`repro.obs.decision_timeline`; the result maps series name to
+    a list aligned by interval — ``icount``, the monitored-variable
+    ``delta``, the ``relative`` change Algorithm 1 compares against
+    ``S`` (0.0 where undefined), and the boolean ``fired`` flags.
+    This is the Fig. 2-style raw material: correlate ``delta`` against
+    a per-interval IPC series to measure phase correspondence.
+    """
+    out: Dict[str, List] = {"icount": [], "delta": [], "relative": [],
+                            "fired": []}
+    for record in records:
+        var = (record.get("variables") or {}).get(variable)
+        if var is None:
+            continue
+        out["icount"].append(record["icount"])
+        out["delta"].append(var.get("delta", 0))
+        relative = var.get("relative")
+        out["relative"].append(0.0 if relative is None else relative)
+        out["fired"].append(bool(record.get("fired")))
+    return out
+
+
+def trigger_rate(records: Sequence[Dict]) -> float:
+    """Fraction of decisions that activated the timing simulator."""
+    if not records:
+        return 0.0
+    fired = sum(1 for record in records if record.get("fired"))
+    return fired / len(records)

@@ -115,3 +115,40 @@ def ascii_series(series: List[Tuple[str, List[float]]],
 
 def format_speedup(value: float) -> str:
     return f"{value:.1f}x" if value < 100 else f"{value:.0f}x"
+
+
+def format_run_summary(result) -> str:
+    """Human-readable summary of one :class:`PolicyResult`.
+
+    Beyond the headline IPC / host-time numbers this surfaces the
+    per-mode instruction counters and — when the result carries a
+    ``vm_stats`` snapshot (``extra["vm_stats"]``) — the VM statistic
+    totals and the per-kind exception breakdown the sampler monitors.
+    """
+    lines = [
+        f"benchmark : {result.benchmark}",
+        f"policy    : {result.policy}",
+        f"IPC       : {result.ipc:.4f}",
+        f"instrs    : {result.total_instructions} "
+        f"({result.timed_fraction * 100:.2f}% timed, "
+        f"{result.timed_intervals} measurements)",
+        f"modes     : fast={result.fast_instructions} "
+        f"profile={result.profile_instructions} "
+        f"warming={result.warming_instructions} "
+        f"timed={result.timed_instructions}",
+        f"host time : {result.modeled_seconds:.3f}s modeled, "
+        f"{result.wall_seconds:.3f}s wall",
+    ]
+    vm_stats = (result.extra or {}).get("vm_stats")
+    if vm_stats:
+        lines.append(
+            f"vm stats  : cpu={vm_stats.get('code_cache_invalidations', 0)}"
+            f" exc={vm_stats.get('exceptions', 0)}"
+            f" io={vm_stats.get('io_operations', 0)}"
+            f" translations={vm_stats.get('translations', 0)}")
+        kinds = vm_stats.get("exception_kinds") or {}
+        if kinds:
+            lines.append("exceptions: " + " ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(kinds.items())))
+    return "\n".join(lines)

@@ -5,10 +5,19 @@ Commands
 
 ``list``
     Show the benchmark suite and the policy keys.
-``run BENCH [--policy KEY] [--size SIZE]``
+``run BENCH [--policy KEY] [--size SIZE] [--json] [--verbose]``
     Run one sampling policy on one benchmark and print the result.
-``suite [--policy KEY] [--size SIZE] [--benchmarks a,b,c]``
+    ``--verbose`` streams one decision line per interval (forces a
+    fresh simulation); ``--json`` prints a machine-readable record.
+``suite [--policy KEY] [--size SIZE] [--benchmarks a,b,c] [--json]
+[--verbose]``
     Run a policy over the suite with per-benchmark error vs full timing.
+``trace BENCH --out trace.json [--policy KEY] [--size SIZE]
+[--events FILE.jsonl]``
+    Re-simulate with the structured tracer attached and export a
+    Chrome-trace file (open in ``chrome://tracing`` or
+    https://ui.perfetto.dev): mode-switch spans, per-interval
+    sampler decisions, VM-statistic counter tracks.
 ``figure NAME``
     Regenerate one of the paper's tables/figures (table1, table2,
     fig2, fig4, fig5, fig6, fig7, fig8, fig9).
@@ -20,6 +29,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.harness import run_policy
@@ -42,23 +52,63 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _verbose_tracer(label: str = "", to_stderr: bool = False):
+    from repro.obs import DecisionLogSink, Tracer
+    stream = sys.stderr if to_stderr else None
+    return Tracer(DecisionLogSink(stream=stream, label=label))
+
+
+def _result_json(result, comparison=None) -> dict:
+    """Machine-readable record for ``--json`` output."""
+    extra = result.extra or {}
+    payload = {
+        "benchmark": result.benchmark,
+        "policy": result.policy,
+        "ipc": result.ipc,
+        "timed_intervals": result.timed_intervals,
+        "timed_fraction": result.timed_fraction,
+        "mode_breakdown": {
+            "instructions": {
+                "fast": result.fast_instructions,
+                "profile": result.profile_instructions,
+                "warming": result.warming_instructions,
+                "timed": result.timed_instructions,
+                "total": result.total_instructions,
+            },
+            "wall_seconds": extra.get("wall_seconds_by_mode"),
+        },
+        "wall_seconds": result.wall_seconds,
+        "modeled_seconds": result.modeled_seconds,
+        "vm_stats": extra.get("vm_stats"),
+    }
+    if comparison is not None:
+        payload["vs_full"] = comparison
+    return payload
+
+
 def _cmd_run(args) -> int:
+    # with --json the decision log goes to stderr so stdout stays
+    # machine-parseable
+    tracer = (_verbose_tracer(to_stderr=args.json)
+              if args.verbose else None)
     result = run_policy(args.benchmark, args.policy, size=args.size,
-                        use_cache=not args.no_cache)
-    print(f"benchmark : {result.benchmark}")
-    print(f"policy    : {result.policy}")
-    print(f"IPC       : {result.ipc:.4f}")
-    print(f"instrs    : {result.total_instructions} "
-          f"({result.timed_fraction * 100:.2f}% timed, "
-          f"{result.timed_intervals} measurements)")
-    print(f"host time : {result.modeled_seconds:.3f}s modeled, "
-          f"{result.wall_seconds:.3f}s wall")
+                        use_cache=not args.no_cache, tracer=tracer)
+    comparison = None
     if args.policy != "full":
         full = run_policy(args.benchmark, "full", size=args.size)
-        print(f"vs full   : error "
-              f"{accuracy_error(result.ipc, full.ipc) * 100:.2f}%, "
-              f"speedup "
-              f"{speedup(full.modeled_seconds, result.modeled_seconds):.1f}x")
+        comparison = {
+            "error": accuracy_error(result.ipc, full.ipc),
+            "speedup": speedup(full.modeled_seconds,
+                               result.modeled_seconds),
+        }
+    if args.json:
+        print(json.dumps(_result_json(result, comparison), indent=2))
+        return 0
+    from repro.analysis import format_run_summary
+    print(format_run_summary(result))
+    if comparison is not None:
+        print(f"vs full   : error {comparison['error'] * 100:.2f}%, "
+              f"speedup {comparison['speedup']:.1f}x")
     return 0
 
 
@@ -69,18 +119,62 @@ def _cmd_suite(args) -> int:
     errors = []
     full_seconds = 0.0
     policy_seconds = 0.0
+    rows = []
     for name in names:
         full = run_policy(name, "full", size=args.size)
-        result = run_policy(name, args.policy, size=args.size)
+        tracer = (_verbose_tracer(label=name, to_stderr=args.json)
+                  if args.verbose else None)
+        result = run_policy(name, args.policy, size=args.size,
+                            tracer=tracer)
         error = accuracy_error(result.ipc, full.ipc)
         errors.append(error)
         full_seconds += full.modeled_seconds
         policy_seconds += result.modeled_seconds
-        print(f"{name:10s} ipc={result.ipc:7.4f} "
-              f"full={full.ipc:7.4f} err={error * 100:6.2f}%")
-    print(f"\nmean error {sum(errors) / len(errors) * 100:.2f}%  "
-          f"suite speedup "
-          f"{speedup(full_seconds, policy_seconds):.1f}x")
+        if args.json:
+            rows.append(_result_json(result, {
+                "error": error,
+                "speedup": speedup(full.modeled_seconds,
+                                   result.modeled_seconds)}))
+        else:
+            print(f"{name:10s} ipc={result.ipc:7.4f} "
+                  f"full={full.ipc:7.4f} err={error * 100:6.2f}%")
+    mean_error = sum(errors) / len(errors)
+    suite_speedup = speedup(full_seconds, policy_seconds)
+    if args.json:
+        print(json.dumps({
+            "policy": args.policy,
+            "size": args.size,
+            "benchmarks": rows,
+            "mean_error": mean_error,
+            "speedup": suite_speedup,
+        }, indent=2))
+        return 0
+    print(f"\nmean error {mean_error * 100:.2f}%  "
+          f"suite speedup {suite_speedup:.1f}x")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import (RingBufferSink, Tracer, decision_timeline,
+                           export_chrome_trace, mode_spans, write_jsonl)
+    sink = RingBufferSink(capacity=args.buffer)
+    result = run_policy(args.benchmark, args.policy, size=args.size,
+                        tracer=Tracer(sink))
+    events = sink.events
+    records = export_chrome_trace(events, args.out)
+    if args.events:
+        write_jsonl(events, args.events)
+    print(f"benchmark : {result.benchmark}")
+    print(f"policy    : {result.policy}")
+    print(f"IPC       : {result.ipc:.4f}")
+    print(f"events    : {sink.written} captured "
+          f"({sink.evicted} evicted), "
+          f"{len(mode_spans(events))} mode spans, "
+          f"{len(decision_timeline(events))} decisions")
+    print(f"chrome    : {args.out} ({records} records) — open in "
+          f"chrome://tracing or https://ui.perfetto.dev")
+    if args.events:
+        print(f"jsonl     : {args.events}")
     return 0
 
 
@@ -133,12 +227,34 @@ def main(argv=None) -> int:
     run_parser.add_argument("--policy", default="CPU-300-1M-inf")
     run_parser.add_argument("--size", default="small")
     run_parser.add_argument("--no-cache", action="store_true")
+    run_parser.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+    run_parser.add_argument("--verbose", action="store_true",
+                            help="live per-interval decision log "
+                                 "(forces a fresh simulation)")
 
     suite_parser = sub.add_parser("suite", help="run a policy over "
                                                 "the suite")
     suite_parser.add_argument("--policy", default="CPU-300-1M-inf")
     suite_parser.add_argument("--size", default="small")
     suite_parser.add_argument("--benchmarks", default="")
+    suite_parser.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+    suite_parser.add_argument("--verbose", action="store_true",
+                              help="live per-interval decision log")
+
+    trace_parser = sub.add_parser("trace", help="run with the tracer "
+                                                "and export Chrome "
+                                                "trace")
+    trace_parser.add_argument("benchmark")
+    trace_parser.add_argument("--policy", default="CPU-300-1M-inf")
+    trace_parser.add_argument("--size", default="small")
+    trace_parser.add_argument("--out", required=True,
+                              help="Chrome-trace JSON output path")
+    trace_parser.add_argument("--events", default="",
+                              help="also dump raw events as JSONL")
+    trace_parser.add_argument("--buffer", type=int, default=1_000_000,
+                              help="event ring-buffer capacity")
 
     figure_parser = sub.add_parser("figure", help="regenerate a "
                                                   "table/figure")
@@ -150,7 +266,8 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "suite": _cmd_suite,
-                "figure": _cmd_figure, "exec": _cmd_exec}
+                "trace": _cmd_trace, "figure": _cmd_figure,
+                "exec": _cmd_exec}
     return handlers[args.command](args)
 
 

@@ -16,6 +16,7 @@ import os
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.sampling import (DynamicSampler, FullTiming, PolicyResult,
                             SIMPOINT_PRESET, SMARTS_PRESET,
                             SimPointSampler, SimulationController,
@@ -38,7 +39,7 @@ def _cache_dir() -> Path:
 # ----------------------------------------------------------------------
 # policy registry
 
-def _dynamic_factory(variable: str, sensitivity: int, label: str,
+def _dynamic_factory(variable: str, sensitivity, label: str,
                      max_func) -> Callable:
     return lambda: DynamicSampler(
         dynamic_config(variable, sensitivity, label, max_func))
@@ -49,8 +50,9 @@ def policy_factory(key: str) -> Callable:
 
     Keys: ``full``, ``smarts``, ``simpoint``, or Dynamic-Sampling
     strings like ``CPU-300-1M-inf`` / ``IO-100-10M-10`` (paper
-    notation).  ``simpoint+prof`` shares the ``simpoint`` run; use
-    :func:`modeled_seconds_for` to get its cost.
+    notation; the sensitivity-percent field may be fractional, e.g.
+    ``CPU-0.3-1M-1000``).  ``simpoint+prof`` shares the ``simpoint``
+    run; use :func:`modeled_seconds_for` to get its cost.
     """
     if key == "full":
         return FullTiming
@@ -60,10 +62,12 @@ def policy_factory(key: str) -> Callable:
         return lambda: SimPointSampler(SIMPOINT_PRESET)
     parts = key.split("-")
     if len(parts) == 4 and parts[0] in ("CPU", "EXC", "IO"):
-        variable, sensitivity, label, maxf = parts
+        variable, sensitivity_text, label, maxf = parts
         max_func = None if maxf == "inf" else int(maxf)
-        return _dynamic_factory(variable, int(sensitivity), label,
-                                max_func)
+        sensitivity = float(sensitivity_text)
+        if sensitivity.is_integer():
+            sensitivity = int(sensitivity)
+        return _dynamic_factory(variable, sensitivity, label, max_func)
     raise KeyError(f"unknown policy key {key!r}")
 
 
@@ -119,11 +123,18 @@ _DEFAULT_CACHE = ResultCache()
 
 def run_policy(benchmark: str, policy: str, size: str = "small",
                cache: Optional[ResultCache] = None,
-               use_cache: bool = True) -> PolicyResult:
-    """Run (or fetch) one policy on one benchmark."""
+               use_cache: bool = True,
+               tracer: Optional["obs.Tracer"] = None) -> PolicyResult:
+    """Run (or fetch) one policy on one benchmark.
+
+    Passing a ``tracer`` forces a fresh simulation (cached results
+    carry no event stream) and wires it into the controller.
+    """
     cache = cache or _DEFAULT_CACHE
     cache_policy = "simpoint" if policy == "simpoint+prof" else policy
     key = f"{benchmark}|{cache_policy}|{size}"
+    if tracer is not None:
+        use_cache = False
     if use_cache:
         cached = cache.get(key)
         if cached is not None:
@@ -131,7 +142,7 @@ def run_policy(benchmark: str, policy: str, size: str = "small",
     workload = load_benchmark(benchmark, size=size)
     controller = SimulationController(
         workload, timing_config=TimingConfig.small(),
-        machine_kwargs=SUITE_MACHINE_KWARGS)
+        machine_kwargs=SUITE_MACHINE_KWARGS, tracer=tracer)
     result = policy_factory(cache_policy)().run(controller)
     if use_cache:
         cache.put(key, result)

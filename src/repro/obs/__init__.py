@@ -1,0 +1,53 @@
+"""Observability: metrics registry, structured tracing, exporters.
+
+The paper's premise is that the statistics a VM already keeps reveal
+program phases; this package makes those statistics — and every
+decision the sampling layer takes from them — observable over time:
+
+* :mod:`repro.obs.registry`    — process-wide counters / gauges /
+  fixed-bucket histograms, near-zero-cost when disabled
+* :mod:`repro.obs.tracer`      — structured JSONL event tracer with
+  pluggable sinks (ring buffer, file, callback, null)
+* :mod:`repro.obs.chrometrace` — Chrome-trace/Perfetto exporter: the
+  mode-switch timeline renders in ``chrome://tracing``
+* :mod:`repro.obs.hooks`       — decision-timeline extraction and the
+  live ``--verbose`` decision log
+
+Quick start::
+
+    from repro.obs import RingBufferSink, tracing, decision_timeline
+
+    with tracing(RingBufferSink()) as tracer:
+        result = sampler.run(SimulationController(workload))
+    for record in decision_timeline(tracer.sink.events):
+        print(record["interval"], record["fired"])
+"""
+
+from .chrometrace import export_chrome_trace, to_chrome_trace
+from .events import (EV_DECISION, EV_MARK, EV_MODE, EV_VMSTATS,
+                     EV_WARMSTATE, EVENT_TYPES, TraceEvent)
+from .hooks import (DecisionLogSink, decision_timeline,
+                    format_decision_line, mode_spans)
+from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
+                       NullRegistry, disable_metrics, enable_metrics,
+                       get_registry, metrics_enabled, reset_metrics)
+from .sinks import (CallbackSink, JsonlFileSink, NullSink,
+                    RingBufferSink, TeeSink, TraceSink, read_jsonl,
+                    write_jsonl)
+from .tracer import (NULL_TRACER, NullTracer, Tracer, current_tracer,
+                     install_tracer, tracing, uninstall_tracer)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "enable_metrics", "disable_metrics", "metrics_enabled",
+    "get_registry", "reset_metrics",
+    "TraceEvent", "EVENT_TYPES",
+    "EV_MODE", "EV_DECISION", "EV_VMSTATS", "EV_WARMSTATE", "EV_MARK",
+    "TraceSink", "NullSink", "RingBufferSink", "JsonlFileSink",
+    "CallbackSink", "TeeSink", "read_jsonl", "write_jsonl",
+    "Tracer", "NullTracer", "NULL_TRACER",
+    "current_tracer", "install_tracer", "uninstall_tracer", "tracing",
+    "to_chrome_trace", "export_chrome_trace",
+    "decision_timeline", "mode_spans", "format_decision_line",
+    "DecisionLogSink",
+]

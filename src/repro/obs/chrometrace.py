@@ -1,0 +1,136 @@
+"""Chrome-trace / Perfetto export.
+
+Converts a list of :class:`~repro.obs.events.TraceEvent` records into
+the Chrome Trace Event Format (the JSON object form), which both
+``chrome://tracing`` and https://ui.perfetto.dev open directly:
+
+* ``mode`` events      → complete spans (``ph: "X"``) on the
+                         "controller" track — the mode-switch timeline
+* ``sampler.decision`` → instant events (``ph: "i"``) on the "sampler"
+                         track; fired decisions are named ``TIMED`` so
+                         they stand out
+* ``vmstats``          → counter tracks (``ph: "C"``): the monitored
+                         CPU/EXC/IO statistic streams and per-mode
+                         instruction counters
+* ``warmstate``        → instant events on the "timing core" track
+* everything else      → instant events on the "misc" track
+
+Timestamps are microseconds since the tracer epoch; ``mode`` spans are
+emitted at span *end* with their wall duration in the payload, so the
+exporter back-dates ``ts`` by the duration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from .events import (EV_DECISION, EV_MODE, EV_VMSTATS, EV_WARMSTATE,
+                     TraceEvent)
+
+__all__ = ["to_chrome_trace", "export_chrome_trace"]
+
+PID = 1
+TID_CONTROLLER = 1
+TID_SAMPLER = 2
+TID_TIMING = 3
+TID_MISC = 4
+
+_THREAD_NAMES = {
+    TID_CONTROLLER: "controller (modes)",
+    TID_SAMPLER: "sampler (decisions)",
+    TID_TIMING: "timing core (warm state)",
+    TID_MISC: "misc",
+}
+
+#: vmstats snapshot key -> counter-track series name
+_MONITORED_SERIES = {
+    "code_cache_invalidations": "CPU",
+    "exceptions": "EXC",
+    "io_operations": "IO",
+}
+
+_INSTRUCTION_SERIES = (
+    "instructions_fast", "instructions_event",
+    "instructions_profile", "instructions_interp",
+)
+
+
+def _metadata() -> List[Dict]:
+    records: List[Dict] = [{
+        "name": "process_name", "ph": "M", "pid": PID,
+        "args": {"name": "repro"},
+    }]
+    for tid, name in _THREAD_NAMES.items():
+        records.append({"name": "thread_name", "ph": "M", "pid": PID,
+                        "tid": tid, "args": {"name": name}})
+    return records
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict:
+    """Build the Chrome Trace Event Format object."""
+    trace_events: List[Dict] = _metadata()
+    for event in events:
+        ts_us = event.ts * 1e6
+        payload = event.payload
+        if event.type == EV_MODE:
+            dur_us = max(payload.get("wall", 0.0), 0.0) * 1e6
+            trace_events.append({
+                "name": payload.get("mode", "mode"),
+                "cat": "mode", "ph": "X", "pid": PID,
+                "tid": TID_CONTROLLER,
+                "ts": ts_us - dur_us, "dur": dur_us,
+                "args": {
+                    "instructions": payload.get("instructions"),
+                    "icount_start": payload.get("icount_start"),
+                    "icount_end": event.icount,
+                },
+            })
+        elif event.type == EV_DECISION:
+            name = "TIMED" if payload.get("fired") else "functional"
+            trace_events.append({
+                "name": name, "cat": "decision", "ph": "i",
+                "pid": PID, "tid": TID_SAMPLER, "ts": ts_us,
+                "s": "t", "args": dict(payload),
+            })
+        elif event.type == EV_VMSTATS:
+            monitored = {series: payload[key]
+                         for key, series in _MONITORED_SERIES.items()
+                         if key in payload}
+            if monitored:
+                trace_events.append({
+                    "name": "monitored (CPU/EXC/IO)", "cat": "vmstats",
+                    "ph": "C", "pid": PID, "ts": ts_us,
+                    "args": monitored,
+                })
+            instructions = {key: payload[key]
+                            for key in _INSTRUCTION_SERIES
+                            if key in payload}
+            if instructions:
+                trace_events.append({
+                    "name": "instructions by mode", "cat": "vmstats",
+                    "ph": "C", "pid": PID, "ts": ts_us,
+                    "args": instructions,
+                })
+        elif event.type == EV_WARMSTATE:
+            trace_events.append({
+                "name": "warm state", "cat": "warmstate", "ph": "i",
+                "pid": PID, "tid": TID_TIMING, "ts": ts_us,
+                "s": "t", "args": dict(payload),
+            })
+        else:
+            trace_events.append({
+                "name": event.type, "cat": "misc", "ph": "i",
+                "pid": PID, "tid": TID_MISC, "ts": ts_us,
+                "s": "t", "args": dict(payload),
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(events: Iterable[TraceEvent],
+                        path: Union[str, Path]) -> int:
+    """Write the Chrome-trace JSON; returns the record count."""
+    trace = to_chrome_trace(events)
+    Path(path).write_text(json.dumps(trace))
+    return len(trace["traceEvents"])

@@ -1,0 +1,62 @@
+"""Structured trace events.
+
+Every record the tracer emits carries a monotonic timestamp (seconds
+since the tracer was created), the guest instruction count at emission
+time, an event type, and a JSON-serialisable payload.  The event types
+map onto the paper's vocabulary:
+
+* ``mode``             — one controller execution span (fast / profile
+                         / warming / timed): the §3 mode-switching
+                         timeline
+* ``sampler.decision`` — one end-of-interval evaluation of Algorithm 1
+                         (§4): monitored deltas, relative change,
+                         threshold ``S``, fired / max_func forcing
+* ``vmstats``          — a :class:`repro.vm.stats.VmStats` snapshot
+                         (the §4.1 monitored-statistic streams)
+* ``warmstate``        — cache/TLB/branch-predictor warm-state summary
+                         from the timing core after a timed interval
+                         (the §3.3 warming discussion)
+* ``mark``             — free-form annotations (run begin/end, ...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = [
+    "TraceEvent", "EV_MODE", "EV_DECISION", "EV_VMSTATS",
+    "EV_WARMSTATE", "EV_MARK", "EVENT_TYPES",
+]
+
+EV_MODE = "mode"
+EV_DECISION = "sampler.decision"
+EV_VMSTATS = "vmstats"
+EV_WARMSTATE = "warmstate"
+EV_MARK = "mark"
+
+EVENT_TYPES = (EV_MODE, EV_DECISION, EV_VMSTATS, EV_WARMSTATE, EV_MARK)
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record."""
+
+    #: event type (one of :data:`EVENT_TYPES`, but open-ended)
+    type: str
+    #: monotonic seconds since the tracer's epoch
+    ts: float
+    #: guest instructions retired when the event was emitted
+    icount: int
+    #: event-type-specific fields (JSON-serialisable)
+    payload: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {"type": self.type, "ts": self.ts,
+                "icount": self.icount, "payload": self.payload}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TraceEvent":
+        return cls(type=data["type"], ts=data["ts"],
+                   icount=data["icount"],
+                   payload=data.get("payload", {}))

@@ -1,0 +1,105 @@
+"""Consumers of the instrumentation stream.
+
+* :func:`decision_timeline` — flatten ``sampler.decision`` events into
+  per-interval records (the ground truth for Fig. 2-style analysis);
+* :func:`mode_spans` — flatten ``mode`` events into (mode, start
+  icount, end icount, instructions, wall) tuples;
+* :func:`format_decision_line` / :class:`DecisionLogSink` — the
+  one-line-per-interval live decision log behind ``run --verbose``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, TextIO
+
+from .events import EV_DECISION, EV_MODE, TraceEvent
+from .sinks import TraceSink
+
+__all__ = [
+    "decision_timeline", "mode_spans", "format_decision_line",
+    "DecisionLogSink",
+]
+
+
+def decision_timeline(events: Iterable[TraceEvent]) -> List[Dict]:
+    """Per-interval records from the ``sampler.decision`` stream.
+
+    Each record carries: ``interval`` (ordinal), ``icount``, ``ts``,
+    ``threshold``, ``fired``, ``forced``, ``num_func`` and a
+    ``variables`` mapping ``name -> {count, delta, prev_delta,
+    relative}`` (``relative`` is None for the first interval after a
+    baseline reset, when no previous delta exists).
+    """
+    records: List[Dict] = []
+    for event in events:
+        if event.type != EV_DECISION:
+            continue
+        record = dict(event.payload)
+        record["icount"] = event.icount
+        record["ts"] = event.ts
+        records.append(record)
+    return records
+
+
+def mode_spans(events: Iterable[TraceEvent]) -> List[Dict]:
+    """The mode-switch timeline from the ``mode`` event stream."""
+    spans: List[Dict] = []
+    for event in events:
+        if event.type != EV_MODE:
+            continue
+        payload = event.payload
+        spans.append({
+            "mode": payload.get("mode"),
+            "icount_start": payload.get("icount_start"),
+            "icount_end": event.icount,
+            "instructions": payload.get("instructions"),
+            "wall": payload.get("wall"),
+            "ts_end": event.ts,
+        })
+    return spans
+
+
+def format_decision_line(event: TraceEvent,
+                         label: str = "") -> str:
+    """One aligned line per Algorithm-1 decision.
+
+    Shows, per monitored variable, the per-interval delta of the
+    monitored statistic, the relative change against the previous
+    delta, and the sensitivity threshold ``S`` — then the outcome.
+    """
+    payload = event.payload
+    parts = []
+    if label:
+        parts.append(f"[{label}]")
+    parts.append(f"i={payload.get('interval', '?'):>5}")
+    parts.append(f"icount={event.icount:>9}")
+    for name, var in sorted(payload.get("variables", {}).items()):
+        relative = var.get("relative")
+        rel_text = "--" if relative is None else f"{relative:.2f}"
+        parts.append(f"{name} d={var.get('delta', 0):>4} "
+                     f"rel={rel_text:>6}")
+    parts.append(f"S={payload.get('threshold', 0.0):.2f}")
+    if payload.get("fired"):
+        reason = "max_func" if payload.get("forced") else "trigger"
+        parts.append(f"-> TIMED ({reason})")
+    else:
+        parts.append(f"-> functional (func#{payload.get('num_func', 0)})")
+    return " ".join(parts)
+
+
+class DecisionLogSink(TraceSink):
+    """Prints a live decision log (one line per interval)."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 label: str = ""):
+        import sys
+        self.stream = stream if stream is not None else sys.stdout
+        self.label = label
+
+    def write(self, event: TraceEvent) -> None:
+        if event.type == EV_DECISION:
+            print(format_decision_line(event, label=self.label),
+                  file=self.stream)
+
+    def flush(self) -> None:
+        self.stream.flush()

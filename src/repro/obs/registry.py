@@ -1,0 +1,250 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The simulator's hot loops (the controller's mode primitives, the
+sampler's per-interval decision) update instruments obtained *once*
+from :func:`get_registry`.  When metrics are disabled — the default —
+:func:`get_registry` hands out a :class:`NullRegistry` whose
+instruments are shared no-op singletons, so instrumented code pays one
+no-op method call instead of an ``if`` chain at every site.  Enable
+metrics *before* constructing controllers/samplers: instruments are
+resolved at construction time, not per call.
+
+Instruments:
+
+* :class:`Counter` — monotonically increasing value (``inc``/``add``)
+* :class:`Gauge` — a value that goes up and down (``set``/``add``)
+* :class:`Histogram` — fixed upper-bound buckets plus overflow, with
+  running count/sum/min/max (``observe``)
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "enable_metrics", "disable_metrics", "metrics_enabled",
+    "get_registry", "reset_metrics",
+]
+
+#: default histogram bucket upper bounds (log-spaced; values above the
+#: last bound land in the overflow bucket)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0)
+
+
+class Counter:
+    """A monotonically increasing metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self) -> None:
+        self.value += 1
+
+    def add(self, amount) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A metric that can move in both directions."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def add(self, amount) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper-bound buckets, `le` semantics).
+
+    ``observe(v)`` increments the first bucket whose upper bound is
+    >= v; values above every bound go to the overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 = overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict:
+        return {
+            "buckets": {str(bound): count for bound, count
+                        in zip(self.bounds, self.counts)},
+            "overflow": self.counts[-1],
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments; repeated lookups return the same object."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    def names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges,
+                       *self._histograms])
+
+    def collect(self) -> Dict[str, object]:
+        """Flat {name: value-or-histogram-snapshot} of every instrument."""
+        out: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[name] = histogram.snapshot()
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self) -> None:
+        pass
+
+    def add(self, amount) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        pass
+
+    def add(self, amount) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """Hands out shared no-op instruments; collect() is empty."""
+
+    def __init__(self):
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._histogram
+
+    def collect(self) -> Dict[str, object]:
+        return {}
+
+
+# ----------------------------------------------------------------------
+# module-level switch (the "guarded by a flag, not per-call ifs" part)
+
+_ENABLED = False
+_REGISTRY = MetricsRegistry()
+_NULL_REGISTRY = NullRegistry()
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Turn the global registry on; returns it for convenience."""
+    global _ENABLED
+    _ENABLED = True
+    return _REGISTRY
+
+
+def disable_metrics() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def metrics_enabled() -> bool:
+    return _ENABLED
+
+
+def get_registry() -> MetricsRegistry:
+    """The live registry when enabled, a no-op registry otherwise."""
+    return _REGISTRY if _ENABLED else _NULL_REGISTRY
+
+
+def reset_metrics() -> None:
+    """Drop every recorded value (used between test runs)."""
+    _REGISTRY.reset()

@@ -1,0 +1,150 @@
+"""Pluggable trace sinks.
+
+A sink receives :class:`~repro.obs.events.TraceEvent` objects from a
+tracer.  Four are provided:
+
+* :class:`NullSink`       — drops everything (tracing plumbed but off)
+* :class:`RingBufferSink` — keeps the most recent N events in memory
+* :class:`JsonlFileSink`  — appends one JSON object per line to a file
+* :class:`CallbackSink`   — calls a function per event (live printers)
+
+``read_jsonl`` round-trips what :class:`JsonlFileSink` wrote.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Callable, IO, List, Optional, Union
+
+from .events import TraceEvent
+
+__all__ = [
+    "TraceSink", "NullSink", "RingBufferSink", "JsonlFileSink",
+    "CallbackSink", "TeeSink", "read_jsonl", "write_jsonl",
+]
+
+PathLike = Union[str, Path]
+
+
+class TraceSink:
+    """Sink interface; subclasses override :meth:`write`."""
+
+    def write(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(TraceSink):
+    def write(self, event: TraceEvent) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the newest ``capacity`` events, evicting the oldest."""
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        #: total events ever written (>= len(events) after eviction)
+        self.written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.written += 1
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def evicted(self) -> int:
+        return self.written - len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.written = 0
+
+
+class JsonlFileSink(TraceSink):
+    """Streams events to a JSON-lines file (one object per line)."""
+
+    def __init__(self, target: Union[PathLike, IO[str]]):
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._handle = open(target, "w")
+            self._owns = True
+
+    def write(self, event: TraceEvent) -> None:
+        self._handle.write(json.dumps(event.to_dict()))
+        self._handle.write("\n")
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._handle.close()
+        else:
+            self._handle.flush()
+
+
+class CallbackSink(TraceSink):
+    """Invokes ``fn(event)`` for every event (optionally filtered)."""
+
+    def __init__(self, fn: Callable[[TraceEvent], None],
+                 event_type: Optional[str] = None):
+        self._fn = fn
+        self._type = event_type
+
+    def write(self, event: TraceEvent) -> None:
+        if self._type is None or event.type == self._type:
+            self._fn(event)
+
+
+class TeeSink(TraceSink):
+    """Fans one event stream out to several sinks."""
+
+    def __init__(self, *sinks: TraceSink):
+        self.sinks = list(sinks)
+
+    def write(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.write(event)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def write_jsonl(events: List[TraceEvent], path: PathLike) -> None:
+    sink = JsonlFileSink(path)
+    try:
+        for event in events:
+            sink.write(event)
+    finally:
+        sink.close()
+
+
+def read_jsonl(path: PathLike) -> List[TraceEvent]:
+    events: List[TraceEvent] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events

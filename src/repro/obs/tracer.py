@@ -1,0 +1,123 @@
+"""The structured event tracer and the process-wide active tracer.
+
+Instrumented code (the controller, the samplers) resolves the tracer
+once at construction time via :func:`current_tracer` and keeps a local
+reference; when nothing is installed they get :data:`NULL_TRACER`,
+whose ``enabled`` flag lets call sites skip payload construction with
+a single attribute test per interval — no tracing cost remains in the
+disabled configuration beyond that.
+
+Use :func:`tracing` as a context manager for scoped capture::
+
+    with tracing(RingBufferSink()) as tracer:
+        sampler.run(SimulationController(workload))
+    events = tracer.sink.events
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+from .events import TraceEvent
+from .sinks import TraceSink
+
+__all__ = [
+    "Tracer", "NullTracer", "NULL_TRACER",
+    "current_tracer", "install_tracer", "uninstall_tracer", "tracing",
+]
+
+
+class Tracer:
+    """Stamps events with monotonic time + icount, forwards to a sink."""
+
+    enabled = True
+
+    def __init__(self, sink: TraceSink,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.sink = sink
+        self._clock = clock
+        self.epoch = clock()
+        self.emitted = 0
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch."""
+        return self._clock() - self.epoch
+
+    def emit(self, type_: str, icount: int = 0, **payload) -> TraceEvent:
+        event = TraceEvent(type=type_, ts=self.now(), icount=icount,
+                           payload=payload)
+        self.sink.write(event)
+        self.emitted += 1
+        return event
+
+    def emit_event(self, event: TraceEvent) -> None:
+        """Forward a pre-built event (already stamped)."""
+        self.sink.write(event)
+        self.emitted += 1
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(TraceSink.__new__(TraceSink),
+                         clock=lambda: 0.0)
+
+    def emit(self, type_: str, icount: int = 0, **payload) -> TraceEvent:
+        return TraceEvent(type=type_, ts=0.0, icount=icount,
+                          payload=payload)
+
+    def emit_event(self, event: TraceEvent) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+_ACTIVE: Tracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer:
+    """The installed tracer, or :data:`NULL_TRACER`."""
+    return _ACTIVE
+
+
+def install_tracer(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the process-wide default; returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def uninstall_tracer() -> None:
+    global _ACTIVE
+    _ACTIVE = NULL_TRACER
+
+
+@contextmanager
+def tracing(sink: Optional[TraceSink] = None):
+    """Install a tracer for the duration of a ``with`` block."""
+    from .sinks import RingBufferSink
+    tracer = Tracer(sink if sink is not None else RingBufferSink())
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)
+        tracer.flush()

@@ -96,6 +96,8 @@ class Sampler:
                  if key not in ("ipc", "timed_intervals")}
         extra["modeled_seconds_all_modes"] = \
             self.cost_model.modeled_seconds(**counts)
+        extra["wall_seconds_by_mode"] = dict(breakdown.wall_seconds)
+        extra["vm_stats"] = controller.machine.stats.snapshot()
         if "profile" not in self.charge_modes and counts["profile"]:
             # e.g. the paper's "SimPoint+prof" point in Figure 5
             extra["modeled_seconds_with_profiling"] = (

@@ -16,6 +16,12 @@ cost model), measures per-mode wall-clock, reads the VM statistics that
 Dynamic Sampling monitors, and — when ``feedback`` is enabled — pushes
 the estimated virtual time back into the guest (``rdcycle``, the timer
 device), closing the loop the paper describes in §3.1.
+
+Every mode primitive is an instrumentation seam (``repro.obs``): when
+a tracer is active it emits one ``mode`` span plus a ``vmstats``
+snapshot per call, and ``run_timed`` adds a ``warmstate`` summary of
+the timing core's caches/TLBs/branch predictor.  With no tracer
+installed the per-call cost is a single attribute test.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import obs
 from repro.kernel import System
 from repro.timing import (FunctionalWarmingSink, OutOfOrderCore,
                           TimingConfig)
@@ -58,7 +65,8 @@ class SimulationController:
     def __init__(self, workload: Workload,
                  timing_config: Optional[TimingConfig] = None,
                  machine_kwargs: Optional[dict] = None,
-                 feedback: bool = False):
+                 feedback: bool = False,
+                 tracer: Optional[obs.Tracer] = None):
         self.workload = workload
         self.machine_kwargs = dict(machine_kwargs or {})
         self.system: System = workload.boot(**self.machine_kwargs)
@@ -70,6 +78,19 @@ class SimulationController:
         #: estimated virtual cycles of the whole run so far (only
         #: maintained when feedback is on)
         self.virtual_cycles = 0.0
+        #: structured event tracer (explicit, or the installed global)
+        self.tracer = tracer if tracer is not None else \
+            obs.current_tracer()
+        self._trace = self.tracer if self.tracer.enabled else None
+        self._last_mode: Optional[str] = None
+        registry = obs.get_registry()
+        self._m_instructions = {
+            mode: registry.counter(f"controller.instructions.{mode}")
+            for mode in ("fast", "profile", "warming", "timed")}
+        self._m_wall = {
+            mode: registry.counter(f"controller.wall_seconds.{mode}")
+            for mode in ("fast", "profile", "warming", "timed")}
+        self._m_switches = registry.counter("controller.mode_switches")
 
     # ------------------------------------------------------------------
     # state
@@ -88,21 +109,45 @@ class SimulationController:
         return self.machine.stats.monitored(name)
 
     # ------------------------------------------------------------------
+    # instrumentation (repro.obs)
+
+    def _account(self, mode: str, executed: int, elapsed: float,
+                 icount_start: int) -> None:
+        """Metrics + trace events shared by every mode primitive."""
+        self._m_instructions[mode].add(executed)
+        self._m_wall[mode].add(elapsed)
+        if mode != self._last_mode:
+            self._m_switches.inc()
+            self._last_mode = mode
+        trace = self._trace
+        if trace is not None:
+            trace.emit(obs.EV_MODE, icount=self.icount, mode=mode,
+                       instructions=executed, wall=elapsed,
+                       icount_start=icount_start)
+            trace.emit(obs.EV_VMSTATS, icount=self.icount,
+                       **self.machine.stats.snapshot())
+
+    # ------------------------------------------------------------------
     # execution primitives
 
     def run_fast(self, instructions: int) -> int:
+        icount_start = self.icount
         start = time.perf_counter()
         executed = self.machine.run(instructions, mode=MODE_FAST)
-        self.breakdown.wall_seconds["fast"] += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.breakdown.wall_seconds["fast"] += elapsed
         self.breakdown.fast_instructions += executed
+        self._account("fast", executed, elapsed, icount_start)
         return executed
 
     def run_profile(self, instructions: int) -> int:
+        icount_start = self.icount
         start = time.perf_counter()
         executed = self.machine.run(instructions, mode=MODE_PROFILE)
-        self.breakdown.wall_seconds["profile"] += \
-            time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.breakdown.wall_seconds["profile"] += elapsed
         self.breakdown.profile_instructions += executed
+        self._account("profile", executed, elapsed, icount_start)
         return executed
 
     def take_profile(self) -> Dict[int, int]:
@@ -114,12 +159,14 @@ class SimulationController:
     def run_warming(self, instructions: int) -> int:
         if instructions <= 0:
             return 0
+        icount_start = self.icount
         start = time.perf_counter()
         executed = self.machine.run(instructions, mode=MODE_EVENT,
                                     sink=self.warming_sink)
-        self.breakdown.wall_seconds["warming"] += \
-            time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.breakdown.wall_seconds["warming"] += elapsed
         self.breakdown.warming_instructions += executed
+        self._account("warming", executed, elapsed, icount_start)
         return executed
 
     def run_timed(self, instructions: int,
@@ -132,14 +179,26 @@ class SimulationController:
         """
         if instructions <= 0:
             return (0, 0)
+        icount_start = self.icount
         start = time.perf_counter()
         checkpoint = self.core.checkpoint()
         executed = self.machine.run(instructions, mode=MODE_EVENT,
                                     sink=self.core)
-        self.breakdown.wall_seconds["timed"] += \
-            time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.breakdown.wall_seconds["timed"] += elapsed
         self.breakdown.timed_instructions += executed
         cycles = self.core.last_retire_cycle - checkpoint[1]
+        self._account("timed", executed, elapsed, icount_start)
+        trace = self._trace
+        if trace is not None:
+            branch = self.core.branch
+            trace.emit(obs.EV_WARMSTATE, icount=self.icount,
+                       cycles=cycles, instructions=executed,
+                       ipc=(executed / cycles if cycles else 0.0),
+                       branches=branch.branches,
+                       mispredicts=branch.mispredicts,
+                       btb_misses=branch.btb_misses,
+                       **self.core.hierarchy.stats())
         if self.feedback and measure and executed:
             ipc = executed / cycles if cycles else 1.0
             self.advance_virtual_time(executed / max(ipc, 1e-9))

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro import obs
+
 from .base import Sampler
 from .controller import SimulationController
 from .estimators import SegmentedIpcEstimator
@@ -83,9 +85,20 @@ class DynamicSampler(Sampler):
         estimator = SegmentedIpcEstimator()
         interval = config.interval_length
 
+        # Instrumentation: decision events go to the controller's
+        # tracer (one per functional interval); aggregate counts /
+        # relative-change distribution go to the metrics registry.
+        trace = controller.tracer if controller.tracer.enabled else None
+        registry = obs.get_registry()
+        m_decisions = registry.counter("sampler.decisions")
+        m_triggers = registry.counter("sampler.triggers")
+        m_forced = registry.counter("sampler.forced")
+        m_relative = registry.histogram("sampler.relative_change")
+
         timing = False
         num_func = 0
         timed_intervals = 0
+        interval_index = 0
         last_counts = {variable: controller.read_stat(variable)
                        for variable in config.variables}
         prev_deltas: Dict[str, Optional[int]] = {
@@ -117,24 +130,48 @@ class DynamicSampler(Sampler):
                 num_func += 1
 
             # Inspect the monitored variables (end of interval).
+            interval_index += 1
             triggered = False
+            record_vars: Optional[Dict[str, Dict]] = \
+                {} if trace is not None else None
             for variable in config.variables:
                 count = controller.read_stat(variable)
                 delta = count - last_counts[variable]
                 last_counts[variable] = count
                 previous = prev_deltas[variable]
+                relative = None
                 if previous is not None:
                     relative = abs(delta - previous) / max(previous, 1)
+                    m_relative.observe(relative)
                     if relative > config.sensitivity:
                         triggered = True
                 prev_deltas[variable] = delta
+                if record_vars is not None:
+                    record_vars[variable] = {
+                        "count": count, "delta": delta,
+                        "prev_delta": previous, "relative": relative}
 
+            forced = False
             if triggered:
                 timing = True
             elif (config.max_func is not None
                     and num_func >= config.max_func):
                 timing = True
+                forced = True
                 num_func = 0
+
+            m_decisions.inc()
+            if triggered:
+                m_triggers.inc()
+            if forced:
+                m_forced.inc()
+            if trace is not None:
+                trace.emit(obs.EV_DECISION, icount=controller.icount,
+                           interval=interval_index,
+                           variables=record_vars,
+                           threshold=config.sensitivity,
+                           fired=timing, forced=forced,
+                           num_func=num_func)
 
         return {
             "ipc": estimator.ipc(),

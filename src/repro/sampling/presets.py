@@ -55,14 +55,15 @@ SIMPOINT_PRESET = SimPointConfig(
 )
 
 
-def dynamic_config(variable: str, sensitivity_percent: int,
+def dynamic_config(variable: str, sensitivity_percent: float,
                    interval_label: str,
                    max_func: Optional[int] = None
                    ) -> DynamicSamplingConfig:
     """Build a Dynamic Sampling config from paper-style notation.
 
     ``dynamic_config("CPU", 300, "1M", None)`` is the paper's
-    ``CPU-300-1M-inf`` point.
+    ``CPU-300-1M-inf`` point.  Fractional sensitivities are allowed
+    (``dynamic_config("CPU", 0.3, "1M", 1000)`` → ``CPU-0.3-1M-1000``).
     """
     if interval_label not in INTERVAL_LENGTHS:
         raise KeyError(f"unknown interval label {interval_label!r}")

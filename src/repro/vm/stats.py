@@ -80,4 +80,5 @@ class VmStats:
             "code_cache_invalidations": self.code_cache_invalidations,
             "translations": self.translations,
             "block_dispatches": self.block_dispatches,
+            "exception_kinds": dict(self.exception_kinds),
         }

@@ -78,3 +78,81 @@ msg:
     out = capsys.readouterr().out
     assert "ok" in out
     assert "exit code 5" in out
+
+
+def test_run_json_output(capsys):
+    import json
+    code = main(["run", "gzip", "--policy", "EXC-300-1M-10",
+                 "--size", "tiny", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["benchmark"] == "gzip"
+    assert payload["policy"].startswith("dynamic:")
+    modes = payload["mode_breakdown"]["instructions"]
+    assert modes["total"] == sum(
+        modes[mode] for mode in ("fast", "profile", "warming", "timed"))
+    assert set(payload["vs_full"]) == {"error", "speedup"}
+    assert "exceptions" in payload["vm_stats"]
+
+
+def test_suite_json_output(capsys):
+    import json
+    code = main(["suite", "--policy", "EXC-300-1M-10", "--size", "tiny",
+                 "--benchmarks", "gzip,mcf", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [row["benchmark"] for row in payload["benchmarks"]] == \
+        ["gzip", "mcf"]
+    assert "mean_error" in payload and "speedup" in payload
+
+
+def test_run_verbose_prints_decision_log(capsys):
+    code = main(["run", "gzip", "--policy", "EXC-300-1M-10",
+                 "--size", "tiny", "--verbose"])
+    assert code == 0
+    out = capsys.readouterr().out
+    decision_lines = [line for line in out.splitlines()
+                      if line.startswith("i=")]
+    assert decision_lines, "expected one decision line per interval"
+    first = decision_lines[0]
+    assert "EXC d=" in first and "rel=" in first and "S=3.00" in first
+    assert "-> functional" in first or "-> TIMED" in first
+    # the normal summary still follows the log
+    assert "IPC" in out
+
+
+def test_run_summary_surfaces_vm_stats(capsys):
+    code = main(["run", "gzip", "--policy", "EXC-300-1M-10",
+                 "--size", "tiny", "--no-cache"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "modes     :" in out
+    assert "vm stats  :" in out
+    assert "exceptions:" in out  # per-kind breakdown
+
+
+def test_trace_command(tmp_path, capsys):
+    import json
+    out_path = tmp_path / "trace.json"
+    events_path = tmp_path / "events.jsonl"
+    code = main(["trace", "gzip", "--policy", "EXC-300-1M-10",
+                 "--size", "tiny", "--out", str(out_path),
+                 "--events", str(events_path)])
+    assert code == 0
+    trace = json.loads(out_path.read_text())
+    phases = {record["ph"] for record in trace["traceEvents"]}
+    assert {"X", "i", "C", "M"} <= phases
+    decision = [record for record in trace["traceEvents"]
+                if record.get("cat") == "decision"]
+    assert decision and "variables" in decision[0]["args"]
+    from repro.obs import decision_timeline, read_jsonl
+    assert decision_timeline(read_jsonl(events_path))
+    assert "mode spans" in capsys.readouterr().out
+
+
+def test_trace_accepts_fractional_sensitivity(tmp_path):
+    out_path = tmp_path / "trace.json"
+    code = main(["trace", "gzip", "--policy", "CPU-0.3-1M-1000",
+                 "--size", "tiny", "--out", str(out_path)])
+    assert code == 0
+    assert out_path.exists()

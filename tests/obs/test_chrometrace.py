@@ -1,0 +1,84 @@
+"""Chrome-trace export schema."""
+
+import json
+
+import pytest
+
+from repro.obs import (EV_DECISION, EV_MODE, EV_VMSTATS, EV_WARMSTATE,
+                       TraceEvent, export_chrome_trace, to_chrome_trace)
+
+
+def sample_events():
+    return [
+        TraceEvent(EV_MODE, ts=0.010, icount=1000, payload={
+            "mode": "fast", "instructions": 1000, "wall": 0.010,
+            "icount_start": 0}),
+        TraceEvent(EV_DECISION, ts=0.011, icount=1000, payload={
+            "interval": 1, "threshold": 3.0, "fired": True,
+            "forced": False, "num_func": 1,
+            "variables": {"CPU": {"count": 5, "delta": 5,
+                                  "prev_delta": 1, "relative": 4.0}}}),
+        TraceEvent(EV_VMSTATS, ts=0.012, icount=1000, payload={
+            "code_cache_invalidations": 5, "exceptions": 2,
+            "io_operations": 7, "instructions_fast": 1000,
+            "instructions_event": 0, "exception_kinds": {"syscall": 2}}),
+        TraceEvent(EV_WARMSTATE, ts=0.020, icount=2000, payload={
+            "cycles": 3000, "ipc": 0.66, "l1d_miss_rate": 0.01,
+            "branches": 100, "mispredicts": 4}),
+        TraceEvent("mark", ts=0.021, icount=2000, payload={"note": "x"}),
+    ]
+
+
+def test_schema_top_level():
+    trace = to_chrome_trace(sample_events())
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    assert isinstance(trace["traceEvents"], list)
+    for record in trace["traceEvents"]:
+        assert "ph" in record and "pid" in record and "name" in record
+
+
+def test_mode_span_is_backdated_complete_event():
+    trace = to_chrome_trace(sample_events())
+    spans = [r for r in trace["traceEvents"] if r["ph"] == "X"]
+    assert len(spans) == 1
+    span = spans[0]
+    assert span["name"] == "fast"
+    assert span["dur"] == pytest.approx(10_000)  # 0.010 s in µs
+    assert span["ts"] == pytest.approx(0.0)      # back-dated to t=0
+    assert span["args"]["instructions"] == 1000
+    assert span["args"]["icount_end"] == 1000
+
+
+def test_decision_instant_named_by_outcome():
+    trace = to_chrome_trace(sample_events())
+    instants = [r for r in trace["traceEvents"]
+                if r.get("cat") == "decision"]
+    assert len(instants) == 1
+    assert instants[0]["name"] == "TIMED"
+    assert instants[0]["ph"] == "i"
+    assert instants[0]["args"]["variables"]["CPU"]["relative"] == 4.0
+
+
+def test_vmstats_become_counter_tracks():
+    trace = to_chrome_trace(sample_events())
+    counters = [r for r in trace["traceEvents"] if r["ph"] == "C"]
+    names = {record["name"] for record in counters}
+    assert "monitored (CPU/EXC/IO)" in names
+    monitored = next(r for r in counters
+                     if r["name"] == "monitored (CPU/EXC/IO)")
+    assert monitored["args"] == {"CPU": 5, "EXC": 2, "IO": 7}
+
+
+def test_metadata_and_misc_tracks():
+    trace = to_chrome_trace(sample_events())
+    meta = [r for r in trace["traceEvents"] if r["ph"] == "M"]
+    assert any(r["name"] == "process_name" for r in meta)
+    misc = [r for r in trace["traceEvents"] if r.get("cat") == "misc"]
+    assert misc and misc[0]["name"] == "mark"
+
+
+def test_export_writes_valid_json(tmp_path):
+    path = tmp_path / "trace.json"
+    count = export_chrome_trace(sample_events(), path)
+    loaded = json.loads(path.read_text())
+    assert len(loaded["traceEvents"]) == count

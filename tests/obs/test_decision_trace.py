@@ -1,0 +1,133 @@
+"""Golden decision-trace test: Algorithm 1 under the tracer.
+
+A fixed synthetic workload (seeded, deterministic) is sampled with a
+fixed configuration; the emitted ``sampler.decision`` stream must
+reproduce the recorded golden outcome sequence exactly, and every
+record must be self-consistent with Algorithm 1's arithmetic.
+"""
+
+import pytest
+
+from repro import obs
+from repro.sampling import (DynamicSampler, SimulationController,
+                            dynamic_config)
+from repro.workloads import SUITE_MACHINE_KWARGS, WorkloadBuilder
+
+#: outcome per interval: "." functional, "T" phase trigger, "F" forced
+#: by max_func (recorded from the seeded run; deterministic)
+GOLDEN_SEQUENCE = (
+    ".........F.........F.........F...T.........F.....T.........F.")
+GOLDEN_TIMED_INTERVALS = 7
+GOLDEN_IPC = 1.475562
+
+
+def golden_workload():
+    builder = WorkloadBuilder("golden", seed=7)
+    for index in range(4):
+        if index % 2 == 0:
+            builder.phase("crc", iters=3000)
+        else:
+            builder.phase("stream", n=512, iters=8)
+        builder.phase("console_io", nbytes=16, reps=2)
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    with obs.tracing(obs.RingBufferSink()) as tracer:
+        controller = SimulationController(
+            golden_workload(), machine_kwargs=SUITE_MACHINE_KWARGS)
+        sampler = DynamicSampler(dynamic_config("EXC", 100, "1M", 10))
+        result = sampler.run(controller)
+    return result, tracer.sink.events
+
+
+def outcome_char(record):
+    if record["forced"]:
+        return "F"
+    return "T" if record["fired"] else "."
+
+
+def test_golden_sequence(traced_run):
+    result, events = traced_run
+    records = obs.decision_timeline(events)
+    assert "".join(outcome_char(r) for r in records) == GOLDEN_SEQUENCE
+    assert result.timed_intervals == GOLDEN_TIMED_INTERVALS
+    assert result.ipc == pytest.approx(GOLDEN_IPC, abs=1e-6)
+
+
+def test_records_are_algorithm1_consistent(traced_run):
+    _, events = traced_run
+    records = obs.decision_timeline(events)
+    threshold = records[0]["threshold"]
+    assert threshold == 1.0  # EXC-100 -> S = 100% = 1.0
+    for record in records:
+        var = record["variables"]["EXC"]
+        previous = var["prev_delta"]
+        if previous is None:
+            assert var["relative"] is None
+            triggered = False
+        else:
+            expected = abs(var["delta"] - previous) / max(previous, 1)
+            assert var["relative"] == pytest.approx(expected)
+            triggered = var["relative"] > threshold
+        # fired is the trigger OR the max_func forcing, never silent
+        assert record["fired"] == (triggered or record["forced"])
+        if record["forced"]:
+            assert not triggered
+
+
+def test_one_decision_per_functional_interval(traced_run):
+    _, events = traced_run
+    records = obs.decision_timeline(events)
+    fast_spans = [span for span in obs.mode_spans(events)
+                  if span["mode"] == "fast"]
+    assert len(records) == len(fast_spans)
+    # intervals are ordinal and icount strictly increases
+    assert [r["interval"] for r in records] == \
+        list(range(1, len(records) + 1))
+    icounts = [r["icount"] for r in records]
+    assert icounts == sorted(icounts)
+
+
+def test_timed_spans_follow_fired_decisions(traced_run):
+    _, events = traced_run
+    records = obs.decision_timeline(events)
+    fired = sum(1 for r in records if r["fired"])
+    timed = [s for s in obs.mode_spans(events) if s["mode"] == "timed"]
+    warming = [s for s in obs.mode_spans(events)
+               if s["mode"] == "warming"]
+    assert len(timed) == fired
+    assert len(warming) == fired
+
+
+def test_decision_lines_render(traced_run):
+    _, events = traced_run
+    decisions = [e for e in events if e.type == obs.EV_DECISION]
+    lines = [obs.format_decision_line(e, label="golden")
+             for e in decisions]
+    assert all(line.startswith("[golden]") for line in lines)
+    assert any("-> TIMED (trigger)" in line for line in lines)
+    assert any("-> TIMED (max_func)" in line for line in lines)
+    assert any("-> functional" in line for line in lines)
+
+
+def test_timeline_survives_jsonl_round_trip(tmp_path, traced_run):
+    _, events = traced_run
+    path = tmp_path / "events.jsonl"
+    obs.write_jsonl(events, path)
+    reloaded = obs.read_jsonl(path)
+    assert obs.decision_timeline(reloaded) == \
+        obs.decision_timeline(events)
+
+
+def test_analysis_consumes_timeline(traced_run):
+    from repro.analysis import decision_series, trigger_rate
+    _, events = traced_run
+    records = obs.decision_timeline(events)
+    series = decision_series(records, "EXC")
+    assert len(series["delta"]) == len(records)
+    assert len(series["relative"]) == len(records)
+    fired = sum(1 for r in records if r["fired"])
+    assert sum(series["fired"]) == fired
+    assert trigger_rate(records) == pytest.approx(fired / len(records))

@@ -1,0 +1,124 @@
+"""Metrics-registry semantics: counters, gauges, histograms, the flag."""
+
+import pytest
+
+from repro.obs import (Counter, Gauge, Histogram, MetricsRegistry,
+                       disable_metrics, enable_metrics, get_registry,
+                       metrics_enabled, reset_metrics)
+
+
+@pytest.fixture(autouse=True)
+def metrics_off():
+    """Leave the process-wide flag the way we found it (off)."""
+    yield
+    disable_metrics()
+    reset_metrics()
+
+
+# ----------------------------------------------------------------------
+# instruments
+
+def test_counter_monotonic():
+    counter = Counter("c")
+    counter.inc()
+    counter.add(41)
+    assert counter.value == 42
+    with pytest.raises(ValueError):
+        counter.add(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("g")
+    gauge.set(10)
+    gauge.add(-3)
+    assert gauge.value == 7
+
+
+def test_histogram_bucket_semantics():
+    histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 1.0, 5.0, 10.0, 99.0, 1000.0):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    # le semantics: a value equal to a bound lands in that bucket
+    assert snap["buckets"]["1.0"] == 2      # 0.5, 1.0
+    assert snap["buckets"]["10.0"] == 2     # 5.0, 10.0
+    assert snap["buckets"]["100.0"] == 1    # 99.0
+    assert snap["overflow"] == 1            # 1000.0
+    assert snap["count"] == 6
+    assert snap["min"] == 0.5
+    assert snap["max"] == 1000.0
+    assert histogram.mean == pytest.approx(sum(
+        (0.5, 1.0, 5.0, 10.0, 99.0, 1000.0)) / 6)
+
+
+def test_histogram_rejects_empty_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+
+
+# ----------------------------------------------------------------------
+# registry
+
+def test_registry_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("y") is registry.gauge("y")
+    assert registry.histogram("z") is registry.histogram("z")
+    assert registry.names() == ["x", "y", "z"]
+
+
+def test_registry_collect():
+    registry = MetricsRegistry()
+    registry.counter("c").add(3)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h").observe(0.2)
+    collected = registry.collect()
+    assert collected["c"] == 3
+    assert collected["g"] == 1.5
+    assert collected["h"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# the module-level switch
+
+def test_disabled_registry_is_noop():
+    disable_metrics()
+    assert not metrics_enabled()
+    registry = get_registry()
+    counter = registry.counter("anything")
+    counter.inc()
+    counter.add(100)
+    registry.histogram("h").observe(5.0)
+    assert registry.collect() == {}
+
+
+def test_enabled_registry_records():
+    registry = enable_metrics()
+    assert metrics_enabled()
+    assert get_registry() is registry
+    registry.counter("hits").inc()
+    assert registry.collect()["hits"] == 1
+    disable_metrics()
+    # the values survive disabling; only new lookups become no-ops
+    assert registry.collect()["hits"] == 1
+    assert get_registry() is not registry
+
+
+def test_sampler_metrics_flow(tmp_path):
+    """An instrumented run records decision counts when enabled."""
+    from repro.sampling import (DynamicSampler, SimulationController,
+                                dynamic_config)
+    from repro.workloads import SUITE_MACHINE_KWARGS, WorkloadBuilder
+
+    registry = enable_metrics()
+    builder = WorkloadBuilder("metrics-demo", seed=5)
+    builder.phase("crc", iters=2000)
+    builder.phase("console_io", nbytes=16, reps=2)
+    builder.phase("stream", n=256, iters=8)
+    controller = SimulationController(
+        builder.build(), machine_kwargs=SUITE_MACHINE_KWARGS)
+    DynamicSampler(dynamic_config("CPU", 300, "1M", 5)).run(controller)
+    collected = registry.collect()
+    assert collected["sampler.decisions"] > 0
+    assert collected["controller.instructions.fast"] > 0
+    assert collected["controller.mode_switches"] >= 1

@@ -1,0 +1,71 @@
+"""Sink behaviour: ring-buffer eviction, JSONL round-trip, fan-out."""
+
+import json
+
+import pytest
+
+from repro.obs import (CallbackSink, JsonlFileSink, NullSink,
+                       RingBufferSink, TeeSink, TraceEvent, read_jsonl,
+                       write_jsonl)
+
+
+def make_events(n):
+    return [TraceEvent(type="mark", ts=float(i) / 10, icount=i * 100,
+                       payload={"index": i}) for i in range(n)]
+
+
+def test_ring_buffer_keeps_newest():
+    sink = RingBufferSink(capacity=5)
+    for event in make_events(12):
+        sink.write(event)
+    assert sink.written == 12
+    assert sink.evicted == 7
+    kept = sink.events
+    assert len(kept) == 5
+    assert [event.payload["index"] for event in kept] == [7, 8, 9, 10, 11]
+
+
+def test_ring_buffer_clear_and_validation():
+    sink = RingBufferSink(capacity=3)
+    for event in make_events(2):
+        sink.write(event)
+    sink.clear()
+    assert sink.events == []
+    assert sink.written == 0
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    events = make_events(4)
+    write_jsonl(events, path)
+    loaded = read_jsonl(path)
+    assert loaded == events
+    # every line is a standalone JSON object with the full schema
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert set(record) == {"type", "ts", "icount", "payload"}
+
+
+def test_jsonl_sink_streams(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    sink = JsonlFileSink(path)
+    for event in make_events(3):
+        sink.write(event)
+    sink.close()
+    assert len(read_jsonl(path)) == 3
+
+
+def test_null_and_callback_and_tee():
+    seen = []
+    null = NullSink()
+    callback = CallbackSink(seen.append, event_type="mark")
+    tee = TeeSink(null, callback)
+    events = make_events(3)
+    other = TraceEvent(type="mode", ts=0.0, icount=0, payload={})
+    for event in [*events, other]:
+        tee.write(event)
+    assert seen == events  # the type filter dropped the "mode" event
+    tee.flush()
+    tee.close()

@@ -1,0 +1,62 @@
+"""Tracer stamping, the global install slot, and the null tracer."""
+
+from repro.obs import (NULL_TRACER, RingBufferSink, Tracer,
+                       current_tracer, install_tracer, tracing,
+                       uninstall_tracer)
+
+
+def test_tracer_stamps_monotonic_time_and_icount():
+    ticks = iter([10.0, 10.5, 11.25])
+    sink = RingBufferSink()
+    tracer = Tracer(sink, clock=lambda: next(ticks))
+    first = tracer.emit("mark", icount=100, note="a")
+    second = tracer.emit("mark", icount=200, note="b")
+    assert first.ts == 0.5 and second.ts == 1.25  # relative to epoch
+    assert [event.icount for event in sink.events] == [100, 200]
+    assert sink.events[0].payload == {"note": "a"}
+    assert tracer.emitted == 2
+
+
+def test_null_tracer_is_disabled_and_silent():
+    assert not NULL_TRACER.enabled
+    event = NULL_TRACER.emit("mark", icount=1, x=2)
+    assert event.type == "mark"  # still returns a record, writes nowhere
+    NULL_TRACER.flush()
+    NULL_TRACER.close()
+
+
+def test_install_and_uninstall():
+    assert current_tracer() is NULL_TRACER
+    tracer = Tracer(RingBufferSink())
+    previous = install_tracer(tracer)
+    try:
+        assert previous is NULL_TRACER
+        assert current_tracer() is tracer
+    finally:
+        uninstall_tracer()
+    assert current_tracer() is NULL_TRACER
+
+
+def test_tracing_context_manager_restores_previous():
+    with tracing() as outer:
+        assert current_tracer() is outer
+        with tracing(RingBufferSink()) as inner:
+            assert current_tracer() is inner
+            inner.emit("mark", icount=1)
+        assert current_tracer() is outer
+        assert len(inner.sink.events) == 1
+    assert current_tracer() is NULL_TRACER
+
+
+def test_controller_picks_up_installed_tracer():
+    from repro.sampling import SimulationController
+    from repro.workloads import SUITE_MACHINE_KWARGS, WorkloadBuilder
+
+    builder = WorkloadBuilder("tracer-demo", seed=1)
+    builder.phase("crc", iters=1000)
+    with tracing(RingBufferSink()) as tracer:
+        controller = SimulationController(
+            builder.build(), machine_kwargs=SUITE_MACHINE_KWARGS)
+        controller.run_fast(500)
+    types = {event.type for event in tracer.sink.events}
+    assert "mode" in types and "vmstats" in types
