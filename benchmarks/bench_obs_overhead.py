@@ -14,21 +14,20 @@ regression check for later runs.
 """
 
 from repro import obs
-from repro.harness import ResultCache, run_policy
+from repro.harness import default_store, make_spec, run_policy
 
 BENCHMARK = "gzip"
 SIZE = "small"  # long enough (~2 s) that wall-clock noise is small
-KEY = f"{BENCHMARK}|full|{SIZE}"
 TOLERANCE = 1.05
 
 
 def test_tracing_disabled_overhead():
     assert not obs.current_tracer().enabled
     assert not obs.metrics_enabled()
-    cache = ResultCache()
-    baseline = cache.get(KEY)
+    store = default_store()
+    baseline = store.get(make_spec(BENCHMARK, "full", SIZE).key)
     if baseline is None:  # repopulate after a cache wipe
-        baseline = run_policy(BENCHMARK, "full", size=SIZE, cache=cache)
+        baseline = run_policy(BENCHMARK, "full", size=SIZE, store=store)
     fresh = min(
         (run_policy(BENCHMARK, "full", size=SIZE, use_cache=False)
          for _ in range(3)),

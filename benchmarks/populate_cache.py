@@ -1,34 +1,56 @@
-"""Populate the result cache for every policy x benchmark combination.
+"""Populate the result store for every policy x benchmark combination.
 
-Run this once (it takes minutes); every benchmark target afterwards
-reads from the cache.  REPRO_FULL_SUITE=1 covers all 26 benchmarks.
+Run this once (``--jobs N`` spreads the grid over N worker processes);
+every benchmark target afterwards reads from the store.  A killed run
+can simply be re-invoked: completed cells are kept and only the
+missing ones are simulated.  REPRO_FULL_SUITE=1 covers all 26
+benchmarks.
 """
+import argparse
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
+from repro.exec import ExperimentEngine, failed_jobs, format_failure_summary
 from repro.harness import (FIGURE5_POLICIES, FIGURE6_POLICIES,
-                           default_benchmarks, run_policy)
+                           default_benchmarks, make_spec)
 
-POLICIES = ["full"] + [p for p in FIGURE5_POLICIES if p != "simpoint+prof"] \
+POLICIES = list(dict.fromkeys(
+    ["full"] + [p for p in FIGURE5_POLICIES if p != "simpoint+prof"]
     + [p for p in FIGURE6_POLICIES
-       if p not in ("full", "smarts", "simpoint")]
+       if p not in ("full", "smarts", "simpoint")]))
+
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1)")
+    parser.add_argument("--size", default="small")
+    args = parser.parse_args()
+
     benchmarks = default_benchmarks()
-    total = len(benchmarks) * len(POLICIES)
-    done = 0
+    specs = [make_spec(bench, policy, args.size)
+             for policy in POLICIES for bench in benchmarks]
     t0 = time.time()
-    for policy in POLICIES:
-        for bench in benchmarks:
-            t1 = time.time()
-            result = run_policy(bench, policy)
-            done += 1
-            print(f"[{done}/{total}] {policy:18s} {bench:10s} "
-                  f"ipc={result.ipc:.4f} ({time.time()-t1:.1f}s, "
-                  f"total {time.time()-t0:.0f}s)", flush=True)
+
+    def progress(job_result, done, total):
+        status = ("cached" if job_result.cached
+                  else f"{job_result.wall_seconds:.1f}s")
+        ipc = job_result.result.ipc if job_result.ok else float("nan")
+        print(f"[{done}/{total}] {job_result.spec.job_id:40s} "
+              f"ipc={ipc:.4f} ({status}, total {time.time() - t0:.0f}s)",
+              flush=True)
+
+    engine = ExperimentEngine(jobs=args.jobs, progress=progress)
+    outcomes = engine.run(specs)
+    failures = failed_jobs(outcomes)
+    if failures:
+        print(format_failure_summary(failures))
+        return 1
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

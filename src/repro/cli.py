@@ -5,13 +5,19 @@ Commands
 
 ``list``
     Show the benchmark suite and the policy keys.
-``run BENCH [--policy KEY] [--size SIZE] [--json] [--verbose]``
+``run BENCH [--policy KEY] [--size SIZE] [--jobs N] [--json]
+[--verbose]``
     Run one sampling policy on one benchmark and print the result.
     ``--verbose`` streams one decision line per interval (forces a
     fresh simulation); ``--json`` prints a machine-readable record.
-``suite [--policy KEY] [--size SIZE] [--benchmarks a,b,c] [--json]
-[--verbose]``
-    Run a policy over the suite with per-benchmark error vs full timing.
+``suite [--policy KEY] [--size SIZE] [--benchmarks a,b,c] [--jobs N]
+[--timeout S] [--force] [--trace DIR] [--json] [--verbose]``
+    Run a policy over the suite with per-benchmark error vs full
+    timing.  ``--jobs N`` (or ``REPRO_JOBS``) runs the grid on N
+    worker processes; progress streams to stderr and a re-invoked
+    sweep resumes from the result store, re-running only missing or
+    failed cells (``--force`` re-runs everything).  ``--trace DIR``
+    writes one tagged JSONL event file per job plus a merged trace.
 ``trace BENCH --out trace.json [--policy KEY] [--size SIZE]
 [--events FILE.jsonl]``
     Re-simulate with the structured tracer attached and export a
@@ -32,7 +38,7 @@ import argparse
 import json
 import sys
 
-from repro.harness import run_policy
+from repro.harness import make_spec, run_policy
 from repro.sampling import accuracy_error, speedup
 
 
@@ -86,16 +92,67 @@ def _result_json(result, comparison=None) -> dict:
     return payload
 
 
+def _progress_printer(stream=None):
+    """One stderr line per finished job: the engine progress hook."""
+    stream = stream or sys.stderr
+
+    def report(job_result, done, total):
+        spec = job_result.spec
+        if job_result.cached:
+            status = "cached"
+        elif job_result.ok:
+            status = f"ok {job_result.wall_seconds:.1f}s"
+            if job_result.attempts > 1:
+                status += f" (attempt {job_result.attempts})"
+        else:
+            status = f"FAILED: {job_result.error}"
+        print(f"[{done}/{total}] {spec.job_id:40s} {status}",
+              file=stream, flush=True)
+
+    return report
+
+
+def _print_failures(failures) -> None:
+    from repro.exec import format_failure_summary
+    print(format_failure_summary(failures), file=sys.stderr)
+
+
 def _cmd_run(args) -> int:
-    # with --json the decision log goes to stderr so stdout stays
-    # machine-parseable
-    tracer = (_verbose_tracer(to_stderr=args.json)
-              if args.verbose else None)
-    result = run_policy(args.benchmark, args.policy, size=args.size,
-                        use_cache=not args.no_cache, tracer=tracer)
+    from repro.exec import ExperimentEngine, failed_jobs
+    engine = ExperimentEngine(
+        jobs=args.jobs,
+        progress=_progress_printer() if (args.jobs or 0) > 1 else None)
+    spec = make_spec(args.benchmark, args.policy, args.size)
+    needs_full = args.policy != "full"
+    full_spec = (make_spec(args.benchmark, "full", args.size)
+                 if needs_full else None)
+    outcomes = {}
+    if args.verbose:
+        # with --json the decision log goes to stderr so stdout stays
+        # machine-parseable
+        tracer = _verbose_tracer(to_stderr=args.json)
+        result = run_policy(args.benchmark, args.policy,
+                            size=args.size, tracer=tracer)
+        if needs_full:
+            outcomes = engine.run([full_spec])
+    elif args.no_cache:
+        # --no-cache applies to the requested policy only; the full
+        # baseline still comes from (and feeds) the result store
+        outcomes = engine.run([spec], use_cache=False)
+        if needs_full:
+            outcomes.update(engine.run([full_spec]))
+    else:
+        specs = [spec] + ([full_spec] if needs_full else [])
+        outcomes = engine.run(specs)
+    failures = failed_jobs(outcomes)
+    if failures:
+        _print_failures(failures)
+        return 1
+    if not args.verbose:
+        result = outcomes[spec.key].result
     comparison = None
-    if args.policy != "full":
-        full = run_policy(args.benchmark, "full", size=args.size)
+    if needs_full:
+        full = outcomes[full_spec.key].result
         comparison = {
             "error": accuracy_error(result.ipc, full.ipc),
             "speedup": speedup(full.modeled_seconds,
@@ -113,19 +170,53 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_suite(args) -> int:
-    from repro.harness import default_benchmarks
+    from repro.exec import (ExperimentEngine, failed_jobs,
+                            merge_job_events)
+    from repro.harness import default_benchmarks, normalize_policy
     names = (args.benchmarks.split(",") if args.benchmarks
              else default_benchmarks())
+    policy = normalize_policy(args.policy)
+
+    tracer_factory = None
+    if args.verbose:
+        # one live decision log per policy job; the full baselines
+        # stay cache-served.  Tracers force the serial backend.
+        def tracer_factory(spec):
+            if spec.policy == "full" and policy != "full":
+                return None
+            return _verbose_tracer(label=spec.benchmark,
+                                   to_stderr=args.json)
+
+    engine = ExperimentEngine(
+        jobs=args.jobs, timeout=args.timeout,
+        trace_dir=args.trace or None, tracer_factory=tracer_factory,
+        progress=_progress_printer())
+    specs = [make_spec(name, key, args.size)
+             for name in names for key in dict.fromkeys(["full", policy])]
+    outcomes = engine.run(specs, force=args.force)
+    failures = failed_jobs(outcomes)
+    if failures:
+        _print_failures(failures)
+        print(f"{len(failures)} job(s) failed; re-invoke to retry "
+              f"(completed cells are kept in the result store)",
+              file=sys.stderr)
+        return 1
+    if args.trace:
+        events = merge_job_events(args.trace)
+        from repro.obs import write_jsonl
+        merged = f"{args.trace}/merged.jsonl"
+        write_jsonl(events, merged)
+        print(f"trace: {len(events)} events from "
+              f"{len(outcomes)} jobs merged into {merged}",
+              file=sys.stderr)
+
     errors = []
     full_seconds = 0.0
     policy_seconds = 0.0
     rows = []
     for name in names:
-        full = run_policy(name, "full", size=args.size)
-        tracer = (_verbose_tracer(label=name, to_stderr=args.json)
-                  if args.verbose else None)
-        result = run_policy(name, args.policy, size=args.size,
-                            tracer=tracer)
+        full = outcomes[make_spec(name, "full", args.size).key].result
+        result = outcomes[make_spec(name, policy, args.size).key].result
         error = accuracy_error(result.ipc, full.ipc)
         errors.append(error)
         full_seconds += full.modeled_seconds
@@ -227,6 +318,9 @@ def main(argv=None) -> int:
     run_parser.add_argument("--policy", default="CPU-300-1M-inf")
     run_parser.add_argument("--size", default="small")
     run_parser.add_argument("--no-cache", action="store_true")
+    run_parser.add_argument("--jobs", type=int, default=None,
+                            help="worker processes (default: "
+                                 "REPRO_JOBS or 1 = serial)")
     run_parser.add_argument("--json", action="store_true",
                             help="machine-readable output")
     run_parser.add_argument("--verbose", action="store_true",
@@ -238,6 +332,17 @@ def main(argv=None) -> int:
     suite_parser.add_argument("--policy", default="CPU-300-1M-inf")
     suite_parser.add_argument("--size", default="small")
     suite_parser.add_argument("--benchmarks", default="")
+    suite_parser.add_argument("--jobs", type=int, default=None,
+                              help="worker processes (default: "
+                                   "REPRO_JOBS or 1 = serial)")
+    suite_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-job timeout in seconds")
+    suite_parser.add_argument("--force", action="store_true",
+                              help="re-run cells already in the "
+                                   "result store")
+    suite_parser.add_argument("--trace", default="",
+                              help="directory for per-job JSONL "
+                                   "traces (+ merged.jsonl)")
     suite_parser.add_argument("--json", action="store_true",
                               help="machine-readable output")
     suite_parser.add_argument("--verbose", action="store_true",

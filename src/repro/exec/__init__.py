@@ -1,0 +1,51 @@
+"""Job-execution engine: the layer between the CLI/figures and the
+samplers.
+
+The paper's evaluation grid — every (benchmark x policy x size) cell —
+is embarrassingly parallel: each cell is a fully independent
+simulation.  This package turns that grid into *jobs*:
+
+* :mod:`repro.exec.spec`     — :class:`JobSpec` / :class:`JobResult`
+  and the config fingerprint that keys results to simulator parameters
+* :mod:`repro.exec.store`    — sharded per-benchmark result store with
+  atomic writes, inter-process locking and v1-cache migration
+* :mod:`repro.exec.backends` — :class:`SerialBackend` and
+  :class:`ProcessPoolBackend` (``--jobs N``, per-job timeout, bounded
+  crash retry, graceful serial fallback)
+* :mod:`repro.exec.engine`   — :class:`ExperimentEngine`: cache-aware
+  dispatch with resume and incremental persistence
+* :mod:`repro.exec.worker`   — :func:`execute_spec`, the unit of work
+
+Quick start::
+
+    from repro.exec import ExperimentEngine
+    from repro.harness import make_spec
+
+    engine = ExperimentEngine(jobs=4)
+    outcomes = engine.run([make_spec("gzip", "full"),
+                           make_spec("gzip", "CPU-300-1M-inf")])
+    for job in outcomes.values():
+        print(job.spec.job_id, job.status, job.result.ipc)
+"""
+
+from .backends import (ExecutionBackend, ProcessPoolBackend,
+                       SerialBackend, multiprocessing_available)
+from .engine import (ExperimentEngine, ExperimentError, default_jobs,
+                     failed_jobs, format_failure_summary,
+                     merge_job_events)
+from .spec import (CACHE_VERSION, JobResult, JobSpec,
+                   config_fingerprint, default_fingerprint)
+from .store import (FileLock, ResultStore, default_cache_root,
+                    default_store)
+from .worker import execute_spec
+
+__all__ = [
+    "CACHE_VERSION", "JobSpec", "JobResult",
+    "config_fingerprint", "default_fingerprint",
+    "FileLock", "ResultStore", "default_cache_root", "default_store",
+    "ExecutionBackend", "SerialBackend", "ProcessPoolBackend",
+    "multiprocessing_available",
+    "ExperimentEngine", "ExperimentError", "default_jobs",
+    "failed_jobs", "format_failure_summary", "merge_job_events",
+    "execute_spec",
+]

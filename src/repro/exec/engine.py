@@ -1,0 +1,207 @@
+"""The experiment engine: cache-aware, resumable grid execution.
+
+``ExperimentEngine.run`` takes a batch of :class:`JobSpec`s and returns
+``{spec.key: JobResult}``.  For each spec it first consults the
+:class:`ResultStore` (so a re-invoked sweep only runs missing or
+previously failed cells), dispatches the remainder to the configured
+backend, and persists every successful result the moment it lands —
+killing a sweep halfway therefore loses only the in-flight jobs.
+
+Determinism: every job is a fully independent simulation (its own
+workload build, machine, and sampler; no shared RNG or mutable state),
+so the serial and process-pool backends produce identical
+``PolicyResult`` records up to host wall-clock fields — compare with
+:meth:`PolicyResult.canonical_dict`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import replace
+from pathlib import Path
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+from .backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
+from .spec import JobResult, JobSpec
+from .store import ResultStore, default_store
+
+__all__ = ["ExperimentEngine", "ExperimentError", "failed_jobs",
+           "format_failure_summary", "merge_job_events"]
+
+
+class ExperimentError(RuntimeError):
+    """Raised when the engine is asked for results that failed."""
+
+    def __init__(self, message: str,
+                 failures: Sequence[JobResult] = ()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def failed_jobs(outcomes: Dict[str, JobResult]) -> List[JobResult]:
+    seen = set()
+    failures = []
+    for job_result in outcomes.values():
+        if not job_result.ok and job_result.spec.key not in seen:
+            seen.add(job_result.spec.key)
+            failures.append(job_result)
+    return failures
+
+
+def format_failure_summary(failures: Sequence[JobResult]) -> str:
+    lines = [f"{len(failures)} job(s) failed:"]
+    for job_result in failures:
+        lines.append(f"  {job_result.spec.job_id:40s} "
+                     f"[{job_result.backend}, "
+                     f"attempt {job_result.attempts}] "
+                     f"{job_result.error}")
+    return "\n".join(lines)
+
+
+def _events_filename(spec: JobSpec) -> str:
+    return re.sub(r"[^A-Za-z0-9._+-]", "_", spec.job_id) + ".jsonl"
+
+
+def merge_job_events(trace_dir) -> List:
+    """Merge the per-job JSONL traces under ``trace_dir`` into one
+    coherent event list (grouped by job tag, time-ordered within a
+    job — each job's tracer has its own epoch, so cross-job timestamp
+    order is not meaningful)."""
+    from repro.obs import read_jsonl
+    events = []
+    for path in sorted(Path(trace_dir).glob("*.jsonl")):
+        if path.name == "merged.jsonl":
+            continue
+        events.extend(read_jsonl(path))
+    events.sort(key=lambda event: (str(event.payload.get("job", "")),
+                                   event.ts, event.icount))
+    return events
+
+
+class ExperimentEngine:
+    """Owns a result store and a backend; runs grids with resume."""
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 backend: Optional[ExecutionBackend] = None,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 crash_retries: int = 1,
+                 trace_dir=None,
+                 tracer_factory: Optional[Callable] = None,
+                 progress: Optional[Callable] = None):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.store = store if store is not None else default_store()
+        self.trace_dir = Path(trace_dir) if trace_dir else None
+        self.tracer_factory = tracer_factory
+        self.progress = progress
+        if backend is not None:
+            self.backend = backend
+        elif self.jobs > 1:
+            self.backend = ProcessPoolBackend(
+                jobs=self.jobs, timeout=timeout,
+                crash_retries=crash_retries)
+        else:
+            self.backend = SerialBackend()
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Iterable[JobSpec], use_cache: bool = True,
+            force: bool = False) -> Dict[str, JobResult]:
+        """Run (or fetch) a batch; returns ``{spec.key: JobResult}``.
+
+        ``use_cache=False`` skips both the lookup and the write-back;
+        ``force=True`` re-runs cached cells but still persists the new
+        results.  Tracer-attached jobs always simulate fresh and are
+        never written back (their wall times include tracing cost).
+        """
+        specs = self._prepare(specs)
+        tracers = self._resolve_tracers(specs)
+        outcomes: Dict[str, JobResult] = {}
+        total = len(specs)
+        pending: List[JobSpec] = []
+        for spec in specs:
+            traced = bool(spec.events_path) or spec.key in tracers
+            if use_cache and not force and not traced:
+                cached = self.store.get(spec.key)
+                if cached is not None:
+                    job_result = JobResult(
+                        spec=spec, status="ok", result=cached,
+                        cached=True, backend="cache")
+                    outcomes[spec.key] = job_result
+                    self._notify(job_result, len(outcomes), total)
+                    continue
+            pending.append(spec)
+
+        if pending:
+            backend = self.backend
+            if tracers and not isinstance(backend, SerialBackend):
+                backend = SerialBackend()  # tracers cannot cross procs
+
+            def on_result(job_result: JobResult) -> None:
+                spec = job_result.spec
+                traced = bool(spec.events_path) or spec.key in tracers
+                if job_result.ok and use_cache and not traced:
+                    self.store.put(spec.key, job_result.result, meta={
+                        "backend": job_result.backend,
+                        "attempts": job_result.attempts,
+                        "wall_seconds": job_result.wall_seconds,
+                    })
+                outcomes[spec.key] = job_result
+                self._notify(job_result, len(outcomes), total)
+
+            backend.run(pending, on_result, tracers=tracers or None)
+        return outcomes
+
+    def run_grid(self, benchmarks: Sequence[str],
+                 policies: Sequence[str], size: str = "small",
+                 use_cache: bool = True, force: bool = False
+                 ) -> Dict[Tuple[str, str], JobResult]:
+        """Run the (benchmark x policy) grid; returns results keyed by
+        the *requested* ``(benchmark, policy)`` pairs (aliases such as
+        ``simpoint+prof`` share the underlying job)."""
+        from repro.harness.experiments import make_spec
+        request = {(bench, policy): make_spec(bench, policy, size)
+                   for policy in policies for bench in benchmarks}
+        unique = list({spec.key: spec for spec in request.values()}
+                      .values())
+        outcomes = self.run(unique, use_cache=use_cache, force=force)
+        return {pair: outcomes[spec.key]
+                for pair, spec in request.items()}
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self, specs: Iterable[JobSpec]) -> List[JobSpec]:
+        unique = list({spec.key: spec for spec in specs}.values())
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            unique = [
+                spec if spec.events_path else replace(
+                    spec, events_path=str(
+                        self.trace_dir / _events_filename(spec)))
+                for spec in unique]
+        return unique
+
+    def _resolve_tracers(self, specs: List[JobSpec]) -> Dict[str, object]:
+        if self.tracer_factory is None:
+            return {}
+        tracers = {}
+        for spec in specs:
+            tracer = self.tracer_factory(spec)
+            if tracer is not None:
+                tracers[spec.key] = tracer
+        return tracers
+
+    def _notify(self, job_result: JobResult, done: int,
+                total: int) -> None:
+        if self.progress is not None:
+            self.progress(job_result, done, total)

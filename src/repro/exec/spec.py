@@ -1,0 +1,107 @@
+"""Job model for the experiment engine.
+
+A :class:`JobSpec` names one independent simulation — (benchmark,
+policy, size) — plus a short *config fingerprint* that binds the job to
+the simulator parameters it was run with.  The fingerprint is part of
+the result-store key, so changing :class:`~repro.timing.TimingConfig`
+or the suite machine knobs can never silently return stale results.
+
+A :class:`JobResult` is what a backend hands back for one job: the
+:class:`~repro.sampling.PolicyResult` (on success) plus execution
+metadata (attempts, wall time, which backend ran it, whether it came
+from the cache).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Optional
+
+from repro.sampling import PolicyResult
+
+__all__ = [
+    "CACHE_VERSION", "JobSpec", "JobResult", "config_fingerprint",
+    "default_fingerprint",
+]
+
+#: bump to invalidate cached results when result semantics change
+CACHE_VERSION = 1
+
+
+def config_fingerprint(timing_config=None, machine_kwargs=None) -> str:
+    """A short stable hash of the simulator configuration.
+
+    Canonicalises the timing configuration (a nested frozen dataclass)
+    and the VM machine knobs through sorted-key JSON and hashes the
+    result; 12 hex chars is plenty for a config namespace.
+    """
+    blob = {
+        "cache_version": CACHE_VERSION,
+        "timing": (dataclasses.asdict(timing_config)
+                   if timing_config is not None else None),
+        "machine": machine_kwargs,
+    }
+    text = json.dumps(blob, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+
+@lru_cache(maxsize=1)
+def default_fingerprint() -> str:
+    """Fingerprint of the suite defaults used by ``run_policy``."""
+    from repro.timing import TimingConfig
+    from repro.workloads import SUITE_MACHINE_KWARGS
+    return config_fingerprint(TimingConfig.small(), SUITE_MACHINE_KWARGS)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One grid cell: an independent simulation to run (or fetch)."""
+
+    benchmark: str
+    policy: str
+    size: str = "small"
+    fingerprint: str = ""
+    #: per-job JSONL trace target; set by the engine when a trace
+    #: directory is requested.  Not part of the result-store key.
+    events_path: str = ""
+
+    @property
+    def key(self) -> str:
+        """The result-store key (shard prefix is the benchmark)."""
+        return (f"{self.benchmark}|{self.policy}|{self.size}"
+                f"|{self.fingerprint}")
+
+    @property
+    def job_id(self) -> str:
+        """Human-readable id used for progress lines and trace tags."""
+        return f"{self.benchmark}:{self.policy}:{self.size}"
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobSpec":
+        return cls(**data)
+
+
+@dataclass
+class JobResult:
+    """The outcome of one job, as reported by a backend."""
+
+    spec: JobSpec
+    status: str                       # "ok" | "failed"
+    result: Optional[PolicyResult] = None
+    error: str = ""
+    attempts: int = 1
+    wall_seconds: float = 0.0
+    cached: bool = False
+    backend: str = "serial"
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"

@@ -1,0 +1,53 @@
+"""The unit of work: run one :class:`JobSpec` to a PolicyResult.
+
+This is the function every backend executes — in-process for the
+serial backend, inside a worker process for the process pool.  The
+imports are deliberately lazy: the policy registry lives in
+:mod:`repro.harness.experiments` (which imports :mod:`repro.exec` at
+module level), and worker processes should pay the import cost only
+when they actually run a job.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sampling import PolicyResult
+
+from .spec import JobSpec
+
+__all__ = ["execute_spec"]
+
+
+def execute_spec(spec: JobSpec, tracer=None) -> PolicyResult:
+    """Run one simulation job; deterministic in everything but wall
+    time (each job builds its own workload, controller and sampler —
+    no shared RNG or mutable state crosses jobs).
+
+    When ``spec.events_path`` is set and no tracer is supplied, a
+    JSONL file tracer is attached for the duration of the job, with
+    every event tagged ``job=<job_id>`` so traces from parallel
+    workers can be merged coherently.
+    """
+    from repro.harness.experiments import policy_factory
+    from repro.sampling import SimulationController
+    from repro.timing import TimingConfig
+    from repro.workloads import SUITE_MACHINE_KWARGS, load_benchmark
+
+    owned_tracer = None
+    if tracer is None and spec.events_path:
+        from repro.obs import JsonlFileSink, Tracer
+        owned_tracer = tracer = Tracer(JsonlFileSink(spec.events_path),
+                                       tags={"job": spec.job_id})
+    try:
+        workload = load_benchmark(spec.benchmark, size=spec.size)
+        controller = SimulationController(
+            workload, timing_config=TimingConfig.small(),
+            machine_kwargs=SUITE_MACHINE_KWARGS, tracer=tracer)
+        result = policy_factory(spec.policy)().run(controller)
+    finally:
+        if owned_tracer is not None:
+            owned_tracer.close()
+    result.fingerprint = spec.fingerprint
+    result.job = {"id": spec.job_id}
+    return result

@@ -1,8 +1,10 @@
 """Experiment harness shared by the benchmark targets and examples."""
 
-from .experiments import (CACHE_VERSION, QUICK_SUITE, ResultCache,
-                          default_benchmarks, modeled_seconds_for,
-                          policy_factory, run_policy, run_suite)
+from .experiments import (CACHE_VERSION, QUICK_SUITE, ResultStore,
+                          default_benchmarks, default_store,
+                          fetch_results, make_spec, modeled_seconds_for,
+                          normalize_policy, policy_factory, run_policy,
+                          run_suite)
 from .figures import (FIGURE5_POLICIES, FIGURE6_POLICIES, PAPER_FIGURE5,
                       build_figure2, build_figure4, build_figure5,
                       build_figure6, build_figure7, build_figure8,
@@ -12,8 +14,9 @@ from .traces import (IntervalTrace, PhaseComparison,
                      phase_match_score)
 
 __all__ = [
-    "CACHE_VERSION", "QUICK_SUITE", "ResultCache", "default_benchmarks",
-    "modeled_seconds_for", "policy_factory", "run_policy", "run_suite",
+    "CACHE_VERSION", "QUICK_SUITE", "ResultStore", "default_benchmarks",
+    "default_store", "fetch_results", "make_spec", "modeled_seconds_for",
+    "normalize_policy", "policy_factory", "run_policy", "run_suite",
     "IntervalTrace", "PhaseComparison", "collect_interval_trace",
     "compare_phase_detection", "phase_match_score",
     "FIGURE5_POLICIES", "FIGURE6_POLICIES", "PAPER_FIGURE5",

@@ -1,39 +1,41 @@
-"""Experiment runner: policies x benchmarks, with a disk result cache.
+"""Policy registry plus thin wrappers over the experiment engine.
 
-The benchmark targets under ``benchmarks/`` all funnel through
-:func:`run_policy`, which memoises :class:`~repro.sampling.PolicyResult`
-records on disk keyed by (benchmark, policy, size, parameter version).
-A full-timing pass of the whole suite takes minutes in pure Python, so
-the cache is what makes regenerating every figure cheap after the first
-run.  Delete ``benchmarks/.cache`` (or bump ``CACHE_VERSION``) to force
-re-simulation.
+The sampling-policy registry (:func:`policy_factory`) lives here; the
+execution machinery — job specs, result store, serial/parallel
+backends, resume — lives in :mod:`repro.exec`.  :func:`run_policy` and
+:func:`fetch_results` are the convenience entry points every caller
+(CLI, figure builders, benchmark targets, examples) goes through.
+
+Results are memoised on disk in a sharded store under
+``benchmarks/.cache`` (overridable via ``REPRO_CACHE_DIR``, resolved
+lazily at every lookup), keyed by benchmark, policy, size *and a
+fingerprint of the simulator configuration* — changing
+:class:`~repro.timing.TimingConfig` or the suite machine knobs can
+never silently return stale results.  Delete the cache directory to
+force re-simulation.
 """
 
 from __future__ import annotations
 
-import json
 import os
-from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro import obs
+from repro.exec import (CACHE_VERSION, ExperimentEngine, ExperimentError,
+                        JobSpec, ResultStore, default_fingerprint,
+                        default_store, execute_spec, failed_jobs,
+                        format_failure_summary)
 from repro.sampling import (DynamicSampler, FullTiming, PolicyResult,
                             SIMPOINT_PRESET, SMARTS_PRESET,
-                            SimPointSampler, SimulationController,
-                            SmartsSampler, dynamic_config)
-from repro.timing import TimingConfig
-from repro.workloads import SUITE_MACHINE_KWARGS, SUITE_ORDER, \
-    load_benchmark
+                            SimPointSampler, SmartsSampler,
+                            dynamic_config)
+from repro.workloads import SUITE_ORDER
 
-#: bump to invalidate cached results when simulator parameters change
-CACHE_VERSION = 1
-
-#: default cache location (overridable via REPRO_CACHE_DIR)
-def _cache_dir() -> Path:
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
+__all__ = [
+    "CACHE_VERSION", "QUICK_SUITE", "ResultStore", "default_benchmarks",
+    "default_store", "fetch_results", "make_spec", "modeled_seconds_for",
+    "normalize_policy", "policy_factory", "run_policy", "run_suite",
+]
 
 
 # ----------------------------------------------------------------------
@@ -71,6 +73,12 @@ def policy_factory(key: str) -> Callable:
     raise KeyError(f"unknown policy key {key!r}")
 
 
+def normalize_policy(key: str) -> str:
+    """Map alias policies onto the job that actually runs
+    (``simpoint+prof`` reuses the ``simpoint`` simulation)."""
+    return "simpoint" if key == "simpoint+prof" else key
+
+
 def modeled_seconds_for(key: str, result: PolicyResult) -> float:
     """The modeled host time for ``key`` given its (cached) result.
 
@@ -84,45 +92,20 @@ def modeled_seconds_for(key: str, result: PolicyResult) -> float:
 
 
 # ----------------------------------------------------------------------
-# cached runner
+# engine entry points
 
-class ResultCache:
-    """A JSON file of PolicyResult dicts."""
-
-    def __init__(self, path: Optional[Path] = None):
-        self.path = path or (_cache_dir() / f"results-v{CACHE_VERSION}.json")
-        self._data: Dict[str, dict] = {}
-        self._loaded = False
-
-    def _load(self) -> None:
-        if self._loaded:
-            return
-        self._loaded = True
-        if self.path.exists():
-            try:
-                self._data = json.loads(self.path.read_text())
-            except (OSError, json.JSONDecodeError):
-                self._data = {}
-
-    def get(self, key: str) -> Optional[PolicyResult]:
-        self._load()
-        record = self._data.get(key)
-        return PolicyResult.from_dict(record) if record else None
-
-    def put(self, key: str, result: PolicyResult) -> None:
-        self._load()
-        self._data[key] = result.to_dict()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(self._data))
-        tmp.replace(self.path)
-
-
-_DEFAULT_CACHE = ResultCache()
+def make_spec(benchmark: str, policy: str, size: str = "small",
+              fingerprint: Optional[str] = None) -> JobSpec:
+    """Build the job spec for one grid cell (validates the policy key,
+    normalises aliases, stamps the config fingerprint)."""
+    policy = normalize_policy(policy)
+    policy_factory(policy)  # raises KeyError for unknown keys up front
+    return JobSpec(benchmark=benchmark, policy=policy, size=size,
+                   fingerprint=fingerprint or default_fingerprint())
 
 
 def run_policy(benchmark: str, policy: str, size: str = "small",
-               cache: Optional[ResultCache] = None,
+               store: Optional[ResultStore] = None,
                use_cache: bool = True,
                tracer: Optional["obs.Tracer"] = None) -> PolicyResult:
     """Run (or fetch) one policy on one benchmark.
@@ -130,32 +113,50 @@ def run_policy(benchmark: str, policy: str, size: str = "small",
     Passing a ``tracer`` forces a fresh simulation (cached results
     carry no event stream) and wires it into the controller.
     """
-    cache = cache or _DEFAULT_CACHE
-    cache_policy = "simpoint" if policy == "simpoint+prof" else policy
-    key = f"{benchmark}|{cache_policy}|{size}"
+    spec = make_spec(benchmark, policy, size)
     if tracer is not None:
-        use_cache = False
-    if use_cache:
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-    workload = load_benchmark(benchmark, size=size)
-    controller = SimulationController(
-        workload, timing_config=TimingConfig.small(),
-        machine_kwargs=SUITE_MACHINE_KWARGS, tracer=tracer)
-    result = policy_factory(cache_policy)().run(controller)
-    if use_cache:
-        cache.put(key, result)
-    return result
+        return execute_spec(spec, tracer=tracer)
+    engine = ExperimentEngine(store=store, jobs=1)
+    outcome = engine.run([spec], use_cache=use_cache)[spec.key]
+    if not outcome.ok:
+        raise ExperimentError(
+            f"job {spec.job_id} failed: {outcome.error}", [outcome])
+    return outcome.result
+
+
+def fetch_results(policies: List[str], benchmarks: List[str],
+                  size: str = "small",
+                  store: Optional[ResultStore] = None,
+                  jobs: Optional[int] = None,
+                  engine: Optional[ExperimentEngine] = None,
+                  use_cache: bool = True
+                  ) -> Dict[tuple, PolicyResult]:
+    """Run/fetch a (benchmark x policy) grid through the engine.
+
+    Returns ``{(benchmark, policy): PolicyResult}`` for every requested
+    pair; raises :class:`ExperimentError` if any cell failed.
+    """
+    engine = engine or ExperimentEngine(store=store, jobs=jobs)
+    outcomes = engine.run_grid(benchmarks, policies, size=size,
+                               use_cache=use_cache)
+    failures = failed_jobs(outcomes)
+    if failures:
+        raise ExperimentError(format_failure_summary(failures),
+                              failures)
+    return {pair: outcome.result
+            for pair, outcome in outcomes.items()}
 
 
 def run_suite(policy: str, size: str = "small",
               benchmarks: Optional[List[str]] = None,
-              cache: Optional[ResultCache] = None
+              store: Optional[ResultStore] = None,
+              jobs: Optional[int] = None
               ) -> Dict[str, PolicyResult]:
     """Run one policy over the suite; returns {benchmark: result}."""
-    return {name: run_policy(name, policy, size=size, cache=cache)
-            for name in (benchmarks or SUITE_ORDER)}
+    names = list(benchmarks or SUITE_ORDER)
+    results = fetch_results([policy], names, size=size, store=store,
+                            jobs=jobs)
+    return {name: results[(name, policy)] for name in names}
 
 
 #: the subset used by default for the pytest-benchmark targets; set

@@ -20,8 +20,8 @@ from repro.sampling import accuracy_error
 from repro.timing import TimingConfig
 from repro.workloads import SPEC2000, SUITE_ORDER, load_benchmark
 
-from .experiments import (default_benchmarks, modeled_seconds_for,
-                          run_policy)
+from .experiments import (default_benchmarks, fetch_results,
+                          modeled_seconds_for)
 from .traces import (collect_interval_trace, compare_phase_detection,
                      phase_match_score)
 
@@ -105,13 +105,14 @@ def build_table2(size: str = "small",
                  ) -> Tuple[str, dict]:
     """Table 2: benchmark characteristics (measured at this scale)."""
     names = list(benchmarks or SUITE_ORDER)
+    results = fetch_results(["full", "simpoint"], names, size=size)
     rows = []
     data = {}
     for name in names:
         spec = SPEC2000[name]
         workload = load_benchmark(name, size=size)
-        full = run_policy(name, "full", size=size)
-        simpoint = run_policy(name, "simpoint", size=size)
+        full = results[(name, "full")]
+        simpoint = results[(name, "simpoint")]
         measured = full.total_instructions
         points = simpoint.extra.get("num_simpoints", 0)
         rows.append((name, spec.ref_input,
@@ -198,9 +199,15 @@ def _squash(values: List[int], limit: int = 24) -> str:
 
 def _policy_suite_numbers(policies: Sequence[str], size: str,
                           benchmarks: Sequence[str]) -> Dict[str, dict]:
-    """Per-policy mean error and suite speedup vs full timing."""
-    full = {name: run_policy(name, "full", size=size)
-            for name in benchmarks}
+    """Per-policy mean error and suite speedup vs full timing.
+
+    All cells are fetched through the experiment engine in one batch,
+    so a parallel engine (``REPRO_JOBS``) fills the whole grid
+    concurrently.
+    """
+    wanted = list(dict.fromkeys(list(policies) + ["full"]))
+    grid = fetch_results(wanted, list(benchmarks), size=size)
+    full = {name: grid[(name, "full")] for name in benchmarks}
     full_seconds = sum(result.modeled_seconds
                        for result in full.values())
     numbers = {}
@@ -212,8 +219,7 @@ def _policy_suite_numbers(policies: Sequence[str], size: str,
                 "ipc": (sum(r.ipc for r in full.values())
                         / len(full))}
             continue
-        results = {name: run_policy(name, policy, size=size)
-                   for name in benchmarks}
+        results = {name: grid[(name, policy)] for name in benchmarks}
         errors = [accuracy_error(results[name].ipc, full[name].ipc)
                   for name in benchmarks]
         seconds = sum(modeled_seconds_for(policy, results[name])

@@ -30,22 +30,31 @@ __all__ = [
 
 
 class Tracer:
-    """Stamps events with monotonic time + icount, forwards to a sink."""
+    """Stamps events with monotonic time + icount, forwards to a sink.
+
+    ``tags`` (e.g. ``{"job": "gzip:full:small"}``) are merged into
+    every event's payload, so traces captured by parallel experiment
+    workers stay attributable after merging.
+    """
 
     enabled = True
 
     def __init__(self, sink: TraceSink,
-                 clock: Callable[[], float] = time.perf_counter):
+                 clock: Callable[[], float] = time.perf_counter,
+                 tags: Optional[dict] = None):
         self.sink = sink
         self._clock = clock
         self.epoch = clock()
         self.emitted = 0
+        self.tags = dict(tags) if tags else None
 
     def now(self) -> float:
         """Seconds since this tracer's epoch."""
         return self._clock() - self.epoch
 
     def emit(self, type_: str, icount: int = 0, **payload) -> TraceEvent:
+        if self.tags:
+            payload = {**self.tags, **payload}
         event = TraceEvent(type=type_, ts=self.now(), icount=icount,
                            payload=payload)
         self.sink.write(event)

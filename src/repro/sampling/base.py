@@ -25,6 +25,11 @@ class PolicyResult:
     wall_seconds: float
     modeled_seconds: float
     extra: Dict = field(default_factory=dict)
+    #: config fingerprint of the simulator parameters this result was
+    #: produced under (set by the exec layer; "" for ad-hoc runs)
+    fingerprint: str = ""
+    #: job metadata from the exec layer ({"id": "<bench>:<policy>:<size>"})
+    job: Dict = field(default_factory=dict)
 
     @property
     def timed_fraction(self) -> float:
@@ -46,8 +51,25 @@ class PolicyResult:
             "wall_seconds": self.wall_seconds,
             "modeled_seconds": self.modeled_seconds,
             "extra": self.extra,
+            "fingerprint": self.fingerprint,
+            "job": self.job,
         }
         return out
+
+    #: ``extra`` keys that depend on host wall-clock, not simulation
+    VOLATILE_EXTRA = ("wall_seconds_by_mode",)
+
+    def canonical_dict(self) -> Dict:
+        """The deterministic view of this result: everything except
+        host wall-clock fields.  Two runs of the same job — serial or
+        parallel, on any host — must agree on this dict exactly."""
+        data = self.to_dict()
+        data.pop("wall_seconds", None)
+        extra = dict(data.get("extra") or {})
+        for key in self.VOLATILE_EXTRA:
+            extra.pop(key, None)
+        data["extra"] = extra
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "PolicyResult":

@@ -1,0 +1,192 @@
+"""Engine tests: cache/resume semantics, incremental persistence,
+progress reporting, and per-job trace capture."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.exec import (ExperimentEngine, JobSpec, ResultStore,
+                        SerialBackend, failed_jobs,
+                        format_failure_summary, merge_job_events)
+from repro.harness import make_spec
+from repro.sampling import PolicyResult
+
+
+def _fake_result(spec):
+    return PolicyResult(
+        policy=spec.policy, benchmark=spec.benchmark, ipc=2.0,
+        total_instructions=10, fast_instructions=0,
+        profile_instructions=0, warming_instructions=0,
+        timed_instructions=10, timed_intervals=1,
+        wall_seconds=0.0, modeled_seconds=1.0,
+        fingerprint=spec.fingerprint)
+
+
+class CountingWorker:
+    """In-process worker that records which jobs actually ran."""
+
+    def __init__(self, fail_keys=()):
+        self.executed = []
+        self.fail_keys = set(fail_keys)
+
+    def __call__(self, spec, tracer=None):
+        self.executed.append(spec.key)
+        if spec.key in self.fail_keys:
+            raise RuntimeError("injected failure")
+        return _fake_result(spec)
+
+
+def _engine(tmp_path, worker, **kwargs):
+    return ExperimentEngine(store=ResultStore(tmp_path / "v2"),
+                            backend=SerialBackend(worker=worker),
+                            **kwargs)
+
+
+def _specs(n):
+    return [JobSpec(benchmark=f"b{i}", policy="full", size="tiny",
+                    fingerprint="f") for i in range(n)]
+
+
+def test_engine_persists_and_resumes(tmp_path):
+    specs = _specs(3)
+    worker = CountingWorker()
+    outcomes = _engine(tmp_path, worker).run(specs)
+    assert all(jr.ok for jr in outcomes.values())
+    assert len(worker.executed) == 3
+
+    # a "re-invoked sweep" (fresh engine over the same store) only
+    # runs the missing cell
+    worker2 = CountingWorker()
+    outcomes2 = _engine(tmp_path, worker2).run(_specs(4))
+    assert len(outcomes2) == 4
+    assert worker2.executed == [_specs(4)[3].key]
+    assert sum(jr.cached for jr in outcomes2.values()) == 3
+
+
+def test_failed_cells_rerun_on_next_invocation(tmp_path):
+    specs = _specs(3)
+    worker = CountingWorker(fail_keys={specs[1].key})
+    outcomes = _engine(tmp_path, worker).run(specs)
+    failures = failed_jobs(outcomes)
+    assert [jr.spec.key for jr in failures] == [specs[1].key]
+    assert "injected failure" in format_failure_summary(failures)
+
+    # the failure was not persisted: a retry sweep re-runs exactly it
+    worker2 = CountingWorker()
+    outcomes2 = _engine(tmp_path, worker2).run(specs)
+    assert worker2.executed == [specs[1].key]
+    assert not failed_jobs(outcomes2)
+
+
+def test_interrupted_sweep_keeps_completed_cells(tmp_path):
+    """Jobs persist as they finish — a KeyboardInterrupt mid-sweep
+    loses only the unfinished cells."""
+    specs = _specs(3)
+
+    def interrupting_worker(spec, tracer=None):
+        if spec.key == specs[2].key:
+            raise KeyboardInterrupt
+        return _fake_result(spec)
+
+    engine = _engine(tmp_path, interrupting_worker)
+    with pytest.raises(KeyboardInterrupt):
+        engine.run(specs)
+
+    worker = CountingWorker()
+    _engine(tmp_path, worker).run(specs)
+    assert worker.executed == [specs[2].key]
+
+
+def test_use_cache_false_neither_reads_nor_writes(tmp_path):
+    specs = _specs(1)
+    worker = CountingWorker()
+    engine = _engine(tmp_path, worker)
+    engine.run(specs)
+    engine.run(specs, use_cache=False)
+    assert len(worker.executed) == 2  # both calls simulated
+    assert engine.store.get(specs[0].key).ipc == 2.0
+
+
+def test_force_reruns_but_still_persists(tmp_path):
+    specs = _specs(1)
+    worker = CountingWorker()
+    engine = _engine(tmp_path, worker)
+    engine.run(specs)
+    engine.run(specs, force=True)
+    assert len(worker.executed) == 2
+    assert engine.store.get(specs[0].key) is not None
+
+
+def test_progress_callback_counts_cached_and_fresh(tmp_path):
+    specs = _specs(2)
+    seen = []
+    worker = CountingWorker()
+    engine = ExperimentEngine(
+        store=ResultStore(tmp_path / "v2"),
+        backend=SerialBackend(worker=worker),
+        progress=lambda jr, done, total: seen.append(
+            (jr.spec.key, jr.cached, done, total)))
+    engine.run(specs)
+    engine.run(specs)
+    assert len(seen) == 4
+    assert [entry[1] for entry in seen] == [False, False, True, True]
+    assert all(entry[3] == 2 for entry in seen)
+
+
+def test_run_deduplicates_specs(tmp_path):
+    spec = _specs(1)[0]
+    worker = CountingWorker()
+    outcomes = _engine(tmp_path, worker).run([spec, spec, spec])
+    assert len(outcomes) == 1
+    assert len(worker.executed) == 1
+
+
+def test_run_grid_maps_aliases(tmp_path):
+    worker = CountingWorker()
+    engine = _engine(tmp_path, worker)
+    grid = engine.run_grid(["gzip"], ["simpoint", "simpoint+prof"],
+                           size="tiny")
+    assert len(worker.executed) == 1  # one underlying job
+    assert grid[("gzip", "simpoint")].result is \
+        grid[("gzip", "simpoint+prof")].result
+
+
+def test_trace_dir_produces_tagged_mergeable_events(tmp_path):
+    """The obs integration: parallel-safe per-job traces that merge
+    into one coherent stream, every event tagged with its job id."""
+    specs = [make_spec("gzip", "full", "tiny"),
+             make_spec("gzip", "EXC-300-1M-10", "tiny")]
+    engine = ExperimentEngine(store=ResultStore(tmp_path / "v2"),
+                              jobs=2, trace_dir=tmp_path / "traces")
+    outcomes = engine.run(specs)
+    assert all(jr.ok for jr in outcomes.values())
+    files = sorted((tmp_path / "traces").glob("*.jsonl"))
+    assert len(files) == 2
+    events = merge_job_events(tmp_path / "traces")
+    assert events
+    tags = {event.payload.get("job") for event in events}
+    assert tags == {"gzip:full:tiny", "gzip:EXC-300-1M-10:tiny"}
+    # traced results are fresh simulations and are not written back
+    assert ResultStore(tmp_path / "v2").get(specs[0].key) is None
+
+
+def test_tracer_factory_forces_serial_and_fresh(tmp_path):
+    specs = _specs(2)
+    worker = CountingWorker()
+    tracers = []
+
+    class FakeTracer:
+        pass
+
+    def factory(spec):
+        tracer = FakeTracer()
+        tracers.append(tracer)
+        return tracer
+
+    engine = ExperimentEngine(store=ResultStore(tmp_path / "v2"),
+                              backend=SerialBackend(worker=worker),
+                              tracer_factory=factory)
+    engine.run(specs)
+    engine.run(specs)  # traced: never cached, always re-runs
+    assert len(worker.executed) == 4
+    assert len(tracers) == 4

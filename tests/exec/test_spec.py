@@ -1,0 +1,58 @@
+"""Tests for JobSpec / config fingerprints."""
+
+import pytest
+
+from repro.exec import (JobSpec, config_fingerprint,
+                        default_fingerprint)
+from repro.harness import make_spec, normalize_policy
+from repro.timing import TimingConfig
+
+
+def test_fingerprint_stable():
+    a = config_fingerprint(TimingConfig.small(), {"x": 1})
+    b = config_fingerprint(TimingConfig.small(), {"x": 1})
+    assert a == b
+    assert len(a) == 12
+
+
+def test_fingerprint_tracks_timing_config():
+    small = config_fingerprint(TimingConfig.small(), {})
+    paper = config_fingerprint(TimingConfig.opteron_like(), {})
+    assert small != paper
+
+
+def test_fingerprint_tracks_machine_kwargs():
+    base = config_fingerprint(TimingConfig.small(),
+                              {"code_cache_capacity": 40})
+    changed = config_fingerprint(TimingConfig.small(),
+                                 {"code_cache_capacity": 41})
+    assert base != changed
+
+
+def test_default_fingerprint_in_spec_key():
+    spec = make_spec("gzip", "full", "tiny")
+    assert spec.fingerprint == default_fingerprint()
+    assert spec.key == f"gzip|full|tiny|{spec.fingerprint}"
+    assert spec.job_id == "gzip:full:tiny"
+
+
+def test_make_spec_normalises_aliases():
+    assert normalize_policy("simpoint+prof") == "simpoint"
+    a = make_spec("gzip", "simpoint", "tiny")
+    b = make_spec("gzip", "simpoint+prof", "tiny")
+    assert a.key == b.key  # the alias shares the underlying job
+
+
+def test_make_spec_rejects_unknown_policy():
+    with pytest.raises(KeyError):
+        make_spec("gzip", "bogus-policy", "tiny")
+
+
+def test_spec_roundtrip_and_key_excludes_events_path():
+    spec = JobSpec(benchmark="gzip", policy="full", size="tiny",
+                   fingerprint="abc", events_path="/tmp/x.jsonl")
+    clone = JobSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    bare = JobSpec(benchmark="gzip", policy="full", size="tiny",
+                   fingerprint="abc")
+    assert spec.key == bare.key

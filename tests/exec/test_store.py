@@ -1,0 +1,129 @@
+"""Tests for the sharded result store: atomicity, locking, migration,
+and concurrent-writer integrity."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.exec import FileLock, ResultStore, default_cache_root
+from repro.exec.store import MIGRATION_MARKER
+from repro.sampling import PolicyResult
+
+
+def make_result(policy="p", benchmark="b", ipc=1.0):
+    return PolicyResult(
+        policy=policy, benchmark=benchmark, ipc=ipc,
+        total_instructions=1000, fast_instructions=0,
+        profile_instructions=0, warming_instructions=0,
+        timed_instructions=1000, timed_intervals=1,
+        wall_seconds=1.0, modeled_seconds=1.0)
+
+
+def test_default_cache_root_resolved_lazily(tmp_path, monkeypatch):
+    # satellite regression: REPRO_CACHE_DIR set *after* import must win
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    repo_default = default_cache_root()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert default_cache_root() == tmp_path
+    assert default_cache_root() != repo_default
+
+
+def test_store_shards_per_benchmark(tmp_path):
+    store = ResultStore(tmp_path / "v2")
+    store.put("gzip|full|tiny|f", make_result("full", "gzip"))
+    store.put("mcf|full|tiny|f", make_result("full", "mcf"))
+    store.put("gzip|smarts|tiny|f", make_result("smarts", "gzip"))
+    assert sorted(p.name for p in (tmp_path / "v2").glob("*.json")) == \
+        ["gzip.json", "mcf.json"]
+    gzip_shard = json.loads((tmp_path / "v2" / "gzip.json").read_text())
+    assert set(gzip_shard) == {"gzip|full|tiny|f", "gzip|smarts|tiny|f"}
+    assert list(store.keys()) == sorted(
+        ["gzip|full|tiny|f", "gzip|smarts|tiny|f", "mcf|full|tiny|f"])
+
+
+def test_store_leaves_no_tmp_files(tmp_path):
+    store = ResultStore(tmp_path / "v2")
+    for index in range(5):
+        store.put(f"gzip|p{index}|tiny|f", make_result(f"p{index}"))
+    assert not list((tmp_path / "v2").glob("*.tmp"))
+
+
+def test_file_lock_is_exclusive(tmp_path):
+    lock_path = tmp_path / "x.lock"
+    with FileLock(lock_path):
+        with pytest.raises(TimeoutError):
+            with FileLock(lock_path, timeout=0.1):
+                pass
+    # released: can take it again
+    with FileLock(lock_path, timeout=0.1):
+        pass
+
+
+def test_migration_imports_v1(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    v1 = {
+        "gzip|full|small": make_result("full", "gzip", ipc=1.5).to_dict(),
+        "mcf|full|small": make_result("full", "mcf", ipc=0.7).to_dict(),
+        "not-a-valid-key": {"junk": True},
+    }
+    (cache_dir / "results-v1.json").write_text(json.dumps(v1))
+    store = ResultStore(cache_dir / "results-v2")
+    from repro.exec import default_fingerprint
+    key = f"gzip|full|small|{default_fingerprint()}"
+    loaded = store.get(key)  # first access triggers the migration
+    assert loaded is not None and loaded.ipc == 1.5
+    assert store.get(f"mcf|full|small|{default_fingerprint()}").ipc == 0.7
+    assert (cache_dir / "results-v2" / MIGRATION_MARKER).exists()
+    # one-shot: wiping v1 afterwards loses nothing, and a new record
+    # does not re-trigger an import
+    again = ResultStore(cache_dir / "results-v2")
+    assert again.get(key).ipc == 1.5
+
+
+def test_migration_skipped_when_v2_exists(tmp_path):
+    cache_dir = tmp_path / "cache"
+    store = ResultStore(cache_dir / "results-v2")
+    store.put("gzip|full|tiny|f", make_result("full", "gzip"))
+    (cache_dir / "results-v1.json").write_text(
+        json.dumps({"gzip|smarts|small":
+                    make_result("smarts", "gzip").to_dict()}))
+    fresh = ResultStore(cache_dir / "results-v2")
+    assert fresh.get("gzip|full|tiny|f") is not None
+    from repro.exec import default_fingerprint
+    assert fresh.get(
+        f"gzip|smarts|small|{default_fingerprint()}") is None
+
+
+def _writer(root, worker_id, count):
+    store = ResultStore(root)
+    for index in range(count):
+        store.put(f"gzip|w{worker_id}-{index}|tiny|f",
+                  make_result(f"w{worker_id}-{index}", "gzip"))
+
+
+def test_concurrent_writers_do_not_clobber(tmp_path):
+    """Several processes hammering the same shard must all land."""
+    root = tmp_path / "v2"
+    workers, per_worker = 4, 8
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=_writer, args=(root, w, per_worker))
+             for w in range(workers)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(60)
+        assert proc.exitcode == 0
+    data = json.loads((root / "gzip.json").read_text())
+    assert len(data) == workers * per_worker
+
+
+def test_store_refresh_sees_other_writers(tmp_path):
+    a = ResultStore(tmp_path / "v2")
+    b = ResultStore(tmp_path / "v2")
+    assert a.get("gzip|full|tiny|f") is None  # caches the empty shard
+    b.put("gzip|full|tiny|f", make_result("full", "gzip"))
+    a.refresh()
+    assert a.get("gzip|full|tiny|f") is not None

@@ -9,12 +9,9 @@ from repro.cli import main
 
 @pytest.fixture(autouse=True)
 def isolated_cache(tmp_path, monkeypatch):
+    # the default store resolves REPRO_CACHE_DIR lazily per lookup,
+    # so pointing the env at a temp dir is all the isolation we need
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    # the default ResultCache was created at import time; point run_policy
-    # at a fresh one for these tests
-    from repro.harness import experiments
-    monkeypatch.setattr(experiments, "_DEFAULT_CACHE",
-                        experiments.ResultCache(tmp_path / "c.json"))
 
 
 def test_list_command(capsys):
@@ -104,6 +101,41 @@ def test_suite_json_output(capsys):
     assert [row["benchmark"] for row in payload["benchmarks"]] == \
         ["gzip", "mcf"]
     assert "mean_error" in payload and "speedup" in payload
+
+
+def test_suite_parallel_matches_serial(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    assert main(["suite", "--policy", "EXC-300-1M-10", "--size", "tiny",
+                 "--benchmarks", "gzip,mcf"]) == 0
+    serial_out = capsys.readouterr().out
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    assert main(["suite", "--policy", "EXC-300-1M-10", "--size", "tiny",
+                 "--benchmarks", "gzip,mcf", "--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    # stdout (ipc / error / speedup report) is identical: the grid is
+    # deterministic regardless of backend
+    assert parallel_out == serial_out
+
+
+def test_suite_progress_goes_to_stderr(capsys):
+    assert main(["suite", "--policy", "EXC-300-1M-10", "--size", "tiny",
+                 "--benchmarks", "gzip"]) == 0
+    captured = capsys.readouterr()
+    assert "gzip:EXC-300-1M-10:tiny" in captured.err
+    assert "[2/2]" in captured.err
+    assert "gzip:EXC-300-1M-10:tiny" not in captured.out
+
+
+def test_suite_resume_serves_from_store(capsys):
+    args = ["suite", "--policy", "EXC-300-1M-10", "--size", "tiny",
+            "--benchmarks", "gzip,mcf"]
+    assert main(args) == 0
+    first = capsys.readouterr()
+    assert "cached" not in first.err
+    assert main(args) == 0
+    second = capsys.readouterr()
+    assert second.err.count("cached") == 4  # 2 benchmarks x 2 policies
+    assert second.out == first.out
 
 
 def test_run_verbose_prints_decision_log(capsys):

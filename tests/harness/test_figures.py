@@ -7,9 +7,8 @@ from repro.harness import figures
 
 @pytest.fixture(autouse=True)
 def isolated_cache(tmp_path, monkeypatch):
-    from repro.harness import experiments
-    monkeypatch.setattr(experiments, "_DEFAULT_CACHE",
-                        experiments.ResultCache(tmp_path / "c.json"))
+    # the default store resolves REPRO_CACHE_DIR lazily per lookup
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
 
 
 def test_table1_lists_paper_parameters():

@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.harness import (ResultCache, collect_interval_trace,
-                           compare_phase_detection, modeled_seconds_for,
-                           phase_match_score, policy_factory, run_policy)
+from repro.harness import (ResultStore, collect_interval_trace,
+                           compare_phase_detection, make_spec,
+                           modeled_seconds_for, phase_match_score,
+                           policy_factory, run_policy)
 from repro.harness.traces import PhaseComparison
 from repro.sampling import (DynamicSampler, FullTiming, SimPointSampler,
                             SmartsSampler)
@@ -47,36 +48,45 @@ def make_result(policy="p", benchmark="b", ipc=1.0, seconds=1.0):
         wall_seconds=seconds, modeled_seconds=seconds)
 
 
-def test_result_cache_roundtrip(tmp_path):
-    cache = ResultCache(tmp_path / "cache.json")
-    assert cache.get("k") is None
+def test_result_store_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "results-v2")
+    key = "gzip|full|tiny|abc"
+    assert store.get(key) is None
     result = make_result("full", "gzip", ipc=1.5)
-    cache.put("k", result)
-    loaded = cache.get("k")
-    assert loaded.ipc == 1.5
+    store.put(key, result)
+    assert store.get(key).ipc == 1.5
     # survives a fresh instance (really persisted)
-    again = ResultCache(tmp_path / "cache.json")
-    assert again.get("k").benchmark == "gzip"
+    again = ResultStore(tmp_path / "results-v2")
+    assert again.get(key).benchmark == "gzip"
+    assert (tmp_path / "results-v2" / "gzip.json").exists()
 
 
-def test_result_cache_corrupt_file(tmp_path):
-    path = tmp_path / "cache.json"
-    path.write_text("{ not json")
-    cache = ResultCache(path)
-    assert cache.get("anything") is None
+def test_result_store_corrupt_shard(tmp_path):
+    root = tmp_path / "results-v2"
+    root.mkdir()
+    (root / "gzip.json").write_text("{ not json")
+    store = ResultStore(root)
+    assert store.get("gzip|full|tiny|abc") is None
+    # a put over the corrupt shard recovers it
+    store.put("gzip|full|tiny|abc", make_result("full", "gzip"))
+    assert ResultStore(root).get("gzip|full|tiny|abc") is not None
 
 
-def test_run_policy_uses_cache(tmp_path):
-    cache = ResultCache(tmp_path / "cache.json")
-    first = run_policy("gzip", "EXC-300-1M-10", size="tiny", cache=cache)
-    second = run_policy("gzip", "EXC-300-1M-10", size="tiny", cache=cache)
+def test_run_policy_uses_store(tmp_path):
+    store = ResultStore(tmp_path / "results-v2")
+    first = run_policy("gzip", "EXC-300-1M-10", size="tiny",
+                       store=store)
+    second = run_policy("gzip", "EXC-300-1M-10", size="tiny",
+                        store=store)
     assert first.ipc == second.ipc
-    assert (tmp_path / "cache.json").exists()
+    assert first.fingerprint  # stamped by the exec layer
+    spec = make_spec("gzip", "EXC-300-1M-10", "tiny")
+    assert store.get(spec.key) is not None
 
 
 def test_modeled_seconds_for_simpoint_prof(tmp_path):
-    cache = ResultCache(tmp_path / "cache.json")
-    result = run_policy("gzip", "simpoint", size="tiny", cache=cache)
+    store = ResultStore(tmp_path / "results-v2")
+    result = run_policy("gzip", "simpoint", size="tiny", store=store)
     base = modeled_seconds_for("simpoint", result)
     with_prof = modeled_seconds_for("simpoint+prof", result)
     assert with_prof > base

@@ -24,13 +24,14 @@ SIZE = "tiny"
 
 @pytest.fixture(scope="module")
 def results(tmp_path_factory):
-    from repro.harness import ResultCache
-    cache = ResultCache(tmp_path_factory.mktemp("cache") / "r.json")
+    from repro.harness import fetch_results
+    store_root = tmp_path_factory.mktemp("cache") / "results-v2"
+    from repro.harness import ResultStore
     policies = ("full", "smarts", "simpoint", "EXC-100-1M-10",
                 "CPU-300-1M-10")
-    return {policy: {name: run_policy(name, policy, size=SIZE,
-                                      cache=cache)
-                     for name in BENCHES}
+    grid = fetch_results(list(policies), list(BENCHES), size=SIZE,
+                         store=ResultStore(store_root))
+    return {policy: {name: grid[(name, policy)] for name in BENCHES}
             for policy in policies}
 
 
