@@ -39,10 +39,15 @@ def config_fingerprint(timing_config=None, machine_kwargs=None) -> str:
     and the VM machine knobs through sorted-key JSON and hashes the
     result; 12 hex chars is plenty for a config namespace.
     """
+    timing = (dataclasses.asdict(timing_config)
+              if timing_config is not None else None)
+    if timing is not None:
+        # host execution strategy, not simulated configuration: the fast
+        # path is bit-identical to the slow path, so results are shared
+        timing.pop("fast_path", None)
     blob = {
         "cache_version": CACHE_VERSION,
-        "timing": (dataclasses.asdict(timing_config)
-                   if timing_config is not None else None),
+        "timing": timing,
         "machine": machine_kwargs,
     }
     text = json.dumps(blob, sort_keys=True, default=repr)

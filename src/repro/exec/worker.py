@@ -10,8 +10,6 @@ when they actually run a job.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.sampling import PolicyResult
 
 from .spec import JobSpec

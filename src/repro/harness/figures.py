@@ -180,7 +180,7 @@ def build_figure4(benchmark: str = "perlbmk", size: str = "small",
     text = format_table(("series", "count", "interval indices"), rows,
                         title=f"Figure 4: phase detection on {benchmark} "
                               f"({comparison.num_intervals} intervals)")
-    text += (f"\nP_N ~= SP_N match score (+-10 intervals): "
+    text += ("\nP_N ~= SP_N match score (+-10 intervals): "
              f"{score * 100:.0f}%\n")
     return text, {"match_score": score,
                   "simpoints": comparison.simpoint_intervals,
@@ -265,7 +265,7 @@ def build_figure5(size: str = "small",
     table = format_table(
         ("policy", "error % (ours)", "speedup x (ours)",
          "error % (paper)", "speedup x (paper)", "pareto"),
-        rows, title=f"Figure 5: accuracy vs speed "
+        rows, title="Figure 5: accuracy vs speed "
                     f"({len(benchmarks)} benchmarks, size={size})")
     plot = ascii_scatter(points)
     return table + "\n\n" + plot + "\n", {
@@ -285,7 +285,7 @@ def build_figure6(size: str = "small",
              f"{numbers[policy].get('error', 0.0) * 100:.1f}")
             for policy in FIGURE6_POLICIES]
     table = format_table(("policy", "mean IPC", "error %"), rows,
-                         title=f"Figure 6: IPC per timing policy "
+                         title="Figure 6: IPC per timing policy "
                                f"(size={size})")
     return table + "\n", {policy: numbers[policy].get("error")
                           for policy in FIGURE6_POLICIES}
@@ -305,7 +305,7 @@ def build_figure7(size: str = "small",
     table = format_table(
         ("policy", "modeled host seconds", "speedup x"), rows,
         title=f"Figure 7: simulation time per policy (size={size}; "
-              f"modeled with the paper's per-mode MIPS)")
+              "modeled with the paper's per-mode MIPS)")
     return table + "\n", {policy: numbers[policy]["speedup"]
                           for policy in policies}
 
@@ -324,7 +324,7 @@ def build_figure8(size: str = "small",
             row.append(numbers[policy]["per_benchmark"][name]["ipc"])
         rows.append(tuple(row))
     table = format_table(("benchmark",) + policies, rows,
-                         title=f"Figure 8: IPC per benchmark "
+                         title="Figure 8: IPC per benchmark "
                                f"(size={size})")
     return table + "\n", {
         policy: {name: numbers[policy]["per_benchmark"][name]["ipc"]
@@ -347,7 +347,7 @@ def build_figure9(size: str = "small",
             row.append(f"{seconds:.3f}")
         rows.append(tuple(row))
     table = format_table(("benchmark",) + policies, rows,
-                         title=f"Figure 9: modeled simulation seconds "
+                         title="Figure 9: modeled simulation seconds "
                                f"per benchmark (size={size})")
     return table + "\n", {
         policy: {name: numbers[policy]["per_benchmark"][name]["seconds"]

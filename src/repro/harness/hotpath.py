@@ -1,0 +1,250 @@
+"""Hot-path throughput benchmark: fused fast path vs the oracle.
+
+Measures guest instructions/second of the two event-mode engines —
+
+* **fast**: the fused superblock path (``TimingConfig.fast_path``),
+  tier-promoted translations with the timing model compiled in;
+* **slow**: the per-instruction interpreter oracle, the engine
+  ``REPRO_SLOW_PATH=1`` selects and the fast path is validated against
+
+— in both event-mode flavours (``timed``: detailed out-of-order core;
+``warming``: functional cache/branch warming), per suite size, and
+writes the result as the ``BENCH_hotpath.json`` trajectory that the CI
+perf gate checks.
+
+Both engines execute the *same* deterministic guest instruction stream
+(same workload, same warm/measure windows), so the per-benchmark
+speedup ratio is a host-independent measure of the fast path: absolute
+instructions/sec vary with the runner, the fast/slow ratio does not.
+The perf gate therefore compares *ratios* against the committed
+baseline, never absolute throughput.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sampling.controller import SimulationController
+from repro.timing import TimingConfig
+from repro.workloads import SUITE_MACHINE_KWARGS, load_benchmark
+
+from .experiments import default_benchmarks
+
+SCHEMA_VERSION = 1
+
+#: event-mode flavours measured (the ISSUE's "functional" mode is the
+#: warming sink: full-speed sampling-support mode, no pipeline timing)
+MODES = ("timed", "warming")
+
+ENGINES = ("fast", "slow")
+
+#: (warm, measure) instruction windows per suite size, sized so
+#: warm + measure stays below the shortest benchmark's halt point
+#: (tiny: art halts at ~22.9K instructions; small: at ~564K)
+WINDOWS: Dict[str, Tuple[int, int]] = {
+    "tiny": (6_000, 14_000),
+    "small": (150_000, 350_000),
+}
+
+DEFAULT_BASELINE = "benchmarks/BENCH_hotpath.json"
+DEFAULT_TOLERANCE = 0.25
+
+#: probes per cell; the best (shortest-wall-clock) one is reported.
+#: Best-of-N is the standard throughput-measurement discipline: host
+#: scheduling noise only ever *slows* a probe, so the fastest repeat
+#: is the least-contaminated estimate and keeps the CI gate stable.
+DEFAULT_REPEATS = 3
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values)
+                    / len(values))
+
+
+def _make_controller(bench: str, size: str,
+                     engine: str) -> SimulationController:
+    config = dataclasses.replace(TimingConfig.small(), fast_path=True)
+    controller = SimulationController(
+        load_benchmark(bench, size=size),
+        timing_config=config,
+        machine_kwargs=SUITE_MACHINE_KWARGS)
+    if engine == "slow":
+        # The same switch REPRO_SLOW_PATH=1 flips at construction:
+        # event mode reverts to the per-instruction interpreter oracle.
+        controller.machine.fast_path = False
+    return controller
+
+
+def measure_throughput(bench: str, size: str, engine: str, mode: str,
+                       warm: int, measure: int,
+                       repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
+    """Best of ``repeats`` probes: fresh controller, warm, measure.
+
+    The fast engine gets one untimed priming pass on a throwaway
+    controller first: it populates the process-wide compiled-code cache
+    (`repro.vm.translator`), so the measured passes report steady-state
+    throughput — what a sweep that boots many controllers over the same
+    deterministic workloads actually sees — instead of charging every
+    fused compilation to the first run's measure window.  The slow
+    engine interprets and compiles nothing, so it needs no priming.
+    """
+    if engine == "fast":
+        primer = _make_controller(bench, size, engine)
+        getattr(primer, "run_" + mode)(warm + measure)
+    best = None
+    for _ in range(max(1, repeats)):
+        controller = _make_controller(bench, size, engine)
+        run = getattr(controller, "run_" + mode)
+        run(warm)
+        start = time.perf_counter()
+        executed = run(measure)
+        elapsed = time.perf_counter() - start
+        if mode == "timed":
+            executed = executed[0]
+        if best is None or elapsed < best[1]:
+            best = (executed, elapsed)
+    executed, elapsed = best
+    return {
+        "instructions": executed,
+        "seconds": elapsed,
+        "ips": executed / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_size(size: str, benchmarks: Optional[List[str]] = None,
+             windows: Optional[Tuple[int, int]] = None) -> Dict:
+    """Measure every benchmark x mode x engine cell for one suite size."""
+    benchmarks = list(benchmarks or default_benchmarks())
+    warm, measure = windows or WINDOWS[size]
+    rows: Dict[str, Dict] = {}
+    for bench in benchmarks:
+        per_mode: Dict[str, Dict] = {}
+        for mode in MODES:
+            cell: Dict[str, Dict[str, float]] = {}
+            for engine in ENGINES:
+                cell[engine] = measure_throughput(
+                    bench, size, engine, mode, warm, measure)
+            slow_ips = cell["slow"]["ips"]
+            cell["speedup"] = (cell["fast"]["ips"] / slow_ips
+                               if slow_ips > 0 else 0.0)
+            per_mode[mode] = cell
+        rows[bench] = per_mode
+    summary = {
+        mode: {
+            "fast_ips_geomean": geomean(
+                rows[b][mode]["fast"]["ips"] for b in benchmarks),
+            "slow_ips_geomean": geomean(
+                rows[b][mode]["slow"]["ips"] for b in benchmarks),
+            "speedup_geomean": geomean(
+                rows[b][mode]["speedup"] for b in benchmarks),
+        }
+        for mode in MODES
+    }
+    summary["overall_speedup_geomean"] = geomean(
+        rows[b][mode]["speedup"] for b in benchmarks for mode in MODES)
+    return {
+        "windows": {"warm": warm, "measure": measure},
+        "benchmarks": rows,
+        "summary": summary,
+    }
+
+
+def run_bench(sizes: Iterable[str] = ("tiny",),
+              benchmarks: Optional[List[str]] = None,
+              windows: Optional[Tuple[int, int]] = None) -> Dict:
+    """The full trajectory payload written to ``BENCH_hotpath.json``."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "modes": list(MODES),
+        "sizes": {size: run_size(size, benchmarks, windows)
+                  for size in sizes},
+    }
+
+
+# ----------------------------------------------------------------------
+# baseline comparison (the CI perf gate)
+
+def compare_to_baseline(current: Dict, baseline: Dict,
+                        tolerance: float = DEFAULT_TOLERANCE
+                        ) -> List[str]:
+    """Regressions of ``current`` vs ``baseline`` speedup ratios.
+
+    A cell regresses when its fast/slow speedup falls more than
+    ``tolerance`` (fractional) below the committed baseline's.  Ratios
+    are host-independent — both engines ran the same guest instructions
+    on the same machine — so this is safe across CI runner generations.
+    Returns human-readable problem strings (empty = gate passes).
+    """
+    problems: List[str] = []
+    for size, base_size in baseline.get("sizes", {}).items():
+        cur_size = current.get("sizes", {}).get(size)
+        if cur_size is None:
+            continue
+        for bench, base_modes in base_size["benchmarks"].items():
+            cur_modes = cur_size["benchmarks"].get(bench)
+            if cur_modes is None:
+                problems.append(f"{size}/{bench}: missing from run")
+                continue
+            for mode, base_cell in base_modes.items():
+                base_ratio = base_cell["speedup"]
+                cur_ratio = cur_modes[mode]["speedup"]
+                floor = base_ratio * (1.0 - tolerance)
+                if cur_ratio < floor:
+                    problems.append(
+                        f"{size}/{bench}/{mode}: speedup {cur_ratio:.2f}x"
+                        f" < {floor:.2f}x"
+                        f" (baseline {base_ratio:.2f}x - {tolerance:.0%})")
+        base_overall = base_size["summary"]["overall_speedup_geomean"]
+        cur_overall = cur_size["summary"]["overall_speedup_geomean"]
+        floor = base_overall * (1.0 - tolerance)
+        if cur_overall < floor:
+            problems.append(
+                f"{size}/overall: geomean speedup {cur_overall:.2f}x"
+                f" < {floor:.2f}x (baseline {base_overall:.2f}x)")
+    return problems
+
+
+def format_table(payload: Dict) -> str:
+    """Human-readable per-benchmark table for one payload."""
+    lines: List[str] = []
+    for size, data in payload["sizes"].items():
+        windows = data["windows"]
+        lines.append(f"size={size} (warm {windows['warm']}, "
+                     f"measure {windows['measure']} instructions)")
+        lines.append(f"{'benchmark':10s} {'mode':8s} "
+                     f"{'fast':>10s} {'slow':>10s} {'speedup':>8s}")
+        for bench, per_mode in data["benchmarks"].items():
+            for mode, cell in per_mode.items():
+                lines.append(
+                    f"{bench:10s} {mode:8s} "
+                    f"{cell['fast']['ips']:>8.0f}/s "
+                    f"{cell['slow']['ips']:>8.0f}/s "
+                    f"{cell['speedup']:>7.2f}x")
+        summary = data["summary"]
+        for mode in payload["modes"]:
+            lines.append(f"{'geomean':10s} {mode:8s} "
+                         f"{summary[mode]['fast_ips_geomean']:>8.0f}/s "
+                         f"{summary[mode]['slow_ips_geomean']:>8.0f}/s "
+                         f"{summary[mode]['speedup_geomean']:>7.2f}x")
+        lines.append("overall speedup geomean: "
+                     f"{summary['overall_speedup_geomean']:.2f}x")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def write_baseline(payload: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

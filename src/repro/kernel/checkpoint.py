@@ -115,9 +115,7 @@ def restore(system, checkpoint: Checkpoint) -> None:
     # and the monitored statistics resume exactly as saved)
     machine.mmu.flush()
     machine.mmu.code_pages.clear()
-    machine.fast_cache.flush()
-    machine.event_cache.flush()
-    machine.interpreter.flush_decode_cache()
+    machine.flush_code_caches()
 
     # CPU + machine bookkeeping
     machine.state.restore(checkpoint.cpu)

@@ -270,6 +270,5 @@ class Kernel:
             if machine.page_table.lookup(vpn) is not None:
                 machine.page_table.unmap(vpn)
                 machine.mmu.invalidate_page(vpn)
-                machine.fast_cache.invalidate_page(vpn)
-                machine.event_cache.invalidate_page(vpn)
+                machine.invalidate_code_page(vpn)
         return 0

@@ -34,6 +34,7 @@ from repro import obs
 from repro.kernel import System
 from repro.timing import (FunctionalWarmingSink, OutOfOrderCore,
                           TimingConfig)
+from repro.timing.codegen import TimedBlockCodegen, WarmingBlockCodegen
 from repro.vm import MODE_EVENT, MODE_FAST, MODE_PROFILE
 from repro.workloads import Workload
 
@@ -73,6 +74,14 @@ class SimulationController:
         self.machine = self.system.machine
         self.core = OutOfOrderCore(timing_config or TimingConfig.small())
         self.warming_sink = FunctionalWarmingSink(self.core)
+        if self.core.config.fast_path:
+            # Fused fast path: event-mode intervals dispatch superblocks
+            # with the timing updates compiled in.  Bit-identical to the
+            # per-instruction sink path (REPRO_SLOW_PATH=1 restores it).
+            self.machine.register_fast_sink(
+                self.core, TimedBlockCodegen(self.core))
+            self.machine.register_fast_sink(
+                self.warming_sink, WarmingBlockCodegen(self.warming_sink))
         self.feedback = feedback
         self.breakdown = ModeBreakdown()
         #: estimated virtual cycles of the whole run so far (only
@@ -91,6 +100,9 @@ class SimulationController:
             mode: registry.counter(f"controller.wall_seconds.{mode}")
             for mode in ("fast", "profile", "warming", "timed")}
         self._m_switches = registry.counter("controller.mode_switches")
+        self._m_throughput = {
+            mode: registry.gauge(f"controller.throughput.{mode}")
+            for mode in ("fast", "profile", "warming", "timed")}
 
     # ------------------------------------------------------------------
     # state
@@ -116,6 +128,9 @@ class SimulationController:
         """Metrics + trace events shared by every mode primitive."""
         self._m_instructions[mode].add(executed)
         self._m_wall[mode].add(elapsed)
+        if elapsed > 0:
+            # per-mode throughput (instructions/sec of the last stretch)
+            self._m_throughput[mode].set(executed / elapsed)
         if mode != self._last_mode:
             self._m_switches.inc()
             self._last_mode = mode

@@ -107,6 +107,12 @@ class TimingConfig:
     })
     #: unpipelined classes occupy their unit for the full latency
     unpipelined: tuple = (int(OpClass.INT_DIV), int(OpClass.FP_DIV))
+    #: dispatch fused superblocks (inlined timing) instead of
+    #: per-instruction sink calls; purely a host execution strategy —
+    #: results are bit-identical — so it is excluded from the config
+    #: fingerprint (see repro.exec.spec) and overridable at run time
+    #: with REPRO_SLOW_PATH=1
+    fast_path: bool = True
 
     @classmethod
     def opteron_like(cls) -> "TimingConfig":

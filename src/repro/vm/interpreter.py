@@ -15,13 +15,26 @@ PC at the faulting instruction.
 from __future__ import annotations
 
 from repro.isa import DecodeError, Op, OP_INFO, decode
-from repro.mem.faults import (BreakpointTrap, IllegalInstruction,
-                              SyscallTrap)
+from repro.mem.faults import (BreakpointTrap, GuestFault, IllegalInstruction,
+                              PageFault, SyscallTrap)
 
+from .code_cache import block_pages
 from .semantics import (MASK64, f2i, fdiv, fmax2, fmin2, fsqrt, idiv, irem,
                         s64, sx8, sx16, sx32)
 
 _CLS = {op: int(info.opclass) for op, info in OP_INFO.items()}
+
+_TERMINATORS = frozenset((5, 6, 11))  # branch, jump, system
+
+#: default superblock length cap.  The machine overrides it with its
+#: translator's ``max_block`` so interpreter runs and translated blocks
+#: share dispatch boundaries exactly — that makes per-run bookkeeping
+#: (``block_dispatches``) bit-identical between the interpreter oracle
+#: and the translated engines.
+MAX_RUN = 256
+#: run-cache size.  Host state only (decode is deterministic), sized so
+#: large instruction footprints don't thrash the oracle's decode work.
+RUN_CACHE_CAPACITY = 4096
 
 
 def _u(index: int) -> int:
@@ -32,28 +45,166 @@ def _u(index: int) -> int:
 class Interpreter:
     """Executes one instruction at a time against shared machine state."""
 
-    def __init__(self, state, mmu):
+    def __init__(self, state, mmu, max_run: int = MAX_RUN):
         self.state = state
         self.mmu = mmu
+        #: superblock length cap (the machine passes its translator's
+        #: ``max_block`` so dispatch boundaries match exactly)
+        self.max_run = max_run
         #: decoded-instruction cache; flushed when code pages change
         self._decoded = {}
+        #: superblock cache: entry pc -> straight-line decoded run
+        self._runs = {}
+        #: virtual pages containing decoded instructions (SMC tracking)
+        self._pages = set()
+        #: bumped on every flush so in-flight batched runs notice
+        #: self-modifying code and re-decode (SMC safety)
+        self._gen = 0
+        #: instructions retired by the last (possibly faulted) step_run
+        self._progress = 0
+        #: full length of the run the last step_run dispatched
+        self._last_run_len = 0
 
     def flush_decode_cache(self) -> None:
         self._decoded.clear()
+        self._runs.clear()
+        self._pages.clear()
+        self._gen += 1
+
+    def notice_code_write(self, vpn: int) -> None:
+        """A store hit code page ``vpn``: flush if we decoded from it.
+
+        The machine calls this when a code-page write drops no
+        translation — the write may still land on instructions only the
+        interpreter has decoded, which the translation caches cannot
+        know about.
+        """
+        if vpn in self._pages:
+            self.flush_decode_cache()
+
+    # ------------------------------------------------------------------
+    # superblock dispatch
+
+    def _decode_run(self, pc: int) -> list:
+        """Decode the straight-line run starting at ``pc``.
+
+        The run ends at the first control-flow/system instruction, at
+        the mapped region's edge, at an undecodable word, or after
+        :attr:`max_run` instructions — exactly the boundaries the
+        translator uses for its superblocks, so a run never spans a
+        control transfer and run dispatches line up one-to-one with
+        translated-block dispatches.
+
+        Every page the run spans is registered with the MMU so stores
+        into it trigger self-modifying-code detection, mirroring what
+        ``Machine`` does when it inserts a translated block.
+        """
+        run = []
+        decoded = self._decoded
+        mmu = self.mmu
+        max_run = self.max_run
+        current = pc
+        while len(run) < max_run:
+            instr = decoded.get(current)
+            if instr is None:
+                try:
+                    word = mmu.fetch_word(current)
+                except PageFault:
+                    if run:
+                        break  # faults when reached, not when decoded
+                    raise
+                try:
+                    instr = decode(word)
+                except DecodeError:
+                    if run:
+                        break
+                    raise IllegalInstruction(current, word) from None
+                decoded[current] = instr
+            run.append(instr)
+            if _CLS[instr.op] in _TERMINATORS:
+                break
+            current += 4
+        self._register(pc, len(run))
+        return run
+
+    def _register(self, pc: int, length: int) -> None:
+        """Register the pages of a decoded span for SMC detection."""
+        pages = self._pages
+        register = self.mmu.register_code_page
+        for vpn in block_pages(pc, length):
+            if vpn not in pages:
+                pages.add(vpn)
+                register(vpn)
+
+    def step_run(self, sink=None, budget: int = 1 << 30) -> int:
+        """Dispatch one superblock as a unit; returns instructions retired.
+
+        Executes decoded instructions back-to-back without the
+        per-``step()`` cache lookup, bumping ``state.icount`` per
+        instruction so guest counter reads stay exact.  Stops at the run
+        end, the ``budget``, a HALT, or a flush of the decode cache
+        (self-modifying code mid-run).  On a guest fault the retired
+        count is recoverable via :meth:`consume_progress` — the faulting
+        instruction itself is *not* counted, matching ``step()``.
+        """
+        state = self.state
+        pc = state.pc
+        self._progress = 0  # before decode: decode faults retire nothing
+        runs = self._runs
+        run = runs.get(pc)
+        if run is None:
+            run = self._decode_run(pc)
+            if len(runs) >= RUN_CACHE_CAPACITY:
+                runs.clear()
+            runs[pc] = run
+        self._last_run_len = len(run)
+        gen = self._gen
+        execute = self._exec
+        executed = 0
+        try:
+            for instr in run:
+                if executed >= budget:
+                    break
+                execute(instr, state.pc, sink)
+                executed += 1
+                state.icount += 1
+                self._progress = executed
+                if state.halted or self._gen != gen:
+                    break
+        except GuestFault:
+            self._progress = executed
+            raise
+        return executed
+
+    def consume_progress(self) -> int:
+        """Retired count of the last ``step_run`` (one-shot, for fault
+        recovery paths in the machine)."""
+        progress = self._progress
+        self._progress = 0
+        return progress
+
+    # ------------------------------------------------------------------
+    # single-step (the reference path)
 
     def step(self, sink=None) -> None:
         """Execute the instruction at ``state.pc``; see module docstring."""
         state = self.state
-        mmu = self.mmu
         pc = state.pc
         instr = self._decoded.get(pc)
         if instr is None:
-            word = mmu.fetch_word(pc)
+            word = self.mmu.fetch_word(pc)
             try:
                 instr = decode(word)
             except DecodeError:
                 raise IllegalInstruction(pc, word) from None
             self._decoded[pc] = instr
+            self._register(pc, 1)
+        self._exec(instr, pc, sink)
+
+    def _exec(self, instr, pc: int, sink=None) -> None:
+        """Execute one decoded instruction at ``pc``."""
+        state = self.state
+        mmu = self.mmu
         op = instr.op
         r = state.regs
         f = state.fregs

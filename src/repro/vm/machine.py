@@ -21,6 +21,7 @@ cache invalidations (CPU), guest exceptions (EXC) and I/O operations
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 from repro.mem import (MMU, PageTable, PhysicalMemory)
@@ -44,6 +45,17 @@ MODES = (MODE_FAST, MODE_EVENT, MODE_PROFILE, MODE_INTERP)
 
 class MachineError(RuntimeError):
     """Host-level error: the guest did something unrecoverable."""
+
+
+def slow_path_requested() -> bool:
+    """True when ``REPRO_SLOW_PATH`` disables the fused fast path.
+
+    The slow path (per-instruction sink calls) is the oracle the fast
+    path is validated against; the escape hatch keeps it reachable in
+    any environment without code changes.
+    """
+    return os.environ.get("REPRO_SLOW_PATH", "").strip().lower() \
+        in ("1", "true", "yes")
 
 
 class Machine:
@@ -70,9 +82,35 @@ class Machine:
         self.fast_cache = CodeCache(code_cache_capacity,
                                     on_invalidate=self._count_invalidations,
                                     policy=code_cache_policy)
-        self.event_cache = CodeCache(code_cache_capacity,
+        # The event cache is host state, not part of the simulated
+        # machine: its translations and evictions feed no VM statistic
+        # (only the architectural fast cache does), so it is sized
+        # generously like the fused-binding caches — capacity-induced
+        # retranslation would cost host time without changing results.
+        self.event_cache = CodeCache(max(4096, code_cache_capacity),
                                      policy=code_cache_policy)
-        self.interpreter = Interpreter(self.state, self.mmu)
+        self._code_cache_capacity = code_cache_capacity
+        self._code_cache_policy = code_cache_policy
+        #: fused fast-path dispatch enabled (REPRO_SLOW_PATH=1 disables)
+        self.fast_path = not slow_path_requested()
+        #: dispatches a block must accumulate in the plain event flavour
+        #: before it is promoted to a fused translation.  Fused blocks
+        #: compile ~10x slower than plain ones, so cold blocks would pay
+        #: more in compilation than they ever save in dispatch; 0 forces
+        #: immediate promotion (useful in tests).  The process-wide
+        #: compiled-code cache (repro.vm.translator) absorbs most of the
+        #: cost after a block's first-ever compilation, so the threshold
+        #: only has to gate genuinely cold code.
+        self.fast_promote_threshold = 16
+        #: fused-flavour bindings:
+        #: id(sink) -> (sink, codegen, CodeCache, promotion counts)
+        self._fast_bindings: Dict[int, tuple] = {}
+        # The interpreter shares the translator's superblock cap so its
+        # run dispatches line up one-to-one with translated blocks —
+        # required for bit-identical block_dispatches between the fast
+        # path and the interpreter oracle (REPRO_SLOW_PATH=1).
+        self.interpreter = Interpreter(self.state, self.mmu,
+                                       max_run=max_block)
         #: per-block instruction counts accumulated in MODE_PROFILE
         self.profile_counts: Dict[int, int] = {}
         #: syscall/fault handler (see repro.kernel); may be replaced
@@ -91,6 +129,25 @@ class Machine:
     def _count_invalidations(self, dropped: int) -> None:
         self.stats.code_cache_invalidations += dropped
 
+    def register_fast_sink(self, sink, codegen) -> None:
+        """Bind a fused code generator to an event sink.
+
+        MODE_EVENT runs with this sink then dispatch *fused* superblocks
+        — fast-flavour semantics with the codegen's timing updates
+        inlined — instead of calling ``sink.on_inst`` per instruction,
+        unless :func:`slow_path_requested` forces the oracle path.  The
+        per-binding translation cache is invisible to :class:`VmStats`:
+        only the architectural fast cache feeds the monitored CPU
+        statistic, so fast and slow paths see identical vmstat streams.
+        Because it is pure host state it is also sized generously —
+        fused translations are an order of magnitude more expensive to
+        compile than plain flavours, and evicting them would only
+        re-pay that cost without changing any simulated result.
+        """
+        cache = CodeCache(max(4096, self._code_cache_capacity),
+                          policy=self._code_cache_policy)
+        self._fast_bindings[id(sink)] = (sink, codegen, cache, {})
+
     def _on_code_write(self, vpn: int, addr: int) -> None:
         """Self-modifying code: drop the translations that ``addr`` hits.
 
@@ -100,8 +157,43 @@ class Machine:
         """
         dropped = self.fast_cache.invalidate_address(vpn, addr)
         dropped += self.event_cache.invalidate_address(vpn, addr)
+        for _sink, _codegen, cache, _counts in \
+                self._fast_bindings.values():
+            dropped += cache.invalidate_address(vpn, addr)
         if dropped:
             self.interpreter.flush_decode_cache()
+        else:
+            # No translation covered the address, but the interpreter
+            # may have decoded instructions there on its own.
+            self.interpreter.notice_code_write(vpn)
+
+    def invalidate_code_page(self, vpn: int) -> None:
+        """Drop every translation and decoded run touching page ``vpn``.
+
+        Covers the architectural fast cache (whose drops feed the CPU
+        monitored statistic), the event cache, every fused-binding cache
+        and the interpreter's decode/run caches — used when a code page
+        is unmapped or replaced wholesale (munmap, checkpoint restore).
+        """
+        self.fast_cache.invalidate_page(vpn)
+        self.event_cache.invalidate_page(vpn)
+        for _sink, _codegen, cache, _counts in \
+                self._fast_bindings.values():
+            cache.invalidate_page(vpn)
+        self.interpreter.flush_decode_cache()
+
+    def flush_code_caches(self) -> None:
+        """Flush all translation and decode caches (checkpoint restore).
+
+        Unlike :meth:`invalidate_code_page` this never counts toward the
+        CPU monitored statistic — callers erase/restore stats around it.
+        """
+        self.fast_cache.flush()
+        self.event_cache.flush()
+        for _sink, _codegen, cache, _counts in \
+                self._fast_bindings.values():
+            cache.flush()
+        self.interpreter.flush_decode_cache()
 
     def post_interrupt(self, irq: int) -> None:
         """Raise an asynchronous interrupt, delivered at the next
@@ -134,17 +226,42 @@ class Machine:
             return total
         event = mode == MODE_EVENT
         profile = mode == MODE_PROFILE
+        codegen = None
+        counts = None
         if event:
             if sink is None:
                 raise ValueError("MODE_EVENT requires a sink")
             self._sink_box[0] = sink.on_inst
-            cache = self.event_cache
+            binding = (self._fast_bindings.get(id(sink))
+                       if self.fast_path else None)
+            if binding is not None:
+                codegen = binding[1]
+                cache = binding[2]
+                counts = binding[3]
+            elif not self.fast_path:
+                # REPRO_SLOW_PATH=1: the oracle.  Event mode reverts to
+                # the per-instruction Interpreter loop — the engine the
+                # fast path is validated against.  Dispatch boundaries,
+                # icount, vmstats and the sink event stream are
+                # bit-identical to the translated paths by construction.
+                total = self._run_event_interp(max_instructions, sink,
+                                               exact)
+                stats.instructions_event += total
+                return total
+            else:
+                cache = self.event_cache
             flavor = FLAVOR_EVENT
         else:
             cache = self.fast_cache
             flavor = FLAVOR_FAST
+        # Only architectural-cache translations are a VM statistic: the
+        # event/fused caches are host implementation detail, and counting
+        # them would make vm_stats depend on which timing path ran.
+        architectural = cache is self.fast_cache
         get_block = cache.get
+        event_get = self.event_cache.get
         translate = self.translator.translate
+        threshold = self.fast_promote_threshold
         remaining = max_instructions
         total = 0
         profile_counts = self.profile_counts
@@ -159,11 +276,33 @@ class Machine:
             state.block_progress = 0
             try:
                 if entry is None:
-                    entry = translate(pc, flavor)
-                    cache.insert(entry)
-                    stats.translations += 1
-                    for vpn in entry.pages:
-                        self.mmu.register_code_page(vpn)
+                    if counts is not None:
+                        # Tiered promotion: run cold blocks in the plain
+                        # event flavour (cheap compile, per-instruction
+                        # sink calls — the oracle itself, so identical by
+                        # construction); compile the fused flavour only
+                        # once a block has proven hot.  Invalidation
+                        # removes the fused entry, so a re-created block
+                        # restarts the count rather than thrashing the
+                        # expensive compiler.
+                        seen = counts.get(pc, 0) + 1
+                        if seen <= threshold:
+                            counts[pc] = seen
+                            entry = event_get(pc)
+                            if entry is None:
+                                entry = translate(pc, FLAVOR_EVENT, None)
+                                self.event_cache.insert(entry)
+                                for vpn in entry.pages:
+                                    self.mmu.register_code_page(vpn)
+                        else:
+                            counts.pop(pc, None)
+                    if entry is None:
+                        entry = translate(pc, flavor, codegen)
+                        cache.insert(entry)
+                        if architectural:
+                            stats.translations += 1
+                        for vpn in entry.pages:
+                            self.mmu.register_code_page(vpn)
                 if exact and entry.length > remaining:
                     # The tail interpreter maintains icount itself.
                     executed = self._run_exact_tail(
@@ -259,22 +398,42 @@ class Machine:
                                                "handle_interrupt"):
             self.kernel.handle_interrupt(self, irq)
 
-    def _run_exact_tail(self, count: int, sink) -> int:
-        """Interpret exactly ``count`` instructions (fault-safe).
+    def _run_event_interp(self, count: int, sink, exact: bool) -> int:
+        """Event mode on the per-instruction interpreter (the oracle).
 
-        Updates ``state.icount`` per retired instruction so guest reads
-        of the counter stay exact mid-stretch.
+        This is what ``REPRO_SLOW_PATH=1`` selects: every retired
+        instruction goes through :meth:`Interpreter._exec` and one
+        ``sink.on_inst`` call — the reference semantics the fused fast
+        path must reproduce bit-for-bit.  The loop mirrors the
+        translated dispatch loop's observable accounting exactly:
+
+        * interrupts are delivered at run (block) boundaries;
+        * ``block_dispatches`` counts one per completed run, but not
+          runs that fault, nor — under ``exact`` — the clamped tail run
+          (the translated path hands that tail to the interpreter
+          without counting a dispatch);
+        * ``state.icount`` is maintained by the interpreter itself;
+        * fault delivery performs the same kernel upcalls and
+          ``count_exception`` bumps as :meth:`_deliver_fault`.
         """
         executed = 0
         state = self.state
         stats = self.stats
         interp = self.interpreter
         while executed < count and not state.halted:
+            if self._pending_irqs:
+                self._deliver_interrupt()
+                if state.halted:
+                    break
+            remaining = count - executed
             try:
-                interp.step(sink)
-                executed += 1
-                state.icount += 1
+                ran = interp.step_run(sink,
+                                      remaining if exact else (1 << 30))
+                if not exact or interp._last_run_len <= remaining:
+                    stats.block_dispatches += 1
+                executed += ran
             except SyscallTrap as trap:
+                executed += interp.consume_progress()
                 stats.count_exception("syscall")
                 if self.kernel is None:
                     raise MachineError("ecall with no kernel") from trap
@@ -284,6 +443,7 @@ class Machine:
                 executed += 1
                 state.icount += 1
             except BreakpointTrap:
+                executed += interp.consume_progress()
                 stats.count_exception("breakpoint")
                 if self.kernel is not None and hasattr(
                         self.kernel, "handle_breakpoint"):
@@ -293,14 +453,69 @@ class Machine:
                 executed += 1
                 state.icount += 1
             except PageFault as fault:
+                executed += interp.consume_progress()
                 stats.count_exception("page_fault")
                 if not (self.kernel is not None
                         and self.kernel.handle_page_fault(self, fault)):
                     raise MachineError(str(fault)) from fault
             except AlignmentFault as fault:
+                executed += interp.consume_progress()
                 stats.count_exception("alignment_fault")
                 raise MachineError(str(fault)) from fault
             except IllegalInstruction as fault:
+                executed += interp.consume_progress()
+                stats.count_exception("illegal_instruction")
+                raise MachineError(str(fault)) from fault
+        return executed
+
+    def _run_exact_tail(self, count: int, sink) -> int:
+        """Interpret exactly ``count`` instructions (fault-safe).
+
+        Dispatches interpreter superblocks (straight-line decoded runs)
+        as units instead of stepping instruction-by-instruction; the
+        interpreter updates ``state.icount`` per retired instruction so
+        guest reads of the counter stay exact mid-stretch, and reports
+        partial progress of faulted runs via ``consume_progress``.
+        """
+        executed = 0
+        state = self.state
+        stats = self.stats
+        interp = self.interpreter
+        while executed < count and not state.halted:
+            try:
+                executed += interp.step_run(sink, count - executed)
+            except SyscallTrap as trap:
+                executed += interp.consume_progress()
+                stats.count_exception("syscall")
+                if self.kernel is None:
+                    raise MachineError("ecall with no kernel") from trap
+                self.kernel.handle_syscall(self)
+                if not state.halted:
+                    state.pc = trap.pc + 4
+                executed += 1
+                state.icount += 1
+            except BreakpointTrap:
+                executed += interp.consume_progress()
+                stats.count_exception("breakpoint")
+                if self.kernel is not None and hasattr(
+                        self.kernel, "handle_breakpoint"):
+                    self.kernel.handle_breakpoint(self)
+                else:
+                    state.halted = True
+                executed += 1
+                state.icount += 1
+            except PageFault as fault:
+                executed += interp.consume_progress()
+                stats.count_exception("page_fault")
+                if not (self.kernel is not None
+                        and self.kernel.handle_page_fault(self, fault)):
+                    raise MachineError(str(fault)) from fault
+            except AlignmentFault as fault:
+                executed += interp.consume_progress()
+                stats.count_exception("alignment_fault")
+                raise MachineError(str(fault)) from fault
+            except IllegalInstruction as fault:
+                executed += interp.consume_progress()
                 stats.count_exception("illegal_instruction")
                 raise MachineError(str(fault)) from fault
         return executed

@@ -32,8 +32,8 @@ from __future__ import annotations
 from typing import List
 
 from repro.isa import DecodeError, Instr, OP_INFO, Op, decode
-from repro.mem.faults import (BreakpointTrap, IllegalInstruction, PageFault,
-                              SyscallTrap)
+from repro.mem.faults import (BreakpointTrap, GuestFault, IllegalInstruction,
+                              PageFault, SyscallTrap)
 
 from .code_cache import TranslatedBlock, block_pages
 from .semantics import MASK64, SEMANTIC_HELPERS
@@ -131,6 +131,76 @@ def _u_int(index: int) -> int:
     return -1 if index == 0 else index
 
 
+def event_fields(instr: Instr) -> tuple:
+    """``(cls, dst, src1, src2)`` exactly as the event flavour reports.
+
+    Single source of truth shared by the event-flavour code generator
+    and the fused timing code generators (:mod:`repro.timing.codegen`):
+    both must describe each instruction with identical unified-register
+    indices or the fast path would diverge from the slow-path oracle.
+    """
+    op = instr.op
+    rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+    cls = _CLS[op]
+    if op in _ALU_RR:
+        return cls, _u_int(rd), _u_int(rs1), _u_int(rs2)
+    if op in _ALU_RI:
+        return cls, _u_int(rd), _u_int(rs1), -1
+    if op == Op.FLD:
+        return cls, 16 + rd, _u_int(rs1), -1
+    if op in _LOADS:
+        return cls, _u_int(rd), _u_int(rs1), -1
+    if op == Op.FSD:
+        return cls, -1, _u_int(rs1), 16 + rs2
+    if op in _STORES:
+        return cls, -1, _u_int(rs1), _u_int(rs2)
+    if op in _FP_RR:
+        return cls, 16 + rd, 16 + rs1, 16 + rs2
+    if op in _FP_UNARY:
+        return cls, 16 + rd, 16 + rs1, -1
+    if op in _FP_CMP:
+        return cls, _u_int(rd), 16 + rs1, 16 + rs2
+    if op == Op.FCVTIF:
+        return cls, 16 + rd, _u_int(rs1), -1
+    if op == Op.FCVTFI:
+        return cls, _u_int(rd), 16 + rs1, -1
+    if op in _BRANCH_COND:
+        return cls, -1, _u_int(rs1), _u_int(rs2)
+    if op == Op.JAL:
+        return cls, _u_int(rd), -1, -1
+    if op == Op.JALR:
+        return cls, _u_int(rd), _u_int(rs1), -1
+    if op in (Op.ECALL, Op.EBREAK, Op.HALT):
+        return cls, -1, -1, -1
+    if op in (Op.RDCYCLE, Op.RDINSTR):
+        return cls, _u_int(rd), -1, -1
+    raise AssertionError(f"unhandled opcode {op!r}")  # pragma: no cover
+
+
+#: host-level compiled-code cache shared by every Machine in the
+#: process.  A block's generated source — and therefore its compiled
+#: code object — is a pure function of its decoded instructions, its
+#: address, the flavour, and (for fused flavours) the timing
+#: configuration; the cache is keyed on exactly those inputs, so a hit
+#: skips source generation *and* ``compile()`` while remaining
+#: incapable of changing any simulated result.  It exists because
+#: compilation dominates translation cost (fused superblocks run to
+#: hundreds of lines): a sweep that boots many controllers over the
+#: same deterministic workloads would otherwise re-generate and
+#: re-compile the exact same blocks in every Machine.  Values are
+#: ``(code, source)`` so ``Translator.last_source`` stays accurate on
+#: hits.
+_CODE_CACHE: dict = {}
+_CODE_CACHE_CAPACITY = 8192
+
+
+def _block_key(pc: int, instrs, flavor: str, codegen) -> tuple:
+    return (flavor, pc,
+            None if codegen is None else codegen.cache_key,
+            tuple((instr.op, instr.rd, instr.rs1, instr.rs2, instr.imm)
+                  for instr in instrs))
+
+
 class Translator:
     """Compiles guest basic blocks to Python; owned by the Machine."""
 
@@ -145,6 +215,7 @@ class Translator:
             "st1": mmu.write_u8, "st2": mmu.write_u16,
             "st4": mmu.write_u32, "st8": mmu.write_u64, "stf": mmu.write_f64,
             "SyscallTrap": SyscallTrap, "BreakpointTrap": BreakpointTrap,
+            "GuestFault": GuestFault,
             "SINK": sink_box,
         })
         #: generated source by block pc (debugging / tests)
@@ -152,13 +223,38 @@ class Translator:
 
     # ------------------------------------------------------------------
 
-    def translate(self, pc: int, flavor: str) -> TranslatedBlock:
-        """Decode and compile the basic block starting at ``pc``."""
+    def translate(self, pc: int, flavor: str,
+                  codegen=None) -> TranslatedBlock:
+        """Decode and compile the basic block starting at ``pc``.
+
+        With a ``codegen`` (see :mod:`repro.timing.codegen`) the block is
+        compiled as a *fused* flavour: the fast-flavour semantics with the
+        codegen's specialised timing-update code inlined after each
+        instruction, replacing the per-instruction ``sink`` call of
+        ``FLAVOR_EVENT``.  The codegen contributes a prologue (hoists
+        timing-model state into locals), per-instruction lines, and an
+        epilogue (writes the state back) and must reproduce the sink's
+        observable behaviour exactly — the event flavour stays available
+        as the oracle.
+        """
         instrs = self._decode_block(pc)
-        source = self._generate(pc, instrs, flavor)
+        key = _block_key(pc, instrs, flavor, codegen)
+        cached = _CODE_CACHE.get(key)
+        if cached is None:
+            if codegen is not None:
+                source = self._generate_fused(pc, instrs, codegen)
+            else:
+                source = self._generate(pc, instrs, flavor)
+            code = compile(source, f"<block 0x{pc:x} {flavor}>", "exec")
+            if len(_CODE_CACHE) >= _CODE_CACHE_CAPACITY:
+                _CODE_CACHE.clear()
+            _CODE_CACHE[key] = (code, source)
+        else:
+            code, source = cached
         self.last_source = source
-        code = compile(source, f"<block 0x{pc:x} {flavor}>", "exec")
         namespace = dict(self._env_base)
+        if codegen is not None:
+            namespace.update(codegen.env())
         exec(code, namespace)  # noqa: S102 - this *is* the JIT
         fn = namespace["_block"]
         return TranslatedBlock(pc, fn, len(instrs),
@@ -227,7 +323,7 @@ class Translator:
         rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
         a = f"r[{rs1}]" if rs1 else "0"
         b = f"r[{rs2}]" if rs2 else "0"
-        cls = _CLS[op]
+        cls, dst, s1, s2 = event_fields(instr)
         emit = lines.append
 
         def guard() -> None:
@@ -240,66 +336,63 @@ class Translator:
             emit(f"{ind}state.block_progress = "
                  + progress.format(i=index))
 
-        def event_call(dst: int, s1: int, s2: int, addr: str = "0",
-                       taken: int = 0, target: str = "0") -> None:
+        def event_call(addr: str = "0") -> None:
             if event:
                 emit(f"{ind}sink({pc}, {cls}, {dst}, {s1}, {s2}, {addr}, "
-                     f"{taken}, {target})")
+                     "0, 0)")
 
         if op in _ALU_RR:
             expr = _ALU_RR[op].format(a=a, b=b)
             if rd:
                 emit(f"{ind}r[{rd}] = {expr}")
-            event_call(_u_int(rd), _u_int(rs1), _u_int(rs2))
+            event_call()
         elif op in _ALU_RI:
             expr = _ALU_RI[op].format(
                 a=a, im=imm, imu=imm & MASK64, sh=imm & 63,
                 im16=imm & 0xFFFF)
             if rd:
                 emit(f"{ind}r[{rd}] = {expr}")
-            event_call(_u_int(rd), _u_int(rs1), -1)
+            event_call()
         elif op in _LOADS or op == Op.FLD:
             guard()
             ea = f"({a} + {imm}) & M" if rs1 else f"{imm & MASK64}"
             emit(f"{ind}ea = {ea}")
             if op == Op.FLD:
                 emit(f"{ind}f[{rd}] = ldf(ea)")
-                event_call(16 + rd, _u_int(rs1), -1, "ea")
             else:
                 expr = _LOADS[op].format(ea="ea")
                 if rd:
                     emit(f"{ind}r[{rd}] = {expr}")
                 else:
                     emit(f"{ind}{expr}")
-                event_call(_u_int(rd), _u_int(rs1), -1, "ea")
+            event_call("ea")
         elif op in _STORES or op == Op.FSD:
             guard()
             ea = f"({a} + {imm}) & M" if rs1 else f"{imm & MASK64}"
             emit(f"{ind}ea = {ea}")
             if op == Op.FSD:
                 emit(f"{ind}stf(ea, f[{rs2}])")
-                event_call(-1, _u_int(rs1), 16 + rs2, "ea")
             else:
                 emit(f"{ind}{_STORES[op].format(ea='ea', b=b)}")
-                event_call(-1, _u_int(rs1), _u_int(rs2), "ea")
+            event_call("ea")
         elif op in _FP_RR:
             emit(f"{ind}f[{rd}] = {_FP_RR[op].format(rs1=rs1, rs2=rs2)}")
-            event_call(16 + rd, 16 + rs1, 16 + rs2)
+            event_call()
         elif op in _FP_UNARY:
             emit(f"{ind}f[{rd}] = {_FP_UNARY[op].format(rs1=rs1)}")
-            event_call(16 + rd, 16 + rs1, -1)
+            event_call()
         elif op in _FP_CMP:
             if rd:
                 emit(f"{ind}r[{rd}] = "
                      f"{_FP_CMP[op].format(rs1=rs1, rs2=rs2)}")
-            event_call(_u_int(rd), 16 + rs1, 16 + rs2)
+            event_call()
         elif op == Op.FCVTIF:
             emit(f"{ind}f[{rd}] = float(s64({a}))")
-            event_call(16 + rd, _u_int(rs1), -1)
+            event_call()
         elif op == Op.FCVTFI:
             if rd:
                 emit(f"{ind}r[{rd}] = f2i(f[{rs1}])")
-            event_call(_u_int(rd), 16 + rs1, -1)
+            event_call()
         else:  # pragma: no cover - terminators never reach _gen_body
             raise AssertionError(f"unexpected body opcode {op!r}")
 
@@ -312,12 +405,11 @@ class Translator:
         rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
         a = f"r[{rs1}]" if rs1 else "0"
         b = f"r[{rs2}]" if rs2 else "0"
-        cls = _CLS[op]
+        cls, dst, s1, s2 = event_fields(instr)
         fall = (pc + 4) & MASK64
         emit = lines.append
 
-        def sink_line(dst: int, s1: int, s2: int, taken: int,
-                      target: str, indent: str) -> None:
+        def sink_line(taken: int, target: str, indent: str) -> None:
             if event:
                 emit(f"{indent}sink({pc}, {cls}, {dst}, {s1}, {s2}, 0, "
                      f"{taken}, {target})")
@@ -338,11 +430,10 @@ class Translator:
                 emit(f"{ind}return n")
                 return
             emit(f"{ind}if {cond}:")
-            sink_line(-1, _u_int(rs1), _u_int(rs2), 1, str(target),
-                      ind + "    ")
+            sink_line(1, str(target), ind + "    ")
             emit(f"{ind}    state.pc = {target}")
             emit(f"{ind}    return {length}")
-            sink_line(-1, _u_int(rs1), _u_int(rs2), 0, str(fall), ind)
+            sink_line(0, str(fall), ind)
             emit(f"{ind}state.pc = {fall}")
             emit(f"{ind}return {length}")
             return
@@ -350,7 +441,7 @@ class Translator:
             target = (pc + imm * 4) & MASK64
             if rd:
                 emit(f"{ind}r[{rd}] = {fall}")
-            sink_line(_u_int(rd), -1, -1, 1, str(target), ind)
+            sink_line(1, str(target), ind)
             emit(f"{ind}state.pc = {target}")
             emit(f"{ind}return {length}")
             return
@@ -358,7 +449,7 @@ class Translator:
             emit(f"{ind}t = ({a} + {imm}) & M & ~3")
             if rd:
                 emit(f"{ind}r[{rd}] = {fall}")
-            sink_line(_u_int(rd), _u_int(rs1), -1, 1, "t", ind)
+            sink_line(1, "t", ind)
             emit(f"{ind}state.pc = t")
             emit(f"{ind}return {length}")
             return
@@ -367,26 +458,26 @@ class Translator:
             emit(f"{ind}state.pc = {pc}")
             emit(f"{ind}state.block_progress = "
                  + progress.format(i=index))
-            sink_line(-1, -1, -1, 0, str(fall), ind)
+            sink_line(0, str(fall), ind)
             emit(f"{ind}raise {trap}({pc})")
             return
         if op == Op.HALT:
             emit(f"{ind}state.pc = {pc}")
             emit(f"{ind}state.halted = True")
-            sink_line(-1, -1, -1, 0, str(pc), ind)
+            sink_line(0, str(pc), ind)
             emit(f"{ind}return {length}")
             return
         if op == Op.RDCYCLE:
             if rd:
                 emit(f"{ind}r[{rd}] = state.cycles & M")
-            sink_line(_u_int(rd), -1, -1, 0, "0", ind)
+            sink_line(0, "0", ind)
             emit(f"{ind}state.pc = {fall}")
             emit(f"{ind}return {length}")
             return
         if op == Op.RDINSTR:
             if rd:
                 emit(f"{ind}r[{rd}] = (state.icount + {index}) & M")
-            sink_line(_u_int(rd), -1, -1, 0, "0", ind)
+            sink_line(0, "0", ind)
             emit(f"{ind}state.pc = {fall}")
             emit(f"{ind}return {length}")
             return
@@ -394,3 +485,124 @@ class Translator:
         self._gen_body(lines, ind, instr, pc, index, progress, event)
         emit(f"{ind}state.pc = {fall}")
         emit(f"{ind}return {length}")
+
+    # -- fused flavours (fast semantics + inlined timing updates) -------
+
+    def _generate_fused(self, pc0: int, instrs: List[Instr],
+                        codegen) -> str:
+        """One straight-line pass: semantics, then timing, per instruction.
+
+        Control flow mirrors the event flavour exactly — one event's
+        worth of timing per retired instruction, trap timing applied
+        before the trap raises, and the timing of a faulting memory
+        operation never applied (the event flavour's sink call sits after
+        the memory access).  All exits funnel through a single epilogue:
+        ``_n`` counts the instructions whose timing ran, faults are
+        re-raised after the timing state is written back.
+        """
+        length = len(instrs)
+        block = codegen.begin(pc0, instrs)
+        lines: List[str] = ["def _block(state, budget):",
+                            "    r = state.regs",
+                            "    f = state.fregs"]
+        for text in block.prologue(length):
+            lines.append("    " + text)
+        lines.append("    try:")
+        ind = "        "
+        for index, instr in enumerate(instrs[:-1]):
+            self._gen_body(lines, ind, instr, pc0 + index * 4, index,
+                           "{i}", False)
+            for text in block.instr(pc0 + index * 4, instr):
+                lines.append(ind + text)
+        self._gen_fused_terminator(lines, ind, instrs[-1],
+                                   pc0 + (length - 1) * 4, length - 1,
+                                   block)
+        lines.append("    except (SyscallTrap, BreakpointTrap) as _e2:")
+        lines.append("        _n = state.block_progress + 1")
+        lines.append("        _flt = _e2")
+        lines.append("    except GuestFault as _e2:")
+        lines.append("        _n = state.block_progress")
+        lines.append("        _flt = _e2")
+        for text in block.epilogue():
+            lines.append("    " + text)
+        lines.append("    if _flt is not None:")
+        lines.append("        raise _flt")
+        lines.append(f"    return {length}")
+        return "\n".join(lines) + "\n"
+
+    def _gen_fused_terminator(self, lines: List[str], ind: str,
+                              instr: Instr, pc: int, index: int,
+                              block) -> None:
+        op = instr.op
+        rd, rs1, imm = instr.rd, instr.rs1, instr.imm
+        a = f"r[{rs1}]" if rs1 else "0"
+        b = f"r[{instr.rs2}]" if instr.rs2 else "0"
+        fall = (pc + 4) & MASK64
+        emit = lines.append
+
+        if op in _BRANCH_COND:
+            cond = _BRANCH_COND[op].format(a=a, b=b)
+            target = (pc + imm * 4) & MASK64
+            # The pipeline stages don't depend on the branch outcome;
+            # only the front-end redirect does, so the arms carry just
+            # the control-flow part with taken/target constant-folded.
+            for text in block.branch_stages(pc, instr):
+                emit(ind + text)
+            emit(f"{ind}if {cond}:")
+            for text in block.branch_arm(pc, instr, True, str(target)):
+                emit(ind + "    " + text)
+            emit(f"{ind}    state.pc = {target}")
+            emit(f"{ind}else:")
+            for text in block.branch_arm(pc, instr, False, str(fall)):
+                emit(ind + "    " + text)
+            emit(f"{ind}    state.pc = {fall}")
+            return
+        if op == Op.JAL:
+            target = (pc + imm * 4) & MASK64
+            if rd:
+                emit(f"{ind}r[{rd}] = {fall}")
+            for text in block.jump(pc, instr, str(target)):
+                emit(ind + text)
+            emit(f"{ind}state.pc = {target}")
+            return
+        if op == Op.JALR:
+            emit(f"{ind}t = ({a} + {imm}) & M & ~3")
+            if rd:
+                emit(f"{ind}r[{rd}] = {fall}")
+            for text in block.jump(pc, instr, "t"):
+                emit(ind + text)
+            emit(f"{ind}state.pc = t")
+            return
+        if op in (Op.ECALL, Op.EBREAK):
+            trap = "SyscallTrap" if op == Op.ECALL else "BreakpointTrap"
+            emit(f"{ind}state.pc = {pc}")
+            emit(f"{ind}state.block_progress = {index}")
+            for text in block.system(pc, instr):
+                emit(ind + text)
+            emit(f"{ind}raise {trap}({pc})")
+            return
+        if op == Op.HALT:
+            emit(f"{ind}state.pc = {pc}")
+            emit(f"{ind}state.halted = True")
+            for text in block.system(pc, instr):
+                emit(ind + text)
+            return
+        if op == Op.RDCYCLE:
+            if rd:
+                emit(f"{ind}r[{rd}] = state.cycles & M")
+            for text in block.system(pc, instr):
+                emit(ind + text)
+            emit(f"{ind}state.pc = {fall}")
+            return
+        if op == Op.RDINSTR:
+            if rd:
+                emit(f"{ind}r[{rd}] = (state.icount + {index}) & M")
+            for text in block.system(pc, instr):
+                emit(ind + text)
+            emit(f"{ind}state.pc = {fall}")
+            return
+        # Block ended by MAX_BLOCK or a page edge: plain fallthrough.
+        self._gen_body(lines, ind, instr, pc, index, "{i}", False)
+        for text in block.instr(pc, instr):
+            emit(ind + text)
+        emit(f"{ind}state.pc = {fall}")

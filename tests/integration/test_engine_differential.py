@@ -1,0 +1,122 @@
+"""Deep-state differential: the three event-mode engines co-simulated.
+
+Runs the same benchmark through an aggressive mode-interleaving
+schedule (including one-instruction intervals, the hardest case for
+dispatch-boundary bookkeeping) on each engine and compares the
+*complete* observable state at the end: architectural registers,
+icount, every pipeline ring of the out-of-order core, branch
+predictor tables, every cache/TLB set and counter, the warming sink,
+and the full VM statistics snapshot.
+
+This intentionally reaches into private attributes — it is the
+equivalence harness for the fast path, and any representational
+drift between engines should fail loudly here.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sampling import SimulationController
+from repro.timing import TimingConfig
+from repro.workloads import SUITE_MACHINE_KWARGS, load_benchmark
+
+ENGINES = ("fused", "event", "interp")
+
+#: aggressive interleaving, deliberately including 1-instruction
+#: intervals and mode switches at non-block boundaries
+SCHEDULE = (
+    ("fast", 3000), ("warming", 700), ("timed", 900),
+    ("fast", 1), ("timed", 1), ("warming", 3),
+    ("profile", 500), ("timed", 2500), ("warming", 1200),
+    ("fast", 7000), ("timed", 333), ("warming", 77),
+    ("timed", 5000), ("fast", 8000), ("warming", 2000),
+    ("timed", 4000),
+)
+
+
+def make(bench, engine):
+    config = dataclasses.replace(TimingConfig.small(),
+                                 fast_path=engine == "fused")
+    controller = SimulationController(
+        load_benchmark(bench, size="tiny"),
+        timing_config=config,
+        machine_kwargs=SUITE_MACHINE_KWARGS)
+    if engine == "interp":
+        controller.machine.fast_path = False  # REPRO_SLOW_PATH=1
+    return controller
+
+
+def rot(ring, pos):
+    return tuple(ring[pos:] + ring[:pos])
+
+
+def deep_state(controller):
+    core = controller.core
+    hierarchy = core.hierarchy
+    branch = core.branch
+    return {
+        "regs": tuple(controller.machine.state.regs),
+        "pc": controller.machine.state.pc,
+        "icount": controller.machine.state.icount,
+        "halted": controller.machine.state.halted,
+        "reg_ready": tuple(core.reg_ready),
+        "fetch": rot(core._fetch_ring, core._fetch_pos),
+        "disp": rot(core._disp_ring, core._disp_pos),
+        "ret": rot(core._ret_ring, core._ret_pos),
+        "fq": rot(core._fq_ring, core._fq_pos),
+        "rob": rot(core._rob_ring, core._rob_pos),
+        "ld": rot(core._ld_ring, core._ld_pos),
+        "st": rot(core._st_ring, core._st_pos),
+        "fu_int": tuple(core._fu_by_class[0]),
+        "fu_mem": tuple(core._fu_by_class[3]),
+        "fu_fp": tuple(core._fu_by_class[7]),
+        "stream": core._stream_cycle,
+        "last_line": core._last_line,
+        "prev_fetch": core._prev_fetch,
+        "prev_dispatch": core._prev_dispatch,
+        "prev_retire": core._prev_retire,
+        "retired": core.retired,
+        "last_retire_cycle": core.last_retire_cycle,
+        "gshare": tuple(branch.gshare.table),
+        "ghist": branch.gshare.history,
+        "btb_tags": tuple(branch.btb.tags),
+        "btb_targets": tuple(branch.btb.targets),
+        "ras": (tuple(branch.ras.stack), branch.ras.top,
+                branch.ras.depth),
+        "branch_stats": (branch.branches, branch.mispredicts,
+                         branch.btb_misses),
+        "caches": tuple(
+            (unit.name, tuple(map(tuple, unit.sets)),
+             unit.hits, unit.misses)
+            for unit in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2,
+                         hierarchy.itlb, hierarchy.dtlb,
+                         hierarchy.l2tlb)),
+        "warming": (controller.warming_sink._last_line,
+                    controller.warming_sink.instructions),
+        "vm_stats": tuple(sorted(
+            controller.machine.stats.snapshot().items())),
+    }
+
+
+def drive(controller):
+    for mode, count in SCHEDULE * 2:
+        if controller.finished:
+            break
+        getattr(controller, "run_" + mode)(count)
+
+
+@pytest.mark.parametrize("bench", ("gzip", "crafty"))
+@pytest.mark.parametrize("engine", ("event", "interp"))
+def test_engines_bit_identical(bench, engine):
+    reference = make(bench, "fused")
+    drive(reference)
+    expected = deep_state(reference)
+
+    other = make(bench, engine)
+    drive(other)
+    actual = deep_state(other)
+
+    mismatched = [key for key in expected if expected[key] != actual[key]]
+    assert not mismatched, \
+        f"fused vs {engine} diverged on {bench}: {mismatched}"

@@ -1,0 +1,97 @@
+"""Fast-path / slow-path equivalence across full sampling policies.
+
+The hot-path engine's oracle contract: every sampling policy must make
+bit-identical decisions and report bit-identical results whichever
+event-mode engine executes the guest —
+
+* ``fused``  — tier-promoted superblocks with the timing model
+  compiled into the translated block (``TimingConfig.fast_path``);
+* ``event``  — per-instruction sink dispatch through translated
+  blocks (``fast_path=False`` in the timing config);
+* ``interp`` — the per-instruction interpreter oracle, the engine
+  ``REPRO_SLOW_PATH=1`` selects (``machine.fast_path = False``).
+
+Equality is checked on IPC (exact), the full VM-stat snapshot (the
+monitored CPU/EXC/IO streams Algorithm 1 thresholds against), the
+mode breakdown, and the complete sampling-decision timeline captured
+through the observability layer.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.harness.experiments import policy_factory
+from repro.sampling import SimulationController
+from repro.timing import TimingConfig
+from repro.workloads import SUITE_MACHINE_KWARGS, load_benchmark
+
+POLICIES = ("full", "smarts", "simpoint",
+            "CPU-300-1M-inf", "EXC-300-1M-10")
+
+ENGINES = ("fused", "event", "interp")
+
+_memo = {}
+
+
+def run_policy_on_engine(policy_key, engine, bench="gzip"):
+    """One (policy, engine) cell: result + deterministic decision log."""
+    key = (policy_key, engine, bench)
+    if key in _memo:
+        return _memo[key]
+    sink = obs.RingBufferSink(capacity=200_000)
+    config = dataclasses.replace(TimingConfig.small(),
+                                 fast_path=engine == "fused")
+    controller = SimulationController(
+        load_benchmark(bench, size="tiny"),
+        timing_config=config,
+        machine_kwargs=SUITE_MACHINE_KWARGS,
+        tracer=obs.Tracer(sink))
+    if engine == "interp":
+        # the switch REPRO_SLOW_PATH=1 flips at startup: event-mode
+        # execution reverts to the per-instruction interpreter oracle
+        controller.machine.fast_path = False
+    result = policy_factory(policy_key)().run(controller)
+    decisions = [{k: v for k, v in record.items() if k != "ts"}
+                 for record in obs.decision_timeline(sink.events)]
+    _memo[key] = (result, decisions)
+    return _memo[key]
+
+
+@pytest.mark.parametrize("engine", ("event", "interp"))
+@pytest.mark.parametrize("policy_key", POLICIES)
+def test_policy_parity(policy_key, engine):
+    fast_result, fast_decisions = run_policy_on_engine(policy_key, "fused")
+    slow_result, slow_decisions = run_policy_on_engine(policy_key, engine)
+
+    assert abs(fast_result.ipc - slow_result.ipc) < 1e-9
+    assert fast_result.total_instructions == slow_result.total_instructions
+    assert fast_result.timed_intervals == slow_result.timed_intervals
+    for mode in ("fast", "profile", "warming", "timed"):
+        attr = mode + "_instructions"
+        assert getattr(fast_result, attr) == getattr(slow_result, attr), \
+            f"{attr} differs on {policy_key} vs {engine}"
+    # the full counter snapshot: instruction accounting per engine tier,
+    # exceptions by kind, I/O operations, code-cache invalidations —
+    # the monitored streams the dynamic sampler thresholds against
+    assert fast_result.extra["vm_stats"] == slow_result.extra["vm_stats"]
+
+
+@pytest.mark.parametrize("engine", ("event", "interp"))
+@pytest.mark.parametrize("policy_key", POLICIES)
+def test_decision_timeline_parity(policy_key, engine):
+    # identical per-interval decisions: same icounts, same thresholds,
+    # same deltas and relative changes, same fired/forced verdicts
+    _, fast_decisions = run_policy_on_engine(policy_key, "fused")
+    _, slow_decisions = run_policy_on_engine(policy_key, engine)
+    assert fast_decisions == slow_decisions
+
+
+def test_oracle_switch_changes_engine_not_results():
+    # sanity: the three engines really take different execution paths
+    # (fused promotes superblocks; the oracle translates nothing extra)
+    fast_result, _ = run_policy_on_engine("EXC-300-1M-10", "fused")
+    slow_result, _ = run_policy_on_engine("EXC-300-1M-10", "interp")
+    assert fast_result.extra["vm_stats"] == slow_result.extra["vm_stats"]
+    assert fast_result.ipc == pytest.approx(slow_result.ipc, abs=1e-12)

@@ -1,0 +1,167 @@
+"""Superblock invalidation parity: fast path vs the slow-path oracle.
+
+Self-modifying code and wholesale code-page invalidation must bump the
+CPU-monitored vmstat (code-cache invalidations — the "CPU" stream
+Algorithm 1 thresholds against) *identically* whichever event-mode
+engine executes the guest:
+
+* ``fused``  — tier-promoted superblocks (``register_fast_sink``);
+* ``event``  — per-instruction sink dispatch over translated blocks;
+* ``interp`` — the per-instruction interpreter oracle, what
+  ``REPRO_SLOW_PATH=1`` selects (``machine.fast_path = False``).
+
+Only the architectural fast cache feeds the monitored statistic; the
+event/fused caches are host state.  The drives below interleave fast
+and event modes the way the sampling controller does, so the fast
+cache is populated and its invalidations are observable.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.kernel import boot
+from repro.mem import PAGE_SHIFT
+from repro.timing import OutOfOrderCore, TimingConfig
+from repro.timing.codegen import TimedBlockCodegen
+from repro.vm import MODE_EVENT, MODE_FAST
+
+ENGINES = ("fused", "event", "interp")
+
+
+def _patch_word(text):
+    return int.from_bytes(assemble(text).segments[0].data[:4], "little")
+
+
+#: patches the instruction at ``patch`` (in a *different* block than
+#: the store) back and forth between ``ldi t2, 1`` and ``ldi t2, 2``,
+#: re-executing it after every write; t2 values accumulate in s2
+SMC_SOURCE = f"""
+_start:
+    li s0, 0
+    li s1, 6
+    li s2, 0
+loop:
+    jal ra, run_patch
+    add s2, s2, t2
+    la t0, patch
+    la t4, alt
+    lw t1, 0(t0)
+    lw t5, 0(t4)
+    sw t5, 0(t0)
+    sw t1, 0(t4)
+    addi s0, s0, 1
+    blt s0, s1, loop
+    mv t3, s2
+    li t7, 0
+    li t0, 0
+    ecall
+run_patch:
+patch:
+    ldi t2, 1
+    ret
+alt:
+    .quad {_patch_word("ldi t2, 2")}
+"""
+
+
+def drive_mixed(source, engine, chunk=300, **boot_kwargs):
+    """Alternate fast and event mode to completion, like the controller.
+
+    Returns ``(system, core)`` after the guest exits.
+    """
+    system = boot(assemble(source), **boot_kwargs)
+    machine = system.machine
+    core = OutOfOrderCore(TimingConfig.small())
+    if engine == "fused":
+        machine.register_fast_sink(core, TimedBlockCodegen(core))
+        machine.fast_promote_threshold = 0  # superblocks from dispatch 1
+    elif engine == "interp":
+        machine.fast_path = False  # what REPRO_SLOW_PATH=1 sets
+    for _ in range(10_000):
+        if machine.state.halted:
+            break
+        system.run(chunk, mode=MODE_FAST)
+        if machine.state.halted:
+            break
+        system.run(chunk, mode=MODE_EVENT, sink=core)
+    assert machine.state.halted, "guest did not finish"
+    return system, core
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_smc_reexecutes_patched_code(engine):
+    system, _ = drive_mixed(SMC_SOURCE, engine)
+    # t2 alternates 1, 2, 1, 2, 1, 2 across the six patch rounds
+    assert system.machine.state.regs[4] == 9
+    assert system.machine.stats.monitored("CPU") > 0
+
+
+def test_smc_invalidations_identical_across_engines():
+    snapshots = {}
+    for engine in ENGINES:
+        system, _ = drive_mixed(SMC_SOURCE, engine)
+        snapshots[engine] = system.machine.stats.snapshot()
+    assert snapshots["fused"] == snapshots["event"]
+    assert snapshots["fused"] == snapshots["interp"]
+    assert snapshots["fused"]["code_cache_invalidations"] > 0
+
+
+def test_capacity_evictions_identical_across_engines():
+    # more hot blocks than the architectural cache holds: evictions
+    # count as invalidations and must not depend on the engine
+    chunks = []
+    for i in range(40):
+        chunks.append(f"b{i}:\n    addi t0, t0, 1\n    jal zero, b{i + 1}")
+    chunks.append("b40:\n    li t7, 0\n    li t0, 0\n    ecall")
+    source = "_start:\n" + "\n".join(chunks)
+    counts = {}
+    for engine in ENGINES:
+        system, _ = drive_mixed(source, engine, chunk=20,
+                                code_cache_capacity=8)
+        counts[engine] = system.machine.stats.snapshot()
+    assert counts["fused"] == counts["event"] == counts["interp"]
+    assert counts["fused"]["code_cache_invalidations"] > 0
+
+
+def test_slow_path_env_switch(monkeypatch):
+    monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+    assert boot(assemble("halt")).machine.fast_path is False
+    monkeypatch.delenv("REPRO_SLOW_PATH")
+    assert boot(assemble("halt")).machine.fast_path is True
+    monkeypatch.setenv("REPRO_SLOW_PATH", "0")
+    assert boot(assemble("halt")).machine.fast_path is True
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_explicit_code_page_invalidation(engine):
+    # wholesale invalidation (munmap / checkpoint restore): dropping a
+    # populated code page counts once per resident translation and the
+    # re-run re-translates; identical across engines
+    source = """
+    _start:
+        li s0, 0
+        li s1, 400
+    loop:
+        addi s0, s0, 1
+        blt s0, s1, loop
+        li t7, 0
+        li t0, 0
+        ecall
+    """
+    system = boot(assemble(source))
+    machine = system.machine
+    core = OutOfOrderCore(TimingConfig.small())
+    if engine == "fused":
+        machine.register_fast_sink(core, TimedBlockCodegen(core))
+        machine.fast_promote_threshold = 0
+    elif engine == "interp":
+        machine.fast_path = False
+    system.run(200, mode=MODE_FAST)
+    system.run(200, mode=MODE_EVENT, sink=core)
+    before = machine.stats.code_cache_invalidations
+    machine.invalidate_code_page(machine.state.pc >> PAGE_SHIFT)
+    bumped = machine.stats.code_cache_invalidations - before
+    assert bumped > 0
+    system.run(10_000, mode=MODE_EVENT, sink=core)
+    assert machine.state.halted
+    assert machine.state.regs[9] == 400

@@ -1,0 +1,136 @@
+"""Tiered promotion and the process-wide compiled-code cache.
+
+The hot-path engine compiles a superblock's fused flavour only after
+the block has proven hot (``fast_promote_threshold`` dispatches in the
+cheap event flavour), and memoises compiled code process-wide keyed by
+the translation inputs so a sweep booting many machines over the same
+workload compiles each distinct block once.
+"""
+
+from repro.isa import assemble
+from repro.kernel import boot
+from repro.mem import PAGE_SHIFT
+from repro.timing import OutOfOrderCore, TimingConfig
+from repro.timing.codegen import TimedBlockCodegen
+from repro.vm import MODE_EVENT, MODE_FAST
+from repro.vm import translator as translator_module
+
+LOOP_SOURCE = """
+_start:
+    li s0, 0
+    li s1, 2000
+loop:
+    addi s0, s0, 1
+    blt s0, s1, loop
+    halt
+"""
+
+
+def fused_machine(threshold):
+    system = boot(assemble(LOOP_SOURCE))
+    machine = system.machine
+    core = OutOfOrderCore(TimingConfig.small())
+    machine.register_fast_sink(core, TimedBlockCodegen(core))
+    machine.fast_promote_threshold = threshold
+    return system, machine, core
+
+
+# ----------------------------------------------------------------------
+# tiered promotion
+
+
+def test_cold_blocks_stay_in_event_tier_below_threshold():
+    system, machine, core = fused_machine(threshold=1000)
+    system.run(200, mode=MODE_EVENT, sink=core)
+    _sink, _codegen, cache, counts = machine._fast_bindings[id(core)]
+    assert len(cache) == 0  # nothing promoted yet
+    assert counts  # dispatch counts accumulating
+    assert len(machine.event_cache) > 0  # tier-0 translations exist
+
+
+def test_hot_blocks_promote_past_threshold():
+    system, machine, core = fused_machine(threshold=4)
+    system.run(2000, mode=MODE_EVENT, sink=core)
+    _sink, _codegen, cache, counts = machine._fast_bindings[id(core)]
+    assert len(cache) > 0  # the hot loop block was promoted
+    # promoted blocks no longer carry a pending count
+    assert all(pc not in counts for pc in cache._blocks)
+
+
+def test_threshold_zero_promotes_immediately():
+    system, machine, core = fused_machine(threshold=0)
+    system.run(200, mode=MODE_EVENT, sink=core)
+    _sink, _codegen, cache, counts = machine._fast_bindings[id(core)]
+    assert len(cache) > 0
+    assert not counts
+    assert len(machine.event_cache) == 0  # tier 0 never used
+
+
+def test_invalidation_drops_fused_entry_and_reexecution_recovers():
+    system, machine, core = fused_machine(threshold=0)
+    system.run(400, mode=MODE_EVENT, sink=core)
+    _sink, _codegen, cache, _counts = machine._fast_bindings[id(core)]
+    assert len(cache) > 0
+    pc = next(iter(cache._blocks))
+    machine.invalidate_code_page(pc >> PAGE_SHIFT)
+    assert pc not in cache._blocks
+    # execution continues correctly and re-promotes
+    system.run(100_000, mode=MODE_EVENT, sink=core)
+    assert machine.state.halted
+    assert machine.state.regs[9] == 2000
+
+
+# ----------------------------------------------------------------------
+# process-wide compiled-code cache
+
+
+def test_identical_machines_share_compiled_code(monkeypatch):
+    monkeypatch.setattr(translator_module, "_CODE_CACHE", {})
+    host_cache = translator_module._CODE_CACHE
+
+    def run_one():
+        system, machine, core = fused_machine(threshold=0)
+        system.run(2000, mode=MODE_EVENT, sink=core)
+        return machine
+
+    run_one()
+    compiled_once = len(host_cache)
+    assert compiled_once > 0
+    machine = run_one()
+    # the second machine re-translated (fresh per-machine caches) but
+    # compiled nothing new: every block was served from the host cache
+    assert len(host_cache) == compiled_once
+    assert machine.stats.instructions_event > 0
+
+
+def test_last_source_accurate_on_cache_hits(monkeypatch):
+    monkeypatch.setattr(translator_module, "_CODE_CACHE", {})
+    first = boot(assemble(LOOP_SOURCE)).machine
+    second = boot(assemble(LOOP_SOURCE)).machine
+    pc = first.state.pc
+    from repro.vm.translator import FLAVOR_EVENT
+    first.translator.translate(pc, FLAVOR_EVENT, None)
+    miss_source = first.translator.last_source
+    second.translator.translate(pc, FLAVOR_EVENT, None)
+    assert second.translator.last_source == miss_source
+    assert miss_source  # non-empty generated code
+
+
+def test_codegen_cache_keys_isolate_configs():
+    import dataclasses
+    small = TimedBlockCodegen(OutOfOrderCore(TimingConfig.small()))
+    other_config = dataclasses.replace(TimingConfig.small(),
+                                       issue_width=1)
+    other = TimedBlockCodegen(OutOfOrderCore(other_config))
+    # different core parameters -> different host-cache keys: a block
+    # compiled for one configuration can never serve another
+    assert small.cache_key != other.cache_key
+    assert small.cache_key[0] == "fused-timed"  # flavour in the key too
+
+
+def test_host_cache_capacity_clears_not_grows(monkeypatch):
+    monkeypatch.setattr(translator_module, "_CODE_CACHE", {})
+    monkeypatch.setattr(translator_module, "_CODE_CACHE_CAPACITY", 2)
+    system = boot(assemble(LOOP_SOURCE))
+    system.run_to_completion(mode=MODE_FAST)
+    assert len(translator_module._CODE_CACHE) <= 2
