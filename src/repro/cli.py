@@ -27,13 +27,18 @@ Commands
 ``figure NAME``
     Regenerate one of the paper's tables/figures (table1, table2,
     fig2, fig4, fig5, fig6, fig7, fig8, fig9).
-``bench [--size S[,S]] [--benchmarks a,b] [--check] [--update-baseline]
-[--baseline FILE] [--out FILE] [--tolerance F] [--json]``
-    Hot-path throughput benchmark: fused fast path vs the
-    ``REPRO_SLOW_PATH=1`` interpreter oracle, per mode and suite size.
-    ``--check`` compares speedup ratios against the committed
-    ``benchmarks/BENCH_hotpath.json`` and fails on a >25% regression
-    (the CI perf gate); ``--update-baseline`` rewrites that file.
+``bench [--suite hotpath|checkpoint] [--size S[,S]] [--benchmarks a,b]
+[--check] [--update-baseline] [--baseline FILE] [--out FILE]
+[--tolerance F] [--json]``
+    Performance benchmarks backing the CI perf gates.  ``hotpath``
+    (default): fused fast path vs the ``REPRO_SLOW_PATH=1``
+    interpreter oracle, per mode and suite size, gated against
+    ``benchmarks/BENCH_hotpath.json``.  ``checkpoint``: warm-vs-cold
+    checkpoint-store wall clock of the SimPoint policies, gated
+    against ``benchmarks/BENCH_checkpoint.json`` (absolute floors:
+    restore-policy geomean speedup and delta-snapshot ratio).
+    ``--check`` fails on a >25% ratio regression vs the committed
+    baseline; ``--update-baseline`` rewrites that file.
 ``exec FILE.s``
     Assemble a Z64 source file, run it on the VM, print its console
     output and exit code.
@@ -218,10 +223,16 @@ def _cmd_suite(args) -> int:
               file=sys.stderr)
 
     served = sum(1 for outcome in outcomes.values() if outcome.cached)
+    restored = sum(
+        (outcome.result.extra.get("checkpoints") or {}).get("restores", 0)
+        for outcome in outcomes.values()
+        if outcome.result is not None and outcome.result.extra)
     if not args.json:
-        # parseable resume evidence (CI greps this line to prove the
-        # second invocation was served from the result store)
+        # parseable resume evidence (CI greps these lines to prove the
+        # second invocation was served from the result store and that a
+        # forced re-run fast-forwarded via the checkpoint ladder)
         print(f"served-from-store: {served}/{len(outcomes)}")
+        print(f"restored-from-checkpoint: {restored}")
 
     errors = []
     full_seconds = 0.0
@@ -252,6 +263,7 @@ def _cmd_suite(args) -> int:
             "mean_error": mean_error,
             "speedup": suite_speedup,
             "served_from_store": served,
+            "restored_from_checkpoint": restored,
             "jobs_total": len(outcomes),
         }, indent=2))
         return 0
@@ -307,30 +319,41 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.harness import hotpath
-    sizes = [size for size in args.size.split(",") if size]
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else None)
-    payload = hotpath.run_bench(sizes=sizes, benchmarks=benchmarks)
+    if args.suite == "checkpoint":
+        from repro.harness import checkpointbench as module
+        size = args.size or module.DEFAULT_SIZE
+        baseline_path = args.baseline or module.DEFAULT_BASELINE
+        payload = module.run_bench(benchmarks=benchmarks,
+                                   size=size.split(",")[0],
+                                   repeats=args.repeats
+                                   or module.DEFAULT_REPEATS)
+    else:
+        from repro.harness import hotpath as module
+        sizes = [size for size in (args.size or "tiny").split(",")
+                 if size]
+        baseline_path = args.baseline or module.DEFAULT_BASELINE
+        payload = module.run_bench(sizes=sizes, benchmarks=benchmarks)
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        print(hotpath.format_table(payload))
+        print(module.format_table(payload))
     if args.out:
-        hotpath.write_baseline(payload, args.out)
+        module.write_baseline(payload, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
     if args.update_baseline:
-        hotpath.write_baseline(payload, args.baseline)
-        print(f"baseline updated: {args.baseline}", file=sys.stderr)
+        module.write_baseline(payload, baseline_path)
+        print(f"baseline updated: {baseline_path}", file=sys.stderr)
         return 0
     if args.check:
         try:
-            baseline = hotpath.load_baseline(args.baseline)
+            baseline = module.load_baseline(baseline_path)
         except FileNotFoundError:
-            print(f"no baseline at {args.baseline}; run with "
+            print(f"no baseline at {baseline_path}; run with "
                   "--update-baseline first", file=sys.stderr)
             return 2
-        problems = hotpath.compare_to_baseline(
+        problems = module.compare_to_baseline(
             payload, baseline, tolerance=args.tolerance)
         if problems:
             print("perf gate FAILED:", file=sys.stderr)
@@ -420,22 +443,32 @@ def main(argv=None) -> int:
                                               "guest program")
     exec_parser.add_argument("file")
 
-    bench_parser = sub.add_parser("bench", help="hot-path throughput "
-                                                "benchmark / perf gate")
-    bench_parser.add_argument("--size", default="tiny",
-                              help="comma-separated suite sizes "
-                                   "(default: tiny)")
+    bench_parser = sub.add_parser("bench", help="perf benchmarks / "
+                                                "CI perf gates")
+    bench_parser.add_argument("--suite", default="hotpath",
+                              choices=("hotpath", "checkpoint"),
+                              help="hotpath: fused fast path vs "
+                                   "interpreter oracle; checkpoint: "
+                                   "warm vs cold checkpoint store")
+    bench_parser.add_argument("--size", default="",
+                              help="suite size(s); default tiny "
+                                   "(hotpath, comma-separated) or "
+                                   "paper (checkpoint)")
     bench_parser.add_argument("--benchmarks", default="",
                               help="comma-separated benchmark subset")
+    bench_parser.add_argument("--repeats", type=int, default=None,
+                              help="checkpoint suite: probes per "
+                                   "cell (best-of-N)")
     bench_parser.add_argument("--check", action="store_true",
                               help="compare against the committed "
                                    "baseline; exit 1 on regression")
     bench_parser.add_argument("--update-baseline", action="store_true",
                               help="rewrite the committed baseline "
                                    "from this run")
-    bench_parser.add_argument("--baseline",
-                              default="benchmarks/BENCH_hotpath.json",
-                              help="baseline JSON path")
+    bench_parser.add_argument("--baseline", default="",
+                              help="baseline JSON path (default: the "
+                                   "suite's committed benchmarks/ "
+                                   "file)")
     bench_parser.add_argument("--out", default="",
                               help="also write this run's payload here")
     bench_parser.add_argument("--tolerance", type=float, default=0.25,

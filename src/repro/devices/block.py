@@ -80,6 +80,30 @@ class BlockDevice(Device):
         self.sectors_transferred += count
 
     # ------------------------------------------------------------------
+    # checkpoint hooks
+
+    def snapshot(self) -> dict:
+        """Full device state (sparse sectors + MMIO registers)."""
+        return {
+            "sectors": {lba: bytes(data)
+                        for lba, data in sorted(self._sectors.items())},
+            "sectors_transferred": self.sectors_transferred,
+            "lba": self._lba,
+            "count": self._count,
+            "buffer_off": self._buffer_off,
+            "staging": bytes(self._staging),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._sectors = {lba: bytearray(data)
+                         for lba, data in snap["sectors"].items()}
+        self.sectors_transferred = snap["sectors_transferred"]
+        self._lba = snap["lba"]
+        self._count = snap["count"]
+        self._buffer_off = snap["buffer_off"]
+        self._staging = bytearray(snap["staging"])
+
+    # ------------------------------------------------------------------
     # MMIO
 
     def mmio_read(self, offset: int, size: int) -> int:

@@ -52,6 +52,17 @@ class ConsoleDevice(Device):
         return bytes(out)
 
     # ------------------------------------------------------------------
+    # checkpoint hooks
+
+    def snapshot(self) -> dict:
+        """Full device state as plain data (checkpointing)."""
+        return {"output": bytes(self.output), "input": bytes(self._input)}
+
+    def restore(self, snap: dict) -> None:
+        self.output = bytearray(snap["output"])
+        self._input = deque(snap["input"])
+
+    # ------------------------------------------------------------------
     # MMIO
 
     def mmio_read(self, offset: int, size: int) -> int:

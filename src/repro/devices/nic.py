@@ -58,6 +58,25 @@ class NicDevice(Device):
         return packet[:max_size]
 
     # ------------------------------------------------------------------
+    # checkpoint hooks (``peer`` is wiring, not state)
+
+    def snapshot(self) -> dict:
+        return {
+            "rx_queue": [bytes(packet) for packet in self.rx_queue],
+            "packets_sent": self.packets_sent,
+            "packets_received": self.packets_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.rx_queue = deque(snap["rx_queue"])
+        self.packets_sent = snap["packets_sent"]
+        self.packets_received = snap["packets_received"]
+        self.bytes_sent = snap["bytes_sent"]
+        self.bytes_received = snap["bytes_received"]
+
+    # ------------------------------------------------------------------
     # MMIO (status only; data moves via syscalls)
 
     def mmio_read(self, offset: int, size: int) -> int:

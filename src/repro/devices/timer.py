@@ -49,6 +49,23 @@ class TimerDevice(Device):
                 self.machine.post_interrupt(IRQ_TIMER)
 
     # ------------------------------------------------------------------
+    # checkpoint hooks (``machine`` is wiring, not state)
+
+    def snapshot(self) -> dict:
+        return {
+            "now": self.now,
+            "deadline": self.deadline,
+            "enabled": self.enabled,
+            "interrupts_posted": self.interrupts_posted,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.now = snap["now"]
+        self.deadline = snap["deadline"]
+        self.enabled = snap["enabled"]
+        self.interrupts_posted = snap["interrupts_posted"]
+
+    # ------------------------------------------------------------------
     # MMIO
 
     def mmio_read(self, offset: int, size: int) -> int:

@@ -30,6 +30,8 @@ Quick start::
 
 from .backends import (ExecutionBackend, ProcessPoolBackend,
                        SerialBackend, multiprocessing_available)
+from .ckptstore import (CKPT_DIR_NAME, CheckpointLadder,
+                        CheckpointStore, program_fingerprint, rung_key)
 from .engine import (ExperimentEngine, ExperimentError, default_jobs,
                      failed_jobs, format_failure_summary,
                      merge_job_events)
@@ -48,4 +50,6 @@ __all__ = [
     "ExperimentEngine", "ExperimentError", "default_jobs",
     "failed_jobs", "format_failure_summary", "merge_job_events",
     "execute_spec",
+    "CKPT_DIR_NAME", "CheckpointStore", "CheckpointLadder",
+    "program_fingerprint", "rung_key",
 ]

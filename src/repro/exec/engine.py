@@ -182,6 +182,12 @@ class ExperimentEngine:
 
     def _prepare(self, specs: Iterable[JobSpec]) -> List[JobSpec]:
         unique = list({spec.key: spec for spec in specs}.values())
+        from .ckptstore import CKPT_DIR_NAME
+        checkpoint_root = str(self.store.root.parent / CKPT_DIR_NAME)
+        unique = [
+            spec if spec.checkpoint_root else replace(
+                spec, checkpoint_root=checkpoint_root)
+            for spec in unique]
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
             unique = [

@@ -29,7 +29,8 @@ __all__ = [
 ]
 
 #: bump to invalidate cached results when result semantics change
-CACHE_VERSION = 1
+#: (v2: checkpoint-aware runs — volatile "checkpoints" extra added)
+CACHE_VERSION = 2
 
 
 def config_fingerprint(timing_config=None, machine_kwargs=None) -> str:
@@ -73,6 +74,11 @@ class JobSpec:
     #: per-job JSONL trace target; set by the engine when a trace
     #: directory is requested.  Not part of the result-store key.
     events_path: str = ""
+    #: checkpoint-store root enabling fast-forward acceleration; set by
+    #: the engine (beside its result store).  Host acceleration only —
+    #: results are identical with or without it, so like ``events_path``
+    #: it is not part of the result-store key.
+    checkpoint_root: str = ""
 
     @property
     def key(self) -> str:

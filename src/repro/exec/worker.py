@@ -42,6 +42,17 @@ def execute_spec(spec: JobSpec, tracer=None) -> PolicyResult:
         controller = SimulationController(
             workload, timing_config=TimingConfig.small(),
             machine_kwargs=SUITE_MACHINE_KWARGS, tracer=tracer)
+        if spec.checkpoint_root:
+            from repro.sampling.controller import checkpoints_enabled
+            if checkpoints_enabled():
+                from repro.exec.ckptstore import (CheckpointLadder,
+                                                  CheckpointStore,
+                                                  program_fingerprint)
+                from repro.exec.spec import config_fingerprint
+                controller.attach_checkpoints(CheckpointLadder(
+                    CheckpointStore(spec.checkpoint_root),
+                    program_fingerprint(workload),
+                    config_fingerprint(None, SUITE_MACHINE_KWARGS)))
         result = policy_factory(spec.policy)().run(controller)
     finally:
         if owned_tracer is not None:

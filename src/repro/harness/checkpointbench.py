@@ -1,0 +1,287 @@
+"""Checkpoint-store benchmark: warm-vs-cold sweep wall clock.
+
+Runs a sweep of SimPoint policies twice against one on-disk checkpoint
+store — first *cold* (fresh store: every job profiles, fast-forwards
+and publishes), then *warm* (the same jobs consume the ladder: profile
+and selection artifacts hit, fast-forward gaps restore) — and reports
+the per-job wall-clock speedup.  Results are bit-identical between the
+two passes (the parity tests enforce it); only host time changes, which
+is exactly the claim the committed ``BENCH_checkpoint.json`` baseline
+and the CI perf gate guard:
+
+* ``speedup_geomean`` — warm-vs-cold geomean of the checkpoint-restore
+  policy (``simpoint-ckpt``), gated against an absolute floor;
+* ``delta_ratio_max`` — worst-case chained-delta snapshot bytes over
+  full-image bytes, gated against an absolute ceiling.
+
+Every measurement runs in a fresh subprocess so the only state carried
+from cold to warm is the on-disk store: the process-wide compiled-code
+cache (:mod:`repro.vm.translator`) never leaks between passes.  The
+speedups are ratios of identical deterministic work on the same host,
+so — like the hot-path gate — the CI comparison is host-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+SCHEMA_VERSION = 1
+
+#: benchmarks × policies of the sweep.  The benchmarks are the
+#: quick-suite members whose preparation phase (profile + fast-forward)
+#: dominates at the ``paper`` size — the regime the paper's SimPoint
+#: cost model assumes (checkpoint restore instead of replay); gzip and
+#: perlbmk are excluded because their cluster counts make the detailed
+#: pass (which checkpoints can never skip) the bulk of even a warm run.
+DEFAULT_BENCHMARKS = ("mcf", "crafty", "swim", "art", "sixtrack", "gcc")
+DEFAULT_POLICIES = ("simpoint", "simpoint-ckpt")
+
+#: the policy whose warm runs restore ladder rungs end to end; the
+#: headline ``speedup_geomean`` and the absolute gate are over its cells
+ACCEL_POLICY = "simpoint-ckpt"
+
+DEFAULT_SIZE = "paper"
+DEFAULT_BASELINE = "benchmarks/BENCH_checkpoint.json"
+DEFAULT_TOLERANCE = 0.25
+
+#: probes per (benchmark, policy): each probe is its own fresh store
+#: (cold then warm), and the best wall clock per side is reported —
+#: same best-of-N discipline as the hot-path benchmark
+DEFAULT_REPEATS = 2
+
+#: absolute gates (ISSUE acceptance criteria, enforced by --check on
+#: every CI run, not only relative to the committed baseline)
+MIN_SPEEDUP_GEOMEAN = 3.0
+MAX_DELTA_RATIO = 0.25
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values)
+                    / len(values))
+
+
+# ----------------------------------------------------------------------
+# one measurement = one subprocess
+
+_CHILD_SCRIPT = r"""
+import json, sys, time
+from repro.exec import ExperimentEngine, ResultStore
+from repro.harness.experiments import make_spec
+
+root, policy, bench, size = sys.argv[1:5]
+engine = ExperimentEngine(store=ResultStore(root + "/results-v2"),
+                          jobs=1)
+spec = make_spec(bench, policy, size)
+start = time.perf_counter()
+outcome = engine.run([spec], use_cache=False)[spec.key]
+elapsed = time.perf_counter() - start
+if not outcome.ok:
+    print(outcome.error, file=sys.stderr)
+    raise SystemExit(1)
+result = outcome.result
+extra = result.extra or {}
+print(json.dumps({
+    "wall": elapsed,
+    "ipc": result.ipc,
+    "checkpoints": extra.get("checkpoints") or {},
+    "checkpoint_bytes": extra.get("checkpoint_bytes", 0),
+    "checkpoint_delta_bytes": extra.get("checkpoint_delta_bytes", 0),
+}))
+"""
+
+
+def _run_job(root: str, policy: str, bench: str, size: str) -> Dict:
+    """Run one job in a fresh interpreter; returns its measurement."""
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CHECKPOINTS"] = "1"
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, root, policy, bench, size],
+        env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench job {bench}/{policy} failed:\n{proc.stderr[-2000:]}")
+    return json.loads(proc.stdout)
+
+
+def measure_pair(bench: str, policy: str, size: str,
+                 repeats: int = DEFAULT_REPEATS) -> Dict:
+    """Cold-then-warm measurement of one (benchmark, policy) cell.
+
+    Each repeat uses its own store root, so every cold probe is truly
+    cold; the best (minimum) wall per side across repeats is reported.
+    """
+    best_cold = best_warm = None
+    cold = warm = None
+    for _ in range(max(1, repeats)):
+        with tempfile.TemporaryDirectory(prefix="repro-ckptbench-") \
+                as root:
+            cold_probe = _run_job(root, policy, bench, size)
+            warm_probe = _run_job(root, policy, bench, size)
+        if cold_probe["ipc"] != warm_probe["ipc"]:
+            raise RuntimeError(
+                f"cold/warm IPC diverged for {bench}/{policy}: "
+                f"{cold_probe['ipc']} vs {warm_probe['ipc']}")
+        if best_cold is None or cold_probe["wall"] < best_cold:
+            best_cold, cold = cold_probe["wall"], cold_probe
+        if best_warm is None or warm_probe["wall"] < best_warm:
+            best_warm, warm = warm_probe["wall"], warm_probe
+    ckpt = warm["checkpoints"]
+    full_bytes = cold["checkpoint_bytes"]
+    return {
+        "cold_seconds": best_cold,
+        "warm_seconds": best_warm,
+        "speedup": best_cold / best_warm if best_warm > 0 else 0.0,
+        "ipc": cold["ipc"],
+        "ipc_equal": True,  # enforced above
+        "warm_restores": ckpt.get("restores", 0),
+        "warm_profile_cache_hits": ckpt.get("profile_cache_hits", 0),
+        "delta_bytes": cold["checkpoint_delta_bytes"],
+        "full_bytes": full_bytes,
+        "delta_ratio": (cold["checkpoint_delta_bytes"] / full_bytes
+                        if full_bytes else 0.0),
+    }
+
+
+def run_bench(benchmarks: Optional[List[str]] = None,
+              policies: Optional[List[str]] = None,
+              size: str = DEFAULT_SIZE,
+              repeats: int = DEFAULT_REPEATS) -> Dict:
+    """The full payload written to ``BENCH_checkpoint.json``."""
+    benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
+    policies = list(policies or DEFAULT_POLICIES)
+    rows: Dict[str, Dict] = {}
+    for bench in benchmarks:
+        rows[bench] = {policy: measure_pair(bench, policy, size, repeats)
+                       for policy in policies}
+    accel_cells = [rows[b][ACCEL_POLICY] for b in benchmarks
+                   if ACCEL_POLICY in rows[b]]
+    summary = {
+        "speedup_geomean": geomean(c["speedup"] for c in accel_cells),
+        "overall_speedup_geomean": geomean(
+            rows[b][p]["speedup"] for b in benchmarks for p in policies),
+        "delta_ratio_max": max(
+            (c["delta_ratio"] for c in accel_cells), default=0.0),
+        "ipc_equal": all(rows[b][p]["ipc_equal"]
+                         for b in benchmarks for p in policies),
+    }
+    for policy in policies:
+        summary[f"{policy}_speedup_geomean"] = geomean(
+            rows[b][policy]["speedup"] for b in benchmarks)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "size": size,
+        "policies": policies,
+        "accel_policy": ACCEL_POLICY,
+        "benchmarks": rows,
+        "summary": summary,
+    }
+
+
+# ----------------------------------------------------------------------
+# baseline comparison (the CI perf gate)
+
+def compare_to_baseline(current: Dict, baseline: Dict,
+                        tolerance: float = DEFAULT_TOLERANCE
+                        ) -> List[str]:
+    """Gate failures of ``current`` (empty list = gate passes).
+
+    Two kinds of check:
+
+    * **absolute** — the acceptance floors hold regardless of history:
+      warm-vs-cold geomean of the restore policy at least
+      ``MIN_SPEEDUP_GEOMEAN``, worst delta-snapshot ratio at most
+      ``MAX_DELTA_RATIO``, cold/warm results identical;
+    * **relative** — per-benchmark restore-policy speedups must not
+      fall more than ``tolerance`` (fractional) below the committed
+      baseline's, mirroring the hot-path gate.  Ratios of identical
+      deterministic work are host-independent, so this is safe across
+      CI runner generations.
+    """
+    problems: List[str] = []
+    summary = current["summary"]
+    if not summary.get("ipc_equal", False):
+        problems.append("cold/warm results diverged (ipc_equal false)")
+    sp = summary.get("speedup_geomean", 0.0)
+    if sp < MIN_SPEEDUP_GEOMEAN:
+        problems.append(
+            f"{ACCEL_POLICY} warm-vs-cold geomean {sp:.2f}x "
+            f"< required {MIN_SPEEDUP_GEOMEAN:.1f}x")
+    dr = summary.get("delta_ratio_max", 1.0)
+    if dr > MAX_DELTA_RATIO:
+        problems.append(
+            f"delta snapshot ratio {dr:.1%} "
+            f"> allowed {MAX_DELTA_RATIO:.0%}")
+    for bench, base_row in baseline.get("benchmarks", {}).items():
+        cur_row = current.get("benchmarks", {}).get(bench)
+        base_cell = base_row.get(ACCEL_POLICY)
+        if base_cell is None:
+            continue
+        if cur_row is None or ACCEL_POLICY not in cur_row:
+            problems.append(f"{bench}/{ACCEL_POLICY}: missing from run")
+            continue
+        base_ratio = base_cell["speedup"]
+        cur_ratio = cur_row[ACCEL_POLICY]["speedup"]
+        floor = base_ratio * (1.0 - tolerance)
+        if cur_ratio < floor:
+            problems.append(
+                f"{bench}/{ACCEL_POLICY}: speedup {cur_ratio:.2f}x"
+                f" < {floor:.2f}x"
+                f" (baseline {base_ratio:.2f}x - {tolerance:.0%})")
+    base_geo = baseline.get("summary", {}).get("speedup_geomean", 0.0)
+    floor = base_geo * (1.0 - tolerance)
+    if sp < floor:
+        problems.append(
+            f"overall: geomean speedup {sp:.2f}x < {floor:.2f}x "
+            f"(baseline {base_geo:.2f}x)")
+    return problems
+
+
+def format_table(payload: Dict) -> str:
+    """Human-readable per-benchmark table for one payload."""
+    lines: List[str] = [
+        f"size={payload['size']} (cold store vs warm store, "
+        f"best-of-N fresh-process runs)",
+        f"{'benchmark':10s} {'policy':13s} {'cold':>8s} {'warm':>8s} "
+        f"{'speedup':>8s} {'restores':>8s} {'delta':>7s}",
+    ]
+    for bench, row in payload["benchmarks"].items():
+        for policy, cell in row.items():
+            lines.append(
+                f"{bench:10s} {policy:13s} "
+                f"{cell['cold_seconds']:>7.2f}s {cell['warm_seconds']:>7.2f}s "
+                f"{cell['speedup']:>7.2f}x {cell['warm_restores']:>8d} "
+                f"{cell['delta_ratio']:>6.1%}")
+    summary = payload["summary"]
+    for policy in payload["policies"]:
+        lines.append(f"{policy} speedup geomean: "
+                     f"{summary[f'{policy}_speedup_geomean']:.2f}x")
+    lines.append(
+        f"{payload['accel_policy']} geomean "
+        f"{summary['speedup_geomean']:.2f}x "
+        f"(gate >= {MIN_SPEEDUP_GEOMEAN:.1f}x); "
+        f"worst delta ratio {summary['delta_ratio_max']:.1%} "
+        f"(gate <= {MAX_DELTA_RATIO:.0%})")
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def write_baseline(payload: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

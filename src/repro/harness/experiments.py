@@ -25,7 +25,8 @@ from repro.exec import (CACHE_VERSION, ExperimentEngine, ExperimentError,
                         JobSpec, ResultStore, default_fingerprint,
                         default_store, execute_spec, failed_jobs,
                         format_failure_summary)
-from repro.sampling import (DynamicSampler, FullTiming, PolicyResult,
+from repro.sampling import (CheckpointedSimPointSampler, DynamicSampler,
+                            FullTiming, PolicyResult,
                             SIMPOINT_PRESET, SMARTS_PRESET,
                             SimPointSampler, SmartsSampler,
                             dynamic_config)
@@ -50,8 +51,9 @@ def _dynamic_factory(variable: str, sensitivity, label: str,
 def policy_factory(key: str) -> Callable:
     """Resolve a policy key to a sampler factory.
 
-    Keys: ``full``, ``smarts``, ``simpoint``, or Dynamic-Sampling
-    strings like ``CPU-300-1M-inf`` / ``IO-100-10M-10`` (paper
+    Keys: ``full``, ``smarts``, ``simpoint``, ``simpoint-ckpt``, or
+    Dynamic-Sampling strings like ``CPU-300-1M-inf`` / ``IO-100-10M-10``
+    (paper
     notation; the sensitivity-percent field may be fractional, e.g.
     ``CPU-0.3-1M-1000``).  ``simpoint+prof`` shares the ``simpoint``
     run; use :func:`modeled_seconds_for` to get its cost.
@@ -62,6 +64,8 @@ def policy_factory(key: str) -> Callable:
         return lambda: SmartsSampler(SMARTS_PRESET)
     if key in ("simpoint", "simpoint+prof"):
         return lambda: SimPointSampler(SIMPOINT_PRESET)
+    if key == "simpoint-ckpt":
+        return lambda: CheckpointedSimPointSampler(SIMPOINT_PRESET)
     parts = key.split("-")
     if len(parts) == 4 and parts[0] in ("CPU", "EXC", "IO"):
         variable, sensitivity_text, label, maxf = parts

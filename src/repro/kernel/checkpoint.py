@@ -1,155 +1,236 @@
-"""Full-system checkpoints.
+"""Full-system checkpoints with copy-on-write delta snapshots.
 
 The paper's SimPoint timing results presume checkpoint restore (its
 per-benchmark times are proportional to the number of simulation points,
 not to program length), and TurboSMARTS — cited in related work — builds
 SMARTS entirely on checkpoints.  This module provides the primitive: a
-deep snapshot of a running :class:`~repro.kernel.system.System` (CPU
-state, physical memory, page tables, kernel bookkeeping, devices) that
-can be restored onto the same system later, resuming execution
-bit-identically.
+snapshot of a running :class:`~repro.kernel.system.System` (CPU state,
+physical memory, page tables, kernel bookkeeping, devices) that can be
+restored onto the same system later, resuming execution bit-identically.
 
-Checkpoints capture *guest* state.  Host-side caches (MMU translation
-dicts, code caches, decoded instructions) are flushed on restore and
-rebuilt lazily — exactly what a real VM does after ``loadvm``.
+Snapshots are *delta* snapshots: every frame is identified by its
+content hash, and ``take(system, parent=...)`` stores blob bytes only
+for frames that are dirty relative to the parent (per-frame write
+generations in :class:`~repro.mem.physical.PhysicalMemory`) or whose
+content is not already resolvable through the parent chain.  Restore
+composes base + deltas back into the full frame set, so a delta
+checkpoint restores bit-identically to a full one.
+
+Checkpoints capture *guest* state plus the one piece of
+architecturally-visible host state: the fast translation cache, whose
+inserts and capacity evictions feed monitored statistics.  Its resident
+PCs are recorded (in FIFO order) and rebuilt on restore; the other
+host-side caches (MMU translation dicts, event/fused code caches,
+decoded instructions) are flushed and rebuilt lazily — exactly what a
+real VM does after ``loadvm``.
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+
+def _hash_frame(data) -> str:
+    return hashlib.sha256(bytes(data)).hexdigest()
 
 
 @dataclass
 class Checkpoint:
-    """One full-system snapshot (opaque; create via :func:`take`)."""
+    """One full-system snapshot (opaque; create via :func:`take`).
+
+    Frame contents live in :attr:`blobs` keyed by content hash;
+    :attr:`frame_hashes` maps each physical frame to its hash.  A delta
+    checkpoint stores only blobs absent from its :attr:`parent` chain —
+    :meth:`resolve_blob` walks the chain on demand.
+    """
 
     cpu: dict
-    frames: Dict[int, bytes]
+    frame_hashes: Dict[int, str]
+    blobs: Dict[str, bytes]
     next_free_frame: int
     page_table: Dict[int, Tuple[int, int]]
     stats: dict
     profile_counts: Dict[int, int]
     pending_irqs: List[int]
+    fast_cache: List[int]
     kernel: dict
     console: dict
-    disk: Dict[int, bytes]
-    disk_counters: dict
+    disk: dict
     timer: dict
     nic: dict
+    parent: Optional["Checkpoint"] = field(default=None, repr=False,
+                                           compare=False)
+    #: write epoch closed when this checkpoint was taken/restored, valid
+    #: against the live PhysicalMemory identified by :attr:`phys_token`
+    phys_epoch: int = field(default=0, compare=False)
+    phys_token: int = field(default=0, compare=False)
     extra: dict = field(default_factory=dict)
+
+    def resolve_blob(self, digest: str) -> bytes:
+        """Frame bytes for ``digest``, walking the parent chain."""
+        node = self
+        while node is not None:
+            blob = node.blobs.get(digest)
+            if blob is not None:
+                return blob
+            node = node.parent
+        raise KeyError(f"unresolvable frame blob {digest[:12]}")
+
+    def has_blob(self, digest: str) -> bool:
+        node = self
+        while node is not None:
+            if digest in node.blobs:
+                return True
+            node = node.parent
+        return False
+
+    @property
+    def frames(self) -> Dict[int, bytes]:
+        """The full frame image ``{pfn: bytes}`` (materialized)."""
+        return {pfn: self.resolve_blob(digest)
+                for pfn, digest in sorted(self.frame_hashes.items())}
 
     @property
     def memory_bytes(self) -> int:
-        return sum(len(data) for data in self.frames.values())
+        """Logical size of the full memory image."""
+        return sum(len(self.resolve_blob(digest))
+                   for digest in self.frame_hashes.values())
+
+    @property
+    def delta_bytes(self) -> int:
+        """Bytes stored *by this checkpoint* (its own blobs only)."""
+        return sum(len(blob) for blob in self.blobs.values())
 
 
-def take(system) -> Checkpoint:
-    """Snapshot ``system`` (a :class:`repro.kernel.system.System`)."""
+def take(system, parent: Optional[Checkpoint] = None) -> Checkpoint:
+    """Snapshot ``system`` (a :class:`repro.kernel.system.System`).
+
+    With ``parent`` (an earlier checkpoint of the *same live system*,
+    or any checkpoint whose blobs should be deduplicated against), only
+    frames dirty since the parent's write epoch are hashed and stored;
+    clean frames reuse the parent's recorded hash without touching
+    their bytes.  Closing the write epoch (and dropping the MMU's
+    cached write translations) happens last, so this checkpoint can in
+    turn serve as a delta parent.
+    """
     machine = system.machine
+    phys = machine.phys
     kernel = system.kernel
-    return Checkpoint(
+
+    # Clean-frame shortcut is only sound against the same live memory
+    # the parent's epoch was recorded on; content-hash dedup below
+    # works against any parent chain (including store-loaded ones).
+    same_phys = parent is not None and parent.phys_token == id(phys)
+
+    frame_hashes: Dict[int, str] = {}
+    blobs: Dict[str, bytes] = {}
+    for pfn, data in phys.iter_frames():
+        if (same_phys and pfn in parent.frame_hashes
+                and not phys.frame_dirty_since(pfn, parent.phys_epoch)):
+            frame_hashes[pfn] = parent.frame_hashes[pfn]
+            continue
+        digest = _hash_frame(data)
+        frame_hashes[pfn] = digest
+        if digest not in blobs and not (parent is not None
+                                        and parent.has_blob(digest)):
+            blobs[digest] = bytes(data)
+
+    checkpoint = Checkpoint(
         cpu=machine.state.snapshot(),
-        frames={pfn: bytes(data)
-                for pfn, data in machine.phys.iter_frames()},
-        next_free_frame=machine.phys._next_free,
-        page_table={vpn: (entry.pfn, entry.prot)
-                    for vpn, entry in machine.page_table.mapped_pages()},
+        frame_hashes=frame_hashes,
+        blobs=blobs,
+        next_free_frame=phys.next_free,
+        page_table=machine.page_table.snapshot(),
         stats=copy.deepcopy(vars(machine.stats)),
         profile_counts=dict(machine.profile_counts),
         pending_irqs=list(machine._pending_irqs),
-        kernel={
-            "regions": list(kernel._regions),
-            "heap_base": kernel.heap_base,
-            "brk": kernel.brk,
-            "mmap_next": kernel._mmap_next,
-            "syscall_counts": dict(kernel.syscall_counts),
-            "timer_fired": kernel.timer_fired,
-        },
-        console={
-            "output": bytes(system.console.output),
-            "input": bytes(system.console._input),
-        },
-        disk={lba: bytes(sector)
-              for lba, sector in system.disk._sectors.items()},
-        disk_counters={
-            "sectors_transferred": system.disk.sectors_transferred},
-        timer={
-            "now": system.timer.now,
-            "deadline": system.timer.deadline,
-            "enabled": system.timer.enabled,
-            "interrupts_posted": system.timer.interrupts_posted,
-        },
-        nic={
-            "rx_queue": [bytes(p) for p in system.nic.rx_queue],
-            "packets_sent": system.nic.packets_sent,
-            "packets_received": system.nic.packets_received,
-            "bytes_sent": system.nic.bytes_sent,
-            "bytes_received": system.nic.bytes_received,
-        },
+        fast_cache=machine.snapshot_code_cache(),
+        kernel=kernel.snapshot(),
+        console=system.console.snapshot(),
+        disk=system.disk.snapshot(),
+        timer=system.timer.snapshot(),
+        nic=system.nic.snapshot(),
+        parent=parent,
     )
+    # Close the epoch *after* scanning: frames written from here on are
+    # dirty relative to this checkpoint.  The MMU's cached write
+    # translations must be dropped so the next store to each page goes
+    # through the fill path again and re-marks its frame.
+    checkpoint.phys_token = id(phys)
+    checkpoint.phys_epoch = phys.begin_write_epoch()
+    machine.mmu.drop_write_cache()
+    return checkpoint
 
 
 def restore(system, checkpoint: Checkpoint) -> None:
     """Restore ``checkpoint`` onto ``system`` (created from the same
     program); execution resumes exactly where the snapshot was taken."""
     machine = system.machine
+    phys = machine.phys
     kernel = system.kernel
 
-    # guest memory
-    machine.phys._frames.clear()
-    for pfn, data in checkpoint.frames.items():
-        machine.phys._frames[pfn] = bytearray(data)
-    machine.phys._next_free = checkpoint.next_free_frame
+    # Stash the resident fast-cache blocks before flushing: a block
+    # whose code pages come through the restore with identical mapping
+    # and identical bytes would re-translate to the same thing, so it
+    # can be reinserted as-is (restoring adjacent checkpoints of one
+    # ladder shares almost all code pages).
+    stash = {pc: machine.fast_cache.get(pc)
+             for pc in machine.fast_cache.blocks()}
+    old_mapping = machine.page_table.snapshot()
 
-    # page table
-    machine.page_table._entries.clear()
-    from repro.mem.paging import PageTableEntry
-    for vpn, (pfn, prot) in checkpoint.page_table.items():
-        machine.page_table._entries[vpn] = PageTableEntry(pfn, prot)
-    machine.page_table.generation += 1
+    # guest memory + page table (public hooks)
+    changed_pfns = phys.restore({"frames": checkpoint.frames,
+                                 "next_free": checkpoint.next_free_frame})
+    machine.page_table.restore(checkpoint.page_table)
+    new_mapping = checkpoint.page_table
 
-    # host-side caches are stale: flush everything (before restoring
-    # statistics, so the flush-induced invalidation counts are erased
-    # and the monitored statistics resume exactly as saved)
+    def _page_intact(vpn: int) -> bool:
+        entry = new_mapping.get(vpn)
+        if old_mapping.get(vpn) != entry:
+            return False
+        return entry is None or entry[0] not in changed_pfns
+
+    reuse = {}
+    for pc, entry in stash.items():
+        # The page beyond the block matters too: an originally
+        # page-fault-cut block would decode longer if that page became
+        # mapped, so reuse demands it is equally (un)mapped and intact.
+        if all(_page_intact(vpn)
+               for vpn in (*entry.pages, max(entry.pages) + 1)):
+            reuse[pc] = entry
+
+    # Host-side caches are stale: flush everything, then rebuild the
+    # architectural fast cache to its recorded residency.  Both happen
+    # *before* restoring statistics, so the flush-induced invalidation
+    # counts are erased and the monitored statistics resume exactly as
+    # saved (the rebuild re-translations are already included in the
+    # saved counters).
     machine.mmu.flush()
     machine.mmu.code_pages.clear()
     machine.flush_code_caches()
 
     # CPU + machine bookkeeping
     machine.state.restore(checkpoint.cpu)
+    machine.rebuild_code_cache(checkpoint.fast_cache, reuse=reuse)
     for key, value in copy.deepcopy(checkpoint.stats).items():
         setattr(machine.stats, key, value)
     machine.profile_counts.clear()
     machine.profile_counts.update(checkpoint.profile_counts)
     machine._pending_irqs[:] = checkpoint.pending_irqs
 
-    # kernel
-    kernel._regions[:] = checkpoint.kernel["regions"]
-    kernel.heap_base = checkpoint.kernel["heap_base"]
-    kernel.brk = checkpoint.kernel["brk"]
-    kernel._mmap_next = checkpoint.kernel["mmap_next"]
-    kernel.syscall_counts = dict(checkpoint.kernel["syscall_counts"])
-    kernel.timer_fired = checkpoint.kernel["timer_fired"]
+    # kernel + devices (public hooks)
+    kernel.restore(checkpoint.kernel)
+    system.console.restore(checkpoint.console)
+    system.disk.restore(checkpoint.disk)
+    system.timer.restore(checkpoint.timer)
+    system.nic.restore(checkpoint.nic)
 
-    # devices
-    system.console.output[:] = checkpoint.console["output"]
-    system.console._input.clear()
-    system.console._input.extend(checkpoint.console["input"])
-    system.disk._sectors.clear()
-    for lba, sector in checkpoint.disk.items():
-        system.disk._sectors[lba] = bytearray(sector)
-    system.disk.sectors_transferred = \
-        checkpoint.disk_counters["sectors_transferred"]
-    system.timer.now = checkpoint.timer["now"]
-    system.timer.deadline = checkpoint.timer["deadline"]
-    system.timer.enabled = checkpoint.timer["enabled"]
-    system.timer.interrupts_posted = \
-        checkpoint.timer["interrupts_posted"]
-    system.nic.rx_queue.clear()
-    system.nic.rx_queue.extend(checkpoint.nic["rx_queue"])
-    system.nic.packets_sent = checkpoint.nic["packets_sent"]
-    system.nic.packets_received = checkpoint.nic["packets_received"]
-    system.nic.bytes_sent = checkpoint.nic["bytes_sent"]
-    system.nic.bytes_received = checkpoint.nic["bytes_received"]
+    # The restored image *is* current memory now: stamp the checkpoint
+    # as a valid delta parent for the live physical memory (every frame
+    # was marked at the current epoch by phys.restore; close it).
+    checkpoint.phys_token = id(phys)
+    checkpoint.phys_epoch = phys.begin_write_epoch()
+    machine.mmu.drop_write_cache()

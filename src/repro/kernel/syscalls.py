@@ -102,6 +102,27 @@ class Kernel:
         return None
 
     # ------------------------------------------------------------------
+    # checkpoint hooks (device refs are wiring, not state)
+
+    def snapshot(self) -> dict:
+        return {
+            "regions": [tuple(region) for region in self._regions],
+            "heap_base": self.heap_base,
+            "brk": self.brk,
+            "mmap_next": self._mmap_next,
+            "syscall_counts": dict(self.syscall_counts),
+            "timer_fired": self.timer_fired,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._regions = [tuple(region) for region in snap["regions"]]
+        self.heap_base = snap["heap_base"]
+        self.brk = snap["brk"]
+        self._mmap_next = snap["mmap_next"]
+        self.syscall_counts = dict(snap["syscall_counts"])
+        self.timer_fired = snap["timer_fired"]
+
+    # ------------------------------------------------------------------
     # fault handling
 
     def handle_page_fault(self, machine: Machine, fault: PageFault) -> bool:

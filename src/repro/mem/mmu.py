@@ -77,6 +77,10 @@ class MMU:
         if access_bit == PROT_R:
             self._rd[vpn] = frame
         elif access_bit == PROT_W:
+            # Dirty tracking for delta checkpoints: the frame is marked
+            # once per write-cache fill, not per store — checkpoints drop
+            # the write cache so post-snapshot stores re-fill and re-mark.
+            self.phys.mark_frame_written(entry.pfn)
             if vpn in self.code_pages:
                 # Tell the translator which address was written so it can
                 # invalidate the overlapping blocks.  The page then drops
@@ -285,6 +289,16 @@ class MMU:
         self._wr.pop(vpn, None)
         self._ex.pop(vpn, None)
         self.tlb.invalidate(vpn)
+
+    def drop_write_cache(self) -> None:
+        """Forget cached write translations (checkpoint epoch close).
+
+        The next store to each page re-fills through :meth:`_fill` and
+        re-marks its frame written, so a new write epoch observes every
+        post-snapshot store.  Read/exec caches and TLB residency are
+        untouched; neither feeds any VM statistic.
+        """
+        self._wr.clear()
 
     def flush(self) -> None:
         """Drop all cached translations (e.g., address-space switch)."""

@@ -9,7 +9,7 @@ must never be cached in the fast translation paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from .physical import PAGE_SHIFT
 
@@ -69,3 +69,22 @@ class PageTable:
     def mapped_pages(self):
         """Iterate over ``(vpn, entry)`` pairs (test/debug helper)."""
         return iter(sorted(self._entries.items()))
+
+    # ------------------------------------------------------------------
+    # checkpoint hooks
+
+    def snapshot(self) -> Dict[int, Tuple[int, int]]:
+        """The full mapping as plain ``{vpn: (pfn, prot)}`` data."""
+        return {vpn: (entry.pfn, entry.prot)
+                for vpn, entry in sorted(self._entries.items())}
+
+    def restore(self, mapping: Dict[int, Tuple[int, int]]) -> None:
+        """Replace every entry with a :meth:`snapshot`-shaped mapping.
+
+        Bumps :attr:`generation` once so observers (MMU TLBs, code
+        caches) know their cached translations are stale.
+        """
+        self._entries.clear()
+        for vpn, (pfn, prot) in mapping.items():
+            self._entries[vpn] = PageTableEntry(pfn, prot)
+        self.generation += 1

@@ -56,8 +56,9 @@ class PolicyResult:
         }
         return out
 
-    #: ``extra`` keys that depend on host wall-clock, not simulation
-    VOLATILE_EXTRA = ("wall_seconds_by_mode",)
+    #: ``extra`` keys that depend on the host (wall-clock, checkpoint
+    #: store warmth), not on the simulation itself
+    VOLATILE_EXTRA = ("wall_seconds_by_mode", "checkpoints")
 
     def canonical_dict(self) -> Dict:
         """The deterministic view of this result: everything except
@@ -119,6 +120,7 @@ class Sampler:
         extra["modeled_seconds_all_modes"] = \
             self.cost_model.modeled_seconds(**counts)
         extra["wall_seconds_by_mode"] = dict(breakdown.wall_seconds)
+        extra["checkpoints"] = dict(controller.checkpoint_stats)
         extra["vm_stats"] = controller.machine.stats.snapshot()
         if "profile" not in self.charge_modes and counts["profile"]:
             # e.g. the paper's "SimPoint+prof" point in Figure 5

@@ -26,17 +26,27 @@ installed the per-call cost is a single attribute test.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro import obs
 from repro.kernel import System
+from repro.kernel.checkpoint import restore as _ckpt_restore
 from repro.timing import (FunctionalWarmingSink, OutOfOrderCore,
                           TimingConfig)
 from repro.timing.codegen import TimedBlockCodegen, WarmingBlockCodegen
 from repro.vm import MODE_EVENT, MODE_FAST, MODE_PROFILE
 from repro.workloads import Workload
+
+
+def checkpoints_enabled() -> bool:
+    """Whether checkpoint acceleration is on (``REPRO_CHECKPOINTS=0``
+    disables it; results are identical either way, only wall-clock
+    changes)."""
+    return os.environ.get("REPRO_CHECKPOINTS", "1").strip().lower() \
+        not in ("0", "false", "no", "off")
 
 
 @dataclass
@@ -84,6 +94,22 @@ class SimulationController:
                 self.warming_sink, WarmingBlockCodegen(self.warming_sink))
         self.feedback = feedback
         self.breakdown = ModeBreakdown()
+        #: checkpoint ladder (repro.exec.ckptstore.CheckpointLadder)
+        #: enabling fast_forward acceleration; None = plain run_fast
+        self.checkpoints = None
+        #: restore/publish is only sound while the run has done nothing
+        #: but MODE_FAST since boot — a restored image cannot splice in
+        #: profile/warming/timed history
+        self._pristine_fast = True
+        #: last checkpoint of this run's ladder walk (delta parent)
+        self._ladder_parent = None
+        #: pristine fast-forward targets so far — the rung key (see
+        #: repro.exec.ckptstore: rungs are only shared between runs
+        #: with identical stop histories)
+        self._ff_history: list = []
+        self.checkpoint_stats: Dict[str, int] = {
+            "restores": 0, "published": 0,
+            "skipped_instructions": 0, "profile_cache_hits": 0}
         #: estimated virtual cycles of the whole run so far (only
         #: maintained when feedback is on)
         self.virtual_cycles = 0.0
@@ -143,6 +169,72 @@ class SimulationController:
                        **self.machine.stats.snapshot())
 
     # ------------------------------------------------------------------
+    # checkpoint acceleration
+
+    def attach_checkpoints(self, ladder) -> None:
+        """Attach a checkpoint ladder consulted by :meth:`fast_forward`."""
+        self.checkpoints = ladder
+
+    def fast_forward(self, to_icount: int) -> int:
+        """Advance functional execution to ``to_icount`` instructions.
+
+        Semantically identical to ``run_fast(to_icount - icount)`` —
+        same guest trajectory, same vmstats, same cost-model charge
+        (skipped instructions are still *charged* as fast instructions
+        per the paper's model).  When a checkpoint ladder is attached,
+        each pristine fast-forward stop is a *rung*, keyed by the
+        run's full target history: an exact-key hit restores the
+        recorded image instead of executing; a miss executes the whole
+        gap in one unchunked ``run_fast`` and publishes the result.
+        Keying by stop history (rather than icount) is what makes the
+        restore bit-identical — translated loop superblocks retire
+        many iterations per dispatch, so stopping at an icount the
+        original run did not stop at would split dispatches and
+        diverge the VM statistics.  Falls back to plain ``run_fast``
+        when acceleration is unavailable: no ladder,
+        ``REPRO_CHECKPOINTS=0``, timing feedback (virtual time would
+        diverge from the recorded image), or the run is no longer
+        pristine fast-mode (a restore cannot splice mid-run timing
+        state).  Returns instructions advanced (restored + executed).
+        """
+        remaining = to_icount - self.icount
+        if remaining <= 0 or self.finished:
+            return 0
+        ladder = self.checkpoints
+        if (ladder is None or not checkpoints_enabled()
+                or self.feedback or not self._pristine_fast):
+            return self.run_fast(remaining)
+        from repro.exec.ckptstore import rung_key  # lazy: import cycle
+        self._ff_history.append(to_icount)
+        key = rung_key(self._ff_history)
+        icount_start = self.icount
+        start = time.perf_counter()
+        loaded = ladder.load(key)
+        if loaded is not None:
+            _ckpt_restore(self.system, loaded)
+            skipped = self.icount - icount_start
+            elapsed = time.perf_counter() - start
+            self.breakdown.wall_seconds["fast"] += elapsed
+            self.breakdown.fast_instructions += skipped
+            self._ladder_parent = loaded
+            self.checkpoint_stats["restores"] += 1
+            self.checkpoint_stats["skipped_instructions"] += skipped
+            self._account("fast", skipped, elapsed, icount_start)
+            if self._trace is not None:
+                self._trace.emit(obs.EV_MARK, icount=self.icount,
+                                 kind="checkpoint_restore",
+                                 rung=key, skipped=skipped)
+            return skipped
+        advanced = self.run_fast(remaining)
+        # publish even when the program halted inside the gap: a
+        # restored halted machine behaves exactly like the original
+        published = ladder.publish(key, self.system, self._ladder_parent)
+        if published is not None:
+            self._ladder_parent = published
+            self.checkpoint_stats["published"] += 1
+        return advanced
+
+    # ------------------------------------------------------------------
     # execution primitives
 
     def run_fast(self, instructions: int) -> int:
@@ -156,6 +248,7 @@ class SimulationController:
         return executed
 
     def run_profile(self, instructions: int) -> int:
+        self._pristine_fast = False
         icount_start = self.icount
         start = time.perf_counter()
         executed = self.machine.run(instructions, mode=MODE_PROFILE)
@@ -174,6 +267,7 @@ class SimulationController:
     def run_warming(self, instructions: int) -> int:
         if instructions <= 0:
             return 0
+        self._pristine_fast = False
         icount_start = self.icount
         start = time.perf_counter()
         executed = self.machine.run(instructions, mode=MODE_EVENT,
@@ -194,6 +288,7 @@ class SimulationController:
         """
         if instructions <= 0:
             return (0, 0)
+        self._pristine_fast = False
         icount_start = self.icount
         start = time.perf_counter()
         checkpoint = self.core.checkpoint()

@@ -1,16 +1,16 @@
 """SimPoint: BBV profiling, k-means clustering, point selection."""
 
-from .bbv import BbvCollector
+from .bbv import BbvCollector, profile_bbv
 from .checkpointed import CheckpointedSimPointSampler
 from .kmeans import (KmeansResult, choose_clustering, kmeans,
                      random_projection)
 from .simpoint import (SimPointConfig, SimPointSampler, SimPointSelection,
-                       select_simpoints)
+                       select_simpoints, select_simpoints_cached)
 
 __all__ = [
-    "BbvCollector",
+    "BbvCollector", "profile_bbv",
     "CheckpointedSimPointSampler",
     "KmeansResult", "choose_clustering", "kmeans", "random_projection",
     "SimPointConfig", "SimPointSampler", "SimPointSelection",
-    "select_simpoints",
+    "select_simpoints", "select_simpoints_cached",
 ]

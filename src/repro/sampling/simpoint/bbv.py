@@ -13,7 +13,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..controller import SimulationController
+from ..controller import SimulationController, checkpoints_enabled
 
 
 class BbvCollector:
@@ -58,3 +58,49 @@ class BbvCollector:
         norms = matrix.sum(axis=1, keepdims=True)
         norms[norms == 0] = 1.0
         return matrix / norms
+
+
+def profile_bbv(controller: SimulationController,
+                interval_length: int) -> BbvCollector:
+    """The full-run BBV profile of ``controller``'s workload.
+
+    Profiles on a *separate* identical system (the controller's own
+    trajectory is untouched) and merges the profiling cost into the
+    controller's breakdown.  When the controller has a checkpoint
+    ladder attached, the profile is memoized in its store: the BBV
+    profile is a deterministic, engine-invariant function of (program,
+    machine config, interval length), so a cache hit reconstructs the
+    vectors and charges the identical ``profile_instructions`` at
+    near-zero wall-clock — the cost model sees the same run either way.
+    """
+    ladder = controller.checkpoints
+    use_store = ladder is not None and checkpoints_enabled()
+    collector = BbvCollector(interval_length)
+    if use_store:
+        cached = ladder.load_profile(interval_length)
+        if cached is not None:
+            collector.vectors = [
+                {int(pc): count for pc, count in vector.items()}
+                for vector in cached["vectors"]]
+            collector.starts = list(cached["starts"])
+            controller.breakdown.profile_instructions += \
+                cached["profile_instructions"]
+            controller.checkpoint_stats["profile_cache_hits"] += 1
+            return collector
+    profiler = SimulationController(
+        controller.workload,
+        machine_kwargs=controller.machine_kwargs)
+    collector.collect(profiler)
+    controller.breakdown.profile_instructions += \
+        profiler.breakdown.profile_instructions
+    controller.breakdown.wall_seconds["profile"] += \
+        profiler.breakdown.wall_seconds["profile"]
+    if use_store:
+        ladder.publish_profile(interval_length, {
+            "vectors": [{str(pc): count for pc, count in vector.items()}
+                        for vector in collector.vectors],
+            "starts": list(collector.starts),
+            "profile_instructions":
+                profiler.breakdown.profile_instructions,
+        })
+    return collector

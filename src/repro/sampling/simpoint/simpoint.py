@@ -25,9 +25,9 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..base import Sampler
-from ..controller import SimulationController
+from ..controller import SimulationController, checkpoints_enabled
 from ..estimators import WeightedClusterEstimator
-from .bbv import BbvCollector
+from .bbv import BbvCollector, profile_bbv
 from .kmeans import choose_clustering, random_projection
 
 
@@ -84,6 +84,40 @@ def select_simpoints(vectors_matrix: np.ndarray,
                              num_clusters=clustering.k)
 
 
+def select_simpoints_cached(controller: SimulationController,
+                            collector: BbvCollector,
+                            config: SimPointConfig) -> SimPointSelection:
+    """:func:`select_simpoints`, memoized in the checkpoint store.
+
+    Projection and clustering are seeded and deterministic, so the
+    selection is a pure function of (profile, config): a store hit
+    reproduces it exactly while skipping the k-means/BIC search — and
+    the BBV matrix build with it.
+    """
+    ladder = controller.checkpoints
+    use_store = ladder is not None and checkpoints_enabled()
+    name = (f"selection-{config.interval_length}-{config.max_clusters}"
+            f"-{config.projection_dims}-{config.bic_threshold}"
+            f"-{config.seed}")
+    if use_store:
+        cached = ladder.load_artifact(name)
+        if cached is not None:
+            return SimPointSelection(
+                points=[(int(index), float(weight))
+                        for index, weight in cached["points"]],
+                num_intervals=cached["num_intervals"],
+                num_clusters=cached["num_clusters"])
+    selection = select_simpoints(collector.matrix(), config)
+    if use_store:
+        ladder.publish_artifact(name, {
+            "points": [[index, weight]
+                       for index, weight in selection.points],
+            "num_intervals": selection.num_intervals,
+            "num_clusters": selection.num_clusters,
+        })
+    return selection
+
+
 class SimPointSampler(Sampler):
     """Two-pass SimPoint simulation of one benchmark."""
 
@@ -96,19 +130,11 @@ class SimPointSampler(Sampler):
 
     def sample(self, controller: SimulationController) -> Dict:
         config = self.config
-        # ---- pass 1: profile on a separate, identical system ----------
-        profiler = SimulationController(
-            controller.workload,
-            machine_kwargs=controller.machine_kwargs)
-        collector = BbvCollector(config.interval_length)
-        collector.collect(profiler)
-        # merge profiling cost into the main run's accounting
-        controller.breakdown.profile_instructions += \
-            profiler.breakdown.profile_instructions
-        controller.breakdown.wall_seconds["profile"] += \
-            profiler.breakdown.wall_seconds["profile"]
+        # ---- pass 1: profile on a separate, identical system (memoized
+        # in the checkpoint store when a ladder is attached) ------------
+        collector = profile_bbv(controller, config.interval_length)
 
-        selection = select_simpoints(collector.matrix(), config)
+        selection = select_simpoints_cached(controller, collector, config)
 
         # ---- pass 2: fast-forward / warm / measure each point ---------
         estimator = WeightedClusterEstimator()
@@ -118,9 +144,10 @@ class SimPointSampler(Sampler):
             # grid drifts from exact multiples at block boundaries)
             start = collector.starts[index]
             warm_start = max(0, start - config.warmup_length)
-            gap = warm_start - controller.icount
-            if gap > 0:
-                controller.run_fast(gap)
+            # checkpoint-accelerated when a ladder is attached; the
+            # first gap is the only pristine-fast one, so later gaps
+            # fall back to plain execution automatically
+            controller.fast_forward(warm_start)
             warm_gap = start - controller.icount
             if warm_gap > 0:
                 controller.run_warming(warm_gap)

@@ -155,6 +155,10 @@ class CodeCache:
     def pages_with_code(self) -> Set[int]:
         return set(self._page_index)
 
+    def blocks(self):
+        """Resident block PCs in insertion (FIFO-victim) order."""
+        return iter(self._blocks)
+
 
 def block_pages(pc: int, length: int) -> Set[int]:
     """Virtual pages spanned by a block of ``length`` instructions."""

@@ -187,13 +187,53 @@ class Machine:
 
         Unlike :meth:`invalidate_code_page` this never counts toward the
         CPU monitored statistic — callers erase/restore stats around it.
+        Tier-promotion counts are host tiering state tied to the flushed
+        translations, so they reset with them: a restored machine starts
+        cold, exactly like a fresh ``loadvm``.
         """
         self.fast_cache.flush()
         self.event_cache.flush()
-        for _sink, _codegen, cache, _counts in \
+        for _sink, _codegen, cache, counts in \
                 self._fast_bindings.values():
             cache.flush()
+            counts.clear()
         self.interpreter.flush_decode_cache()
+
+    def snapshot_code_cache(self) -> List[int]:
+        """Resident PCs of the architectural fast cache, in insertion
+        order (checkpointing).
+
+        The fast cache is guest-visible state: its inserts feed
+        ``stats.translations`` and its capacity evictions feed the CPU
+        monitored statistic, so a restore must reproduce residency (and
+        FIFO order) or continued MODE_FAST execution would re-translate
+        — and re-count — blocks an uncheckpointed run still had cached.
+        """
+        return list(self.fast_cache.blocks())
+
+    def rebuild_code_cache(self, pcs: List[int],
+                           reuse: Optional[Dict[int, object]] = None
+                           ) -> None:
+        """Repopulate the fast cache from a :meth:`snapshot_code_cache`.
+
+        Re-translates each PC in recorded order without touching
+        ``stats`` — the caller restores the stats snapshot afterwards,
+        which already includes those translations.  Residency never
+        exceeds capacity (it was resident at take time), so no eviction
+        fires here.  Host-only caches (event, fused) stay flushed.
+
+        ``reuse`` maps PCs to still-valid :class:`TranslatedBlock`
+        objects (the caller vouches that the code bytes and page
+        mappings backing each are unchanged); matching PCs skip
+        re-translation entirely.
+        """
+        for pc in pcs:
+            entry = reuse.get(pc) if reuse else None
+            if entry is None:
+                entry = self.translator.translate(pc, FLAVOR_FAST, None)
+            self.fast_cache.insert(entry)
+            for vpn in entry.pages:
+                self.mmu.register_code_page(vpn)
 
     def post_interrupt(self, irq: int) -> None:
         """Raise an asynchronous interrupt, delivered at the next

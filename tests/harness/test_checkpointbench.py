@@ -1,0 +1,126 @@
+"""Unit tests for the checkpoint benchmark harness and its CI gate."""
+
+import pytest
+
+from repro.harness import checkpointbench as cb
+
+
+def cell(speedup, delta_ratio=0.02):
+    return {
+        "cold_seconds": speedup, "warm_seconds": 1.0,
+        "speedup": speedup, "ipc": 1.0, "ipc_equal": True,
+        "warm_restores": 10, "warm_profile_cache_hits": 1,
+        "delta_bytes": int(4096 * delta_ratio * 100),
+        "full_bytes": 4096 * 100, "delta_ratio": delta_ratio,
+    }
+
+
+def payload(ckpt_speedup, plain_speedup=2.0, delta_ratio=0.02,
+            benchmarks=("mcf", "swim")):
+    rows = {bench: {"simpoint": cell(plain_speedup),
+                    "simpoint-ckpt": cell(ckpt_speedup, delta_ratio)}
+            for bench in benchmarks}
+    return {
+        "schema_version": cb.SCHEMA_VERSION,
+        "size": "paper",
+        "policies": ["simpoint", "simpoint-ckpt"],
+        "accel_policy": cb.ACCEL_POLICY,
+        "benchmarks": rows,
+        "summary": {
+            "speedup_geomean": ckpt_speedup,
+            "simpoint_speedup_geomean": plain_speedup,
+            "simpoint-ckpt_speedup_geomean": ckpt_speedup,
+            "overall_speedup_geomean": cb.geomean(
+                [ckpt_speedup, plain_speedup]),
+            "delta_ratio_max": delta_ratio,
+            "ipc_equal": True,
+        },
+    }
+
+
+def test_geomean():
+    assert cb.geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert cb.geomean([]) == 0.0
+    assert cb.geomean([0.0, 4.0]) == pytest.approx(4.0)
+
+
+def test_gate_passes_within_tolerance():
+    baseline = payload(4.0)
+    current = payload(3.3)  # above floor, < 25% below baseline
+    assert cb.compare_to_baseline(current, baseline) == []
+
+
+def test_gate_enforces_absolute_speedup_floor():
+    # even a brand-new (identical) baseline cannot excuse a geomean
+    # below the acceptance floor
+    current = payload(2.5)
+    problems = cb.compare_to_baseline(current, payload(2.5))
+    assert any("3.0x" in problem for problem in problems)
+
+
+def test_gate_enforces_delta_ratio_ceiling():
+    current = payload(4.0, delta_ratio=0.40)
+    problems = cb.compare_to_baseline(current, payload(4.0))
+    assert any("delta" in problem for problem in problems)
+
+
+def test_gate_fails_on_relative_regression():
+    baseline = payload(6.0)
+    current = payload(4.0)  # 33% down, but above the absolute floor
+    problems = cb.compare_to_baseline(current, baseline)
+    assert problems
+    assert any("mcf" in problem for problem in problems)
+    assert any("overall" in problem for problem in problems)
+
+
+def test_gate_flags_missing_benchmark():
+    baseline = payload(4.0)
+    current = payload(4.0)
+    del current["benchmarks"]["swim"]
+    problems = cb.compare_to_baseline(current, baseline)
+    assert any("missing" in problem for problem in problems)
+
+
+def test_gate_fails_on_divergence():
+    current = payload(4.0)
+    current["summary"]["ipc_equal"] = False
+    problems = cb.compare_to_baseline(current, payload(4.0))
+    assert any("diverged" in problem for problem in problems)
+
+
+def test_format_table_mentions_every_cell():
+    text = cb.format_table(payload(4.0))
+    for bench in ("mcf", "swim"):
+        assert bench in text
+    for policy in ("simpoint", "simpoint-ckpt"):
+        assert policy in text
+    assert "geomean" in text
+
+
+def test_baseline_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    cb.write_baseline(payload(4.0), str(path))
+    assert cb.load_baseline(str(path)) == payload(4.0)
+
+
+def test_committed_baseline_satisfies_its_own_gate():
+    """The checked-in BENCH_checkpoint.json must pass the absolute
+    acceptance criteria it gates CI with."""
+    import os
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        cb.DEFAULT_BASELINE)
+    baseline = cb.load_baseline(path)
+    assert cb.compare_to_baseline(baseline, baseline) == []
+    assert baseline["summary"]["speedup_geomean"] \
+        >= cb.MIN_SPEEDUP_GEOMEAN
+    assert baseline["summary"]["delta_ratio_max"] <= cb.MAX_DELTA_RATIO
+
+
+def test_measure_pair_end_to_end(tmp_path):
+    """One real cold/warm subprocess measurement at the tiny size."""
+    result = cb.measure_pair("art", "simpoint-ckpt", "tiny", repeats=1)
+    assert result["ipc_equal"]
+    assert result["cold_seconds"] > 0
+    assert result["warm_seconds"] > 0
+    assert result["warm_restores"] > 0
+    assert 0 <= result["delta_ratio"] <= 1

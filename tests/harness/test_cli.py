@@ -194,3 +194,29 @@ def test_trace_accepts_fractional_sensitivity(tmp_path):
                  "--size", "tiny", "--out", str(out_path)])
     assert code == 0
     assert out_path.exists()
+
+
+def test_suite_reports_checkpoint_restores(capsys):
+    # cold sweep: populates the ladder; forced warm sweep: the
+    # re-executed SimPoint jobs fast-forward by restoring rungs
+    argv = ["suite", "--policy", "simpoint-ckpt", "--size", "tiny",
+            "--benchmarks", "gzip"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "restored-from-checkpoint:" in first
+    assert main(argv + ["--force"]) == 0
+    second = capsys.readouterr().out
+    restored = int(second.split("restored-from-checkpoint:")[1]
+                   .split()[0])
+    assert restored > 0
+
+
+def test_bench_checkpoint_suite_unknown_baseline(tmp_path, capsys):
+    # --check against a missing baseline reports cleanly (exit 2);
+    # the measurement itself runs one real cold/warm pair
+    code = main(["bench", "--suite", "checkpoint", "--size", "tiny",
+                 "--benchmarks", "art", "--repeats", "1",
+                 "--check", "--baseline", str(tmp_path / "none.json")])
+    assert code == 2
+    out = capsys.readouterr().out
+    assert "simpoint-ckpt" in out

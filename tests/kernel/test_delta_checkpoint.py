@@ -1,0 +1,94 @@
+"""Tests for delta (copy-on-write) checkpoints and restore reuse."""
+
+from repro.kernel.checkpoint import restore, take
+from repro.workloads import WorkloadBuilder
+
+
+def build_system():
+    builder = WorkloadBuilder("ckpt-delta", seed=5)
+    builder.phase("crc", iters=6000)
+    builder.phase("stream", n=512, iters=6)
+    builder.phase("branchy", iters=6000)
+    return builder.build()
+
+
+def test_delta_copies_only_dirty_frames():
+    system = build_system().boot()
+    system.run(30_000)
+    parent = take(system)
+    assert parent.delta_bytes == parent.memory_bytes  # no parent: full
+    system.run(2_000)
+    child = take(system, parent=parent)
+    # the short run dirtied a small fraction of the frame set
+    assert child.memory_bytes == parent.memory_bytes or \
+        child.memory_bytes > 0
+    assert child.delta_bytes < child.memory_bytes
+
+
+def test_delta_restore_is_bit_identical_to_full():
+    system = build_system().boot()
+    system.run(30_000)
+    parent = take(system)
+    system.run(2_000)
+    full = take(system)            # self-contained snapshot
+    delta = take(system, parent=parent)
+    assert delta.frames == full.frames  # logical view identical
+
+    system.run_to_completion()
+    end = system.machine.state.snapshot()
+    end_stats = system.machine.stats.snapshot()
+
+    restore(system, delta)
+    mid_stats = system.machine.stats.snapshot()
+    restore(system, full)
+    assert system.machine.stats.snapshot() == mid_stats
+
+    system.run_to_completion()
+    assert system.machine.state.snapshot() == end
+    assert system.machine.stats.snapshot() == end_stats
+
+
+def test_chained_deltas_compose():
+    system = build_system().boot()
+    system.run(20_000)
+    first = take(system)
+    system.run(4_000)
+    second = take(system, parent=first)
+    system.run(4_000)
+    third = take(system, parent=second)
+    system.run_to_completion()
+    end = system.machine.state.snapshot()
+    output = system.output
+
+    for checkpoint in (third, second, first):
+        restore(system, checkpoint)
+        system.run_to_completion()
+        assert system.machine.state.snapshot() == end
+        assert system.output == output
+
+
+def test_unchanged_frames_share_blob_digests_with_parent():
+    system = build_system().boot()
+    system.run(30_000)
+    parent = take(system)
+    system.run(1_000)
+    child = take(system, parent=parent)
+    shared = sum(1 for pfn, digest in child.frame_hashes.items()
+                 if parent.frame_hashes.get(pfn) == digest)
+    assert shared > 0
+    # every shared digest resolves through the chain without a copy
+    for digest in set(child.frame_hashes.values()):
+        assert child.resolve_blob(digest) is not None
+
+
+def test_restore_then_take_is_a_clean_parent():
+    """A restored system is the checkpoint's state: a delta against it
+    right away must carry (almost) nothing."""
+    system = build_system().boot()
+    system.run(30_000)
+    parent = take(system)
+    system.run(10_000)
+    restore(system, parent)
+    again = take(system, parent=parent)
+    assert again.frames == parent.frames
+    assert again.delta_bytes <= parent.memory_bytes // 4

@@ -57,3 +57,60 @@ def test_iter_frames_sorted():
     phys.frame(5)
     phys.frame(1)
     assert [pfn for pfn, _ in phys.iter_frames()] == [1, 5]
+
+
+def test_snapshot_restore_round_trip():
+    phys = PhysicalMemory(8 * PAGE_SIZE)
+    phys.write(100, b"hello")
+    phys.alloc_frame()
+    snap = phys.snapshot()
+    phys.write(100, b"HELLO")
+    phys.write(3 * PAGE_SIZE, b"extra")
+    phys.restore(snap)
+    assert phys.read(100, 5) == b"hello"
+    assert phys.snapshot() == snap
+
+
+def test_restore_returns_only_changed_frames():
+    phys = PhysicalMemory(8 * PAGE_SIZE)
+    phys.write(0, b"aaaa")                 # frame 0
+    phys.write(PAGE_SIZE, b"bbbb")         # frame 1
+    snap = phys.snapshot()
+    phys.write(PAGE_SIZE, b"XXXX")         # dirty frame 1 only
+    phys.write(2 * PAGE_SIZE, b"cccc")     # create frame 2
+    changed = phys.restore(snap)
+    # frame 0 was untouched: skipped; 1 rewritten; 2 dropped
+    assert changed == {1, 2}
+    assert phys.read(PAGE_SIZE, 4) == b"bbbb"
+    assert phys.frames_touched == 2
+
+
+def test_restore_skips_identical_frames_in_place():
+    phys = PhysicalMemory(4 * PAGE_SIZE)
+    phys.write(0, b"data")
+    backing = phys.frame(0)
+    snap = phys.snapshot()
+    assert phys.restore(snap) == set()
+    # the untouched frame keeps its backing object (derived per-page
+    # state such as translated code stays valid)
+    assert phys.frame(0) is backing
+
+
+def test_restored_frames_read_dirty_against_older_epoch():
+    phys = PhysicalMemory(4 * PAGE_SIZE)
+    phys.write(0, b"v1")
+    phys.write(PAGE_SIZE, b"w1")
+    snap = phys.snapshot()
+    epoch = phys.begin_write_epoch()
+    phys.write(0, b"v2")
+    phys.restore(snap)
+    # frame 0 changed during the restore: dirty relative to `epoch`
+    assert phys.frame_dirty_since(0, epoch)
+    # frame 1 was never written after the epoch closed: still clean
+    assert not phys.frame_dirty_since(1, epoch)
+
+
+def test_unknown_frames_report_dirty():
+    phys = PhysicalMemory(4 * PAGE_SIZE)
+    epoch = phys.begin_write_epoch()
+    assert phys.frame_dirty_since(3, epoch)

@@ -59,3 +59,32 @@ def test_checkpointed_charges_only_warming_and_timed():
     # modeled time excludes the (large) profiling instruction count
     assert result.modeled_seconds \
         < result.extra["modeled_seconds_all_modes"]
+
+
+def test_point_beyond_program_end_is_dropped_and_renormalized(
+        monkeypatch):
+    # regression: a simulation point past program end used to be
+    # silently skipped *without* renormalizing the remaining weights,
+    # deflating the whole-program IPC estimate
+    w = workload()
+    baseline = CheckpointedSimPointSampler(CONFIG).run(controller(w))
+    assert baseline.extra["dropped_simpoints"] == 0
+
+    from repro.sampling.simpoint import checkpointed as mod
+    real_select = mod.select_simpoints_cached
+
+    def with_bogus_point(ctrl, collector, config):
+        selection = real_select(ctrl, collector, config)
+        # a point whose warm-up window starts far beyond program end
+        selection.points.append((len(collector.starts), 0.5))
+        collector.starts.append(10 ** 9)
+        return selection
+
+    monkeypatch.setattr(mod, "select_simpoints_cached", with_bogus_point)
+    result = CheckpointedSimPointSampler(CONFIG).run(controller(w))
+    assert result.extra["dropped_simpoints"] == 1
+    # the real points' weights summed to 1.0, so renormalizing by the
+    # captured weight reproduces the baseline estimate exactly
+    assert result.extra["captured_weight"] == pytest.approx(1.0)
+    assert result.ipc == baseline.ipc
+    assert result.timed_intervals == baseline.timed_intervals

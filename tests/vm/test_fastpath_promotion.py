@@ -134,3 +134,17 @@ def test_host_cache_capacity_clears_not_grows(monkeypatch):
     system = boot(assemble(LOOP_SOURCE))
     system.run_to_completion(mode=MODE_FAST)
     assert len(translator_module._CODE_CACHE) <= 2
+
+
+def test_flush_code_caches_resets_pending_promotion_counts():
+    # regression: flush used to drop the translations but keep the
+    # tier-promotion counts, so a restored (cold) machine could promote
+    # blocks using dispatch credit earned before the restore
+    system, machine, core = fused_machine(threshold=1000)
+    system.run(200, mode=MODE_EVENT, sink=core)
+    _sink, _codegen, cache, counts = machine._fast_bindings[id(core)]
+    assert counts  # credit accumulated below threshold
+    machine.flush_code_caches()
+    assert not counts
+    assert len(cache) == 0
+    assert len(machine.event_cache) == 0
