@@ -1,0 +1,112 @@
+"""Suppression baseline for the determinism analyzer.
+
+The committed baseline (``lint-baseline.json`` at the repository root)
+records findings that are acknowledged and grandfathered: the CI gate
+fails only on findings *not* absorbed by the baseline, so the tree can
+be held at zero *new* violations while legacy ones are burned down.
+
+Entries are matched by ``(rule, path, context)`` where *context* is the
+stripped source line — stable across unrelated edits that shift line
+numbers — with a ``count`` so N identical lines in one file need N
+slots.  ``python -m repro lint --fix-baseline`` regenerates the file
+from the current tree; a guard test asserts the committed baseline
+parses and still matches (no stale entries rotting in place).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .lintmodel import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "load_baseline",
+           "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    context: str
+    count: int = 1
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path,
+                "context": self.context, "count": self.count}
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def match(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[BaselineEntry]]:
+        """Partition findings against the baseline.
+
+        Returns ``(new, stale)``: findings not absorbed by any entry,
+        and entries whose budget was not (fully) consumed — stale
+        entries mean the tree got cleaner than the baseline records.
+        """
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key] = budget.get(entry.key, 0) + entry.count
+        new: List[Finding] = []
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            key = (finding.rule, finding.path, finding.snippet)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                new.append(finding)
+        stale = [BaselineEntry(rule, path, context, remaining)
+                 for (rule, path, context), remaining
+                 in sorted(budget.items()) if remaining > 0]
+        return new, stale
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"version": BASELINE_VERSION,
+                "entries": [entry.to_dict() for entry in self.entries]}
+
+
+def from_findings(findings: Sequence[Finding]) -> Baseline:
+    """Collapse findings into baseline entries (counting duplicates)."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        key = (finding.rule, finding.path, finding.snippet)
+        counts[key] = counts.get(key, 0) + 1
+    return Baseline([BaselineEntry(rule, path, context, count)
+                     for (rule, path, context), count
+                     in sorted(counts.items())])
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return Baseline()
+    if not isinstance(raw, dict) or "entries" not in raw:
+        raise ValueError(f"malformed baseline file: {path}")
+    entries = []
+    for item in raw["entries"]:
+        entries.append(BaselineEntry(
+            rule=str(item["rule"]), path=str(item["path"]),
+            context=str(item["context"]),
+            count=int(item.get("count", 1))))
+    return Baseline(entries)
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> Baseline:
+    """Regenerate ``path`` from the given findings (sorted, stable)."""
+    baseline = from_findings(findings)
+    Path(path).write_text(
+        json.dumps(baseline.to_dict(), indent=2, sort_keys=True) + "\n")
+    return baseline

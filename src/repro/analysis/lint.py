@@ -1,0 +1,168 @@
+"""The lint engine: parse the tree, run the rules, gate on findings.
+
+``python -m repro lint`` walks every ``*.py`` file under the ``repro``
+package (or ``--root DIR``), parses each into an AST once, and runs
+every rule of :mod:`repro.analysis.rules` whose scope matches.
+Findings are filtered through the committed suppression baseline
+(:mod:`repro.analysis.baseline`); any finding not absorbed by the
+baseline fails the run with ``file:line:col: RULE message`` output, so
+the CI ``lint-invariants`` job holds the tree at zero new violations.
+
+Exit codes: 0 = clean, 1 = new findings, 2 = usage / unreadable
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, TextIO
+
+from .baseline import Baseline, BaselineEntry, load_baseline, write_baseline
+from .lintmodel import Finding, SourceFile
+from .rules import ALL_RULES, Rule
+
+__all__ = ["LintReport", "default_root", "default_baseline_path",
+           "iter_source_files", "run_rules", "lint_tree", "main"]
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (``src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def default_baseline_path(root: Path) -> Path:
+    """``lint-baseline.json`` at the repository root (``src/..``)."""
+    return Path(root).resolve().parents[1] / "lint-baseline.json"
+
+
+def iter_source_files(root: Path) -> Iterator[SourceFile]:
+    root = Path(root)
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        yield SourceFile.load(path, rel)
+
+
+def run_rules(source: SourceFile,
+              rules: Sequence[Rule] = ALL_RULES) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(source):
+            findings.extend(rule.check(source))
+    return findings
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a tree."""
+
+    root: Path
+    files: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    new: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def to_dict(self) -> dict:
+        return {
+            "root": str(self.root),
+            "files": self.files,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "new": [finding.to_dict() for finding in self.new],
+            "stale": [entry.to_dict() for entry in self.stale],
+            "ok": self.ok,
+        }
+
+
+def lint_tree(root: Optional[Path] = None,
+              baseline: Optional[Baseline] = None,
+              rules: Sequence[Rule] = ALL_RULES) -> LintReport:
+    """Run every rule over every module under ``root``."""
+    root = Path(root) if root is not None else default_root()
+    report = LintReport(root=root)
+    for source in iter_source_files(root):
+        report.files += 1
+        report.findings.extend(run_rules(source, rules))
+    report.findings.sort(key=lambda finding: finding.sort_key)
+    if baseline is None:
+        baseline = Baseline()
+    report.new, report.stale = baseline.match(report.findings)
+    return report
+
+
+def _display_prefix(root: Path) -> str:
+    """Path prefix that makes findings clickable from the repo root."""
+    try:
+        rel = Path(root).resolve().relative_to(Path.cwd())
+        return f"{rel.as_posix()}/"
+    except ValueError:
+        return f"{root}/"
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stdout: Optional[TextIO] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & safety analyzer (rules REPRO001-004)")
+    parser.add_argument("--root", default="",
+                        help="tree to scan (default: the repro package)")
+    parser.add_argument("--baseline", default="",
+                        help="suppression baseline JSON (default: "
+                             "lint-baseline.json at the repo root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, baseline ignored")
+    parser.add_argument("--fix-baseline", action="store_true",
+                        help="regenerate the baseline from the current "
+                             "tree and exit 0")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    parser.add_argument("--out", default="",
+                        help="also write the JSON report to this file")
+    args = parser.parse_args(argv)
+    out = stdout if stdout is not None else sys.stdout
+
+    root = Path(args.root) if args.root else default_root()
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else default_baseline_path(root))
+    baseline = Baseline()
+    if not args.no_baseline and not args.fix_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    report = lint_tree(root, baseline)
+
+    if args.fix_baseline:
+        write_baseline(report.findings, baseline_path)
+        print(f"baseline regenerated: {baseline_path} "
+              f"({len(report.findings)} finding(s) recorded)", file=out)
+        return 0
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+        return 0 if report.ok else 1
+
+    prefix = _display_prefix(root)
+    for finding in report.new:
+        print(finding.format(prefix), file=out)
+    for entry in report.stale:
+        print(f"warning: stale baseline entry ({entry.rule} "
+              f"{entry.path} x{entry.count}): {entry.context!r} — "
+              "regenerate with --fix-baseline", file=out)
+    absorbed = len(report.findings) - len(report.new)
+    status = "OK" if report.ok else "FAILED"
+    print(f"lint {status}: {report.files} files, "
+          f"{len(report.new)} new finding(s), "
+          f"{absorbed} baselined", file=out)
+    return 0 if report.ok else 1

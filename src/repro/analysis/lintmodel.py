@@ -1,0 +1,123 @@
+"""Data model for the determinism & safety analyzer.
+
+The analyzer (:mod:`repro.analysis.lint`) parses every module of the
+``repro`` tree into an AST and runs the rule visitors of
+:mod:`repro.analysis.rules` over them.  This module holds the shared
+vocabulary: a :class:`Finding` (one rule violation at one source
+location) and a :class:`SourceFile` (one parsed module plus its
+escape-hatch directives).
+
+Escape hatches are source comments of the form ``# repro: <directive>``
+optionally followed by a one-line justification::
+
+    start = time.perf_counter()  # repro: volatile - telemetry only
+
+A directive suppresses matching rules on its own line and on the line
+directly below it (so a long statement can carry the annotation on the
+line above).  Recognised directives:
+
+* ``volatile`` — suppresses REPRO001/REPRO003 (host-dependent value is
+  intentional and confined to telemetry paths)
+* ``store-ok`` — suppresses REPRO002 (a write that is deliberately
+  outside the tmp-then-rename discipline, e.g. an idempotent marker)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Finding", "SourceFile", "DIRECTIVE_RE"]
+
+#: ``# repro: volatile — reason`` / ``# repro: store-ok reason``
+DIRECTIVE_RE = re.compile(
+    r"#\s*repro:\s*(?P<directive>[a-z-]+)\b\s*[-—:]*\s*(?P<reason>.*)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # posix path relative to the scanned root
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self, prefix: str = "") -> str:
+        location = f"{prefix}{self.path}:{self.line}:{self.col}"
+        return f"{location}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class SourceFile:
+    """One parsed module: AST, raw lines, and suppression directives."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: ast.AST = ast.parse(text, filename=str(path))
+        #: line number -> (directive, justification)
+        self.directives: Dict[int, Tuple[str, str]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            comment = line.partition("#")[2]
+            if not comment:
+                continue
+            match = DIRECTIVE_RE.search("#" + comment)
+            if match:
+                self.directives[number] = (match.group("directive"),
+                                           match.group("reason").strip())
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceFile":
+        return cls(path, rel, path.read_text())
+
+    def suppressed(self, line: int, directive: str) -> bool:
+        """Is ``directive`` present on ``line`` or the line above it?"""
+        for candidate in (line, line - 1):
+            entry = self.directives.get(candidate)
+            if entry is not None and entry[0] == directive:
+                return True
+        return False
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(rule=rule, path=self.rel, line=line, col=col,
+                       message=message, snippet=self.snippet(line))
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

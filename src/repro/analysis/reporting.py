@@ -7,7 +7,10 @@ target can print the series it regenerates.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sampling.base import PolicyResult
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],
@@ -31,7 +34,7 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence],
     return "\n".join(lines)
 
 
-def _cell(value) -> str:
+def _cell(value: object) -> str:
     if isinstance(value, float):
         if value == 0:
             return "0"
@@ -117,7 +120,7 @@ def format_speedup(value: float) -> str:
     return f"{value:.1f}x" if value < 100 else f"{value:.0f}x"
 
 
-def format_run_summary(result) -> str:
+def format_run_summary(result: "PolicyResult") -> str:
     """Human-readable summary of one :class:`PolicyResult`.
 
     Beyond the headline IPC / host-time numbers this surfaces the

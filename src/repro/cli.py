@@ -42,6 +42,13 @@ Commands
 ``exec FILE.s``
     Assemble a Z64 source file, run it on the VM, print its console
     output and exit code.
+``lint [--root DIR] [--baseline FILE] [--no-baseline]
+[--fix-baseline] [--json] [--out FILE]``
+    Determinism & safety analyzer (rules REPRO001-004): custom AST
+    lint over the ``repro`` tree, gated by the committed
+    ``lint-baseline.json``.  Exit 1 on new findings;
+    ``--fix-baseline`` regenerates the baseline from the current
+    tree.
 """
 
 from __future__ import annotations
@@ -380,10 +387,20 @@ def _cmd_exec(args) -> int:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # lint owns its argparse (usable standalone in CI); delegate
+        # before the main parser so its flags never collide
+        from repro.analysis.lint import main as lint_main
+        return lint_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ISPASS'07 Dynamic Sampling reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("lint", help="determinism & safety analyzer "
+                                "(REPRO001-004)")
 
     sub.add_parser("list", help="list benchmarks and policies")
 

@@ -53,7 +53,7 @@ def multiprocessing_available() -> bool:
         return False
 
 
-def _pool_context():
+def _pool_context() -> "_mp.context.BaseContext":
     """Prefer fork (cheap, inherits warm module state); fall back to
     the platform default."""
     try:
@@ -79,11 +79,14 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def __init__(self, worker: Optional[Callable] = None):
+    def __init__(self, worker: Optional[Callable] = None) -> None:
         self._worker = worker or execute_spec
 
-    def run(self, specs, on_result=None, tracers=None):
-        results = []
+    def run(self, specs: List[JobSpec],
+            on_result: Optional[Callable[[JobResult], None]] = None,
+            tracers: Optional[Dict[str, object]] = None
+            ) -> List[JobResult]:
+        results: List[JobResult] = []
         for spec in specs:
             started = time.perf_counter()
             tracer = (tracers or {}).get(spec.key)
@@ -111,7 +114,8 @@ class SerialBackend(ExecutionBackend):
 # ----------------------------------------------------------------------
 # process pool
 
-def _child_main(conn, spec: JobSpec, worker: Callable) -> None:
+def _child_main(conn: "_mp_connection.Connection", spec: JobSpec,
+                worker: Callable) -> None:
     """Worker-process entry: run the job, ship the outcome back."""
     status, payload = "ok", None
     try:
@@ -150,14 +154,17 @@ class ProcessPoolBackend(ExecutionBackend):
     def __init__(self, jobs: int = 2, timeout: Optional[float] = None,
                  crash_retries: int = 1,
                  worker: Optional[Callable] = None,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05) -> None:
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.crash_retries = max(0, int(crash_retries))
         self.poll_interval = poll_interval
         self._worker = worker or execute_spec
 
-    def run(self, specs, on_result=None, tracers=None):
+    def run(self, specs: List[JobSpec],
+            on_result: Optional[Callable[[JobResult], None]] = None,
+            tracers: Optional[Dict[str, object]] = None
+            ) -> List[JobResult]:
         if tracers:
             raise ValueError("per-job tracers require the serial "
                              "backend (they cannot cross processes)")
@@ -184,7 +191,9 @@ class ProcessPoolBackend(ExecutionBackend):
 
     # -- scheduler internals --------------------------------------------
 
-    def _start(self, ctx, item, running) -> None:
+    def _start(self, ctx: "_mp.context.BaseContext",
+               item: "tuple[JobSpec, int]",
+               running: Dict[str, "_Running"]) -> None:
         spec, attempt = item
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=_child_main,
@@ -198,14 +207,16 @@ class ProcessPoolBackend(ExecutionBackend):
                                      conn=parent_conn, attempt=attempt,
                                      started=now, deadline=deadline)
 
-    def _wait(self, running) -> None:
+    def _wait(self, running: Dict[str, "_Running"]) -> None:
         handles = [entry.proc.sentinel for entry in running.values()]
         handles += [entry.conn for entry in running.values()]
         if handles:
             _mp_connection.wait(handles, timeout=self.poll_interval)
 
-    def _reap(self, running, pending) -> List[JobResult]:
-        finished = []
+    def _reap(self, running: Dict[str, "_Running"],
+              pending: "deque[tuple[JobSpec, int]]"
+              ) -> List[JobResult]:
+        finished: List[JobResult] = []
         now = time.perf_counter()
         for key, entry in list(running.items()):
             outcome = None
@@ -245,20 +256,22 @@ class ProcessPoolBackend(ExecutionBackend):
             finished.append(outcome)
         return finished
 
-    def _ok(self, entry, payload, now) -> JobResult:
+    def _ok(self, entry: "_Running", payload: dict,
+            now: float) -> JobResult:
         return JobResult(
             spec=entry.spec, status="ok",
             result=PolicyResult.from_dict(payload),
             attempts=entry.attempt,
             wall_seconds=now - entry.started, backend=self.name)
 
-    def _failed(self, entry, error, now) -> JobResult:
+    def _failed(self, entry: "_Running", error: object,
+                now: float) -> JobResult:
         return JobResult(
             spec=entry.spec, status="failed", error=str(error),
             attempts=entry.attempt,
             wall_seconds=now - entry.started, backend=self.name)
 
-    def _kill(self, entry) -> None:
+    def _kill(self, entry: "_Running") -> None:
         if entry.proc.is_alive():
             entry.proc.terminate()
             entry.proc.join(1.0)

@@ -44,7 +44,7 @@ import re
 import uuid
 import zlib
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.kernel.checkpoint import Checkpoint, take as take_checkpoint
 
@@ -64,14 +64,14 @@ _RUNG_RE = re.compile(r"^ckpt-([0-9a-f]+)\.json$")
 _ARTIFACT_RE = re.compile(r"^(?!ckpt-)[A-Za-z0-9._-]+$")
 
 
-def rung_key(targets) -> str:
+def rung_key(targets: Iterable[int]) -> str:
     """The rung key for a pristine fast-forward target history."""
     import hashlib
     text = ",".join(str(target) for target in targets)
     return hashlib.sha256(text.encode("ascii")).hexdigest()[:16]
 
 
-def program_fingerprint(workload) -> str:
+def program_fingerprint(workload: object) -> str:
     """A short stable hash of the guest program image.
 
     Hashes the workload name, entry point and every segment's bytes —
@@ -178,7 +178,7 @@ def decode_manifest(data: Dict, blobs: Dict[str, bytes]) -> Checkpoint:
 class CheckpointStore:
     """Content-addressed checkpoint storage under one root directory."""
 
-    def __init__(self, root: Optional[Path] = None):
+    def __init__(self, root: Optional[Path] = None) -> None:
         self.root = (Path(root) if root is not None
                      else default_cache_root() / CKPT_DIR_NAME)
         #: in-process blob cache, shared across every ladder rung so a
@@ -328,12 +328,12 @@ class CheckpointLadder:
     """
 
     def __init__(self, store: CheckpointStore, program_fp: str,
-                 config_fp: str):
+                 config_fp: str) -> None:
         self.store = store
         self.program_fp = program_fp
         self.config_fp = config_fp
 
-    def publish(self, key: str, system,
+    def publish(self, key: str, system: object,
                 parent: Optional[Checkpoint] = None) -> Checkpoint:
         """Take a delta snapshot of ``system`` and publish it."""
         checkpoint = take_checkpoint(system, parent=parent)

@@ -35,7 +35,7 @@ class ExperimentError(RuntimeError):
     """Raised when the engine is asked for results that failed."""
 
     def __init__(self, message: str,
-                 failures: Sequence[JobResult] = ()):
+                 failures: Sequence[JobResult] = ()) -> None:
         super().__init__(message)
         self.failures = list(failures)
 
@@ -72,7 +72,7 @@ def _events_filename(spec: JobSpec) -> str:
     return re.sub(r"[^A-Za-z0-9._+-]", "_", spec.job_id) + ".jsonl"
 
 
-def merge_job_events(trace_dir) -> List:
+def merge_job_events(trace_dir: "Path | str") -> List:
     """Merge the per-job JSONL traces under ``trace_dir`` into one
     coherent event list (grouped by job tag, time-ordered within a
     job — each job's tracer has its own epoch, so cross-job timestamp
@@ -96,9 +96,9 @@ class ExperimentEngine:
                  jobs: Optional[int] = None,
                  timeout: Optional[float] = None,
                  crash_retries: int = 1,
-                 trace_dir=None,
+                 trace_dir: "Path | str | None" = None,
                  tracer_factory: Optional[Callable] = None,
-                 progress: Optional[Callable] = None):
+                 progress: Optional[Callable] = None) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.store = store if store is not None else default_store()
         self.trace_dir = Path(trace_dir) if trace_dir else None

@@ -33,7 +33,8 @@ __all__ = [
 CACHE_VERSION = 2
 
 
-def config_fingerprint(timing_config=None, machine_kwargs=None) -> str:
+def config_fingerprint(timing_config: object = None,
+                       machine_kwargs: Optional[dict] = None) -> str:
     """A short stable hash of the simulator configuration.
 
     Canonicalises the timing configuration (a nested frozen dataclass)

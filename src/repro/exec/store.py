@@ -64,7 +64,7 @@ class FileLock:
     STALE_SECONDS = 60.0
 
     def __init__(self, path: Path, timeout: float = 30.0,
-                 poll: float = 0.01):
+                 poll: float = 0.01) -> None:
         self.path = Path(path)
         self.timeout = timeout
         self.poll = poll
@@ -86,7 +86,7 @@ class FileLock:
                         self._fd = None
                         raise TimeoutError(
                             f"could not lock {self.path} within "
-                            f"{self.timeout}s")
+                            f"{self.timeout}s") from None
                     time.sleep(self.poll)
         while True:  # pragma: no cover - exercised only without fcntl
             try:
@@ -105,10 +105,10 @@ class FileLock:
                 if time.monotonic() >= deadline:
                     raise TimeoutError(
                         f"could not lock {self.path} within "
-                        f"{self.timeout}s")
+                        f"{self.timeout}s") from None
                 time.sleep(self.poll)
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self._fd is not None:
             if fcntl is not None:
                 fcntl.flock(self._fd, fcntl.LOCK_UN)
@@ -125,7 +125,7 @@ class FileLock:
 class ResultStore:
     """Sharded per-benchmark JSON store of PolicyResult records."""
 
-    def __init__(self, root: Optional[Path] = None):
+    def __init__(self, root: Optional[Path] = None) -> None:
         self.root = (Path(root) if root is not None
                      else default_cache_root() / STORE_DIR_NAME)
         self._shards: Dict[str, Dict[str, dict]] = {}
@@ -249,6 +249,7 @@ class ResultStore:
                 self._atomic_write(path, data)
             self._shards[benchmark] = data
             imported += len(records)
+        # repro: store-ok idempotent marker, not a record shard
         (self.root / MIGRATION_MARKER).write_text(
             f"imported {imported} records from {v1_path.name}\n")
         return imported

@@ -17,7 +17,8 @@ from .spec import JobSpec
 __all__ = ["execute_spec"]
 
 
-def execute_spec(spec: JobSpec, tracer=None) -> PolicyResult:
+def execute_spec(spec: JobSpec,
+                 tracer: object = None) -> PolicyResult:
     """Run one simulation job; deterministic in everything but wall
     time (each job builds its own workload, controller and sampler —
     no shared RNG or mutable state crosses jobs).

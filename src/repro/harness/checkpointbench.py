@@ -282,6 +282,8 @@ def load_baseline(path: str) -> Dict:
 
 
 def write_baseline(payload: Dict, path: str) -> None:
+    # repro: store-ok committed CI baseline, single writer, no lock
     with open(path, "w") as handle:
+        # repro: store-ok same committed baseline file as above
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -359,7 +359,7 @@ class Assembler:
     @staticmethod
     def _check_overlaps(segments: List[Segment]) -> None:
         ordered = sorted(segments, key=lambda seg: seg.base)
-        for first, second in zip(ordered, ordered[1:]):
+        for first, second in zip(ordered, ordered[1:], strict=False):
             if first.end > second.base:
                 raise AssemblerError(
                     f"segments overlap at 0x{second.base:x}")

@@ -107,7 +107,7 @@ class Histogram:
     def snapshot(self) -> Dict:
         return {
             "buckets": {str(bound): count for bound, count
-                        in zip(self.bounds, self.counts)},
+                        in zip(self.bounds, self.counts, strict=False)},
             "overflow": self.counts[-1],
             "count": self.count,
             "sum": self.total,

@@ -208,12 +208,12 @@ class SimulationController:
         self._ff_history.append(to_icount)
         key = rung_key(self._ff_history)
         icount_start = self.icount
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: volatile wall-clock telemetry only
         loaded = ladder.load(key)
         if loaded is not None:
             _ckpt_restore(self.system, loaded)
             skipped = self.icount - icount_start
-            elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start  # repro: volatile wall-clock telemetry only
             self.breakdown.wall_seconds["fast"] += elapsed
             self.breakdown.fast_instructions += skipped
             self._ladder_parent = loaded
@@ -239,9 +239,9 @@ class SimulationController:
 
     def run_fast(self, instructions: int) -> int:
         icount_start = self.icount
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: volatile wall-clock telemetry only
         executed = self.machine.run(instructions, mode=MODE_FAST)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: volatile wall-clock telemetry only
         self.breakdown.wall_seconds["fast"] += elapsed
         self.breakdown.fast_instructions += executed
         self._account("fast", executed, elapsed, icount_start)
@@ -250,9 +250,9 @@ class SimulationController:
     def run_profile(self, instructions: int) -> int:
         self._pristine_fast = False
         icount_start = self.icount
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: volatile wall-clock telemetry only
         executed = self.machine.run(instructions, mode=MODE_PROFILE)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: volatile wall-clock telemetry only
         self.breakdown.wall_seconds["profile"] += elapsed
         self.breakdown.profile_instructions += executed
         self._account("profile", executed, elapsed, icount_start)
@@ -269,10 +269,10 @@ class SimulationController:
             return 0
         self._pristine_fast = False
         icount_start = self.icount
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: volatile wall-clock telemetry only
         executed = self.machine.run(instructions, mode=MODE_EVENT,
                                     sink=self.warming_sink)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: volatile wall-clock telemetry only
         self.breakdown.wall_seconds["warming"] += elapsed
         self.breakdown.warming_instructions += executed
         self._account("warming", executed, elapsed, icount_start)
@@ -290,11 +290,11 @@ class SimulationController:
             return (0, 0)
         self._pristine_fast = False
         icount_start = self.icount
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: volatile wall-clock telemetry only
         checkpoint = self.core.checkpoint()
         executed = self.machine.run(instructions, mode=MODE_EVENT,
                                     sink=self.core)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: volatile wall-clock telemetry only
         self.breakdown.wall_seconds["timed"] += elapsed
         self.breakdown.timed_instructions += executed
         cycles = self.core.last_retire_cycle - checkpoint[1]

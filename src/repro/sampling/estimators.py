@@ -87,7 +87,8 @@ class WeightedClusterEstimator:
             return 0.0
         total_weight = sum(self._weights)
         cycles_per_instruction = sum(
-            weight / ipc for weight, ipc in zip(self._weights, self._ipcs))
+            weight / ipc for weight, ipc
+            in zip(self._weights, self._ipcs, strict=True))
         return total_weight / cycles_per_instruction
 
 

@@ -147,7 +147,7 @@ def choose_clustering(data: np.ndarray, max_k: int, seed: int = 0,
     if best == worst:
         return results[0]
     scores = (bics - worst) / (best - worst)
-    for result, score in zip(results, scores):
+    for result, score in zip(results, scores, strict=True):
         if score >= bic_threshold:
             return result
     return results[int(bics.argmax())]

@@ -698,10 +698,10 @@ class _BlockEmitter:
         out.append(" = ".join(f"CORE.{pos}" for _, _, pos, _ in rings)
                    + " = 0")
         # prev_* mirror the newest ring entries (slow-path invariant)
-        out.append("CORE._prev_fetch, CORE._prev_dispatch, "
-                   "CORE._prev_retire = _t1[%d], _t3[%d], _t5[%d]"
-                   % (self.fring.width - 1, self.dring.width - 1,
-                      self.rring.width - 1))
+        out.append(f"CORE._prev_fetch, CORE._prev_dispatch, "
+                   f"CORE._prev_retire = _t1[{self.fring.width - 1}], "
+                   f"_t3[{self.dring.width - 1}], "
+                   f"_t5[{self.rring.width - 1}]")
         return out
 
     def _advance(self, name: str, size: int, static_flag: bool,

@@ -193,6 +193,28 @@ def event_fields(instr: Instr) -> tuple:
 _CODE_CACHE: dict = {}
 _CODE_CACHE_CAPACITY = 8192
 
+#: lazily bound repro.analysis.sanitizer module (the import is deferred
+#: to first translation so importing repro.vm never drags the analysis
+#: package — and its result-analysis dependencies — along)
+_SANITIZER = None
+
+
+def _sanitize(source: str, env_names, flavor: str) -> None:
+    """Run the generated-superblock sanitizer unless disabled.
+
+    Every source string this module compiles goes through here first
+    (rule REPRO004's runtime counterpart): the sanitizer walks the AST
+    and rejects imports, I/O, and writes outside machine/timing state.
+    ``REPRO_SANITIZE=0`` disables it; results are identical either way
+    because the sanitizer only vets source, it never rewrites it.
+    """
+    global _SANITIZER
+    if _SANITIZER is None:
+        from repro.analysis import sanitizer as _sanitizer_module
+        _SANITIZER = _sanitizer_module
+    if _SANITIZER.sanitizer_enabled():
+        _SANITIZER.sanitize_block_source(source, env_names, flavor)
+
 
 def _block_key(pc: int, instrs, flavor: str, codegen) -> tuple:
     return (flavor, pc,
@@ -245,6 +267,10 @@ class Translator:
                 source = self._generate_fused(pc, instrs, codegen)
             else:
                 source = self._generate(pc, instrs, flavor)
+            env_names = set(self._env_base)
+            if codegen is not None:
+                env_names.update(codegen.env())
+            _sanitize(source, env_names, flavor)
             code = compile(source, f"<block 0x{pc:x} {flavor}>", "exec")
             if len(_CODE_CACHE) >= _CODE_CACHE_CAPACITY:
                 _CODE_CACHE.clear()

@@ -1,0 +1,29 @@
+"""Seeded REPRO002 violations (golden fixture — never imported)."""
+
+import json
+import os
+
+
+def bare_write(path, payload):
+    with open(path, "w") as handle:  # line 8: in-place open for write
+        json.dump(payload, handle)  # line 9: json.dump into the store
+
+
+def marker(path):
+    path.write_text("done")  # line 13: in-place write_text
+
+
+def atomic_ok(path, payload):
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload))  # fine: temp target
+    os.replace(tmp, path)
+
+
+def blessed(path):
+    # repro: store-ok idempotent marker for the fixture
+    path.write_text("done")
+
+
+def read_ok(path):
+    with open(path) as handle:  # fine: read-only
+        return handle.read()

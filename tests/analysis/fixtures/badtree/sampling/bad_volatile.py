@@ -1,0 +1,16 @@
+"""Seeded REPRO003 violations (golden fixture — never imported)."""
+
+
+def canonical_dict(result):
+    return {
+        "ipc": result.ipc,
+        "wall_seconds": result.wall,  # line 7: volatile key in canonical
+    }
+
+
+def publish(record, seconds):
+    record["wall_seconds"] = seconds  # line 12: outside extra/meta
+
+    extra = record.setdefault("extra", {})
+    extra["wall_seconds"] = seconds  # fine: named blessed container
+    extra["hostname"] = "host"  # fine: blessed container name

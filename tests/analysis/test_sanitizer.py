@@ -1,0 +1,189 @@
+"""The generated-superblock sanitizer: rejections and live coverage."""
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import SanitizerError, sanitize_block_source
+
+ENV = frozenset({
+    "M", "ld8", "st8", "SINK", "SyscallTrap", "GuestFault", "CORE",
+})
+
+
+def check(source, env=ENV):
+    sanitize_block_source(source, env)
+
+
+def reasons_of(source, env=ENV):
+    with pytest.raises(SanitizerError) as excinfo:
+        sanitize_block_source(source, env)
+    return "\n".join(excinfo.value.reasons)
+
+
+# ----------------------------------------------------------------------
+# accepted shapes
+
+
+def test_accepts_representative_block():
+    check("""
+def _block(state, budget):
+    r = state.regs
+    r[3] = M(r[1] + r[2])
+    ea = M(r[3] + 16)
+    r[4] = ld8(state, ea)
+    st8(state, ea, r[4])
+    CORE.cycle = CORE.cycle + 1
+    state.pc = 4096
+    state.icount = state.icount + 5
+    return 5
+""")
+
+
+def test_accepts_trap_raise_and_env_except():
+    check("""
+def _block(state, budget):
+    try:
+        raise SyscallTrap(state.pc)
+    except GuestFault:
+        state.pc = 0
+    return 1
+""")
+
+
+def test_accepts_local_list_mutators():
+    check("""
+def _block(state, budget):
+    ways = state.ways
+    way = ways.pop()
+    ways.append(way)
+    ways.insert(0, way)
+    return len(ways)
+""")
+
+
+# ----------------------------------------------------------------------
+# rejected shapes
+
+
+def test_rejects_import():
+    assert "Import" in reasons_of("""
+def _block(state, budget):
+    import os
+    return 0
+""")
+
+
+def test_rejects_open_call():
+    assert "open" in reasons_of("""
+def _block(state, budget):
+    handle = open("/etc/passwd")
+    return 0
+""")
+
+
+def test_rejects_foreign_attribute_write():
+    text = reasons_of("""
+def _block(state, budget):
+    budget.limit.inner = 0
+    return 0
+""")
+    assert "attribute write" in text
+
+
+def test_rejects_unknown_name_read():
+    assert "unknown name" in reasons_of("""
+def _block(state, budget):
+    return secret_global + 1
+""")
+
+
+def test_rejects_dunder_access():
+    assert "dunder" in reasons_of("""
+def _block(state, budget):
+    return state.__dict__
+""")
+
+
+def test_rejects_wrong_module_shape():
+    assert "exactly one" in reasons_of("x = 1\n")
+    assert "exactly one" in reasons_of("""
+def _block(state, budget):
+    return 0
+
+def _other():
+    return 1
+""")
+    assert "signature" in reasons_of("""
+def _block(state, budget, extra):
+    return 0
+""")
+
+
+def test_rejects_nested_def_and_lambda():
+    assert "nested function" in reasons_of("""
+def _block(state, budget):
+    def inner():
+        return 0
+    return inner()
+""")
+    assert "Lambda" in reasons_of("""
+def _block(state, budget):
+    f = lambda: 0
+    return 0
+""")
+
+
+def test_rejects_foreign_raise():
+    assert "raise" in reasons_of("""
+def _block(state, budget):
+    raise ValueError("nope")
+""")
+
+
+def test_rejects_syntax_error():
+    assert "not parseable" in reasons_of("def _block(state budget:\n")
+
+
+# ----------------------------------------------------------------------
+# counters + kill switch
+
+
+def test_stats_count_checks_and_rejections():
+    sanitizer.reset_stats()
+    check("def _block(state, budget):\n    return 0\n")
+    with pytest.raises(SanitizerError):
+        check("import os\n")
+    stats = sanitizer.stats()
+    assert stats == {"checked": 2, "rejected": 1}
+    sanitizer.reset_stats()
+
+
+def test_enabled_env_switch(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert sanitizer.sanitizer_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not sanitizer.sanitizer_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitizer.sanitizer_enabled()
+
+
+# ----------------------------------------------------------------------
+# live coverage: every block a real run compiles must pass
+
+
+def test_every_superblock_of_a_real_run_passes(monkeypatch):
+    """Boot a guest workload, run it through the fused fast path, and
+    require the sanitizer to have vetted every freshly generated
+    superblock with zero rejections."""
+    from repro.vm import translator as translator_module
+    from repro.workloads import load_benchmark
+
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    monkeypatch.setattr(translator_module, "_CODE_CACHE", {})
+    sanitizer.reset_stats()
+    system = load_benchmark("gzip", size="tiny").boot()
+    system.run_to_completion()
+    stats = sanitizer.stats()
+    assert stats["rejected"] == 0
+    assert stats["checked"] > 10  # the run really generated blocks
+    sanitizer.reset_stats()
