@@ -8,10 +8,14 @@ rules check every line of the tree on every CI run.
 
 * **REPRO001** — no nondeterminism sources inside the deterministic
   core (``vm/``, ``timing/``, ``mem/``, ``kernel/``, ``sampling/``,
-  ``isa/``): wall-clock reads, unseeded RNGs, ``os.urandom``, UUIDs,
-  and iteration over unordered ``set``/``frozenset`` values.  Escape
-  hatch: ``# repro: volatile`` + justification, for values that feed
+  ``isa/``) or the telemetry modules (``TELEMETRY_FILES``): wall-clock
+  reads, unseeded RNGs, ``os.urandom``, UUIDs, and iteration over
+  unordered ``set``/``frozenset`` values.  Escape hatch:
+  ``# repro: volatile`` + justification, for values that feed
   telemetry (``extra[...]``, obs metrics) and never canonical results.
+  The telemetry modules are *made of* wall-clock reads — opting them
+  in forces every one of those reads to carry a visible justification
+  instead of silently growing new ones.
 * **REPRO002** — every result-store / checkpoint-store write must
   follow the tmp-then-rename + ``FileLock`` discipline: bare
   ``open(..., "w")``, ``json.dump``, and ``write_text``/``write_bytes``
@@ -32,12 +36,20 @@ from typing import FrozenSet, List, Tuple
 
 from .lintmodel import Finding, SourceFile, dotted_name
 
-__all__ = ["Rule", "ALL_RULES", "CORE_DIRS", "NondeterminismRule",
-           "StoreDisciplineRule", "VolatileFieldRule", "DynamicCodeRule"]
+__all__ = ["Rule", "ALL_RULES", "CORE_DIRS", "TELEMETRY_FILES",
+           "NondeterminismRule", "StoreDisciplineRule",
+           "VolatileFieldRule", "DynamicCodeRule"]
 
 #: package-relative prefixes of the deterministic core
 CORE_DIRS: Tuple[str, ...] = ("vm/", "timing/", "mem/", "kernel/",
                               "sampling/", "isa/")
+
+#: observability modules opted into REPRO001/REPRO003 by name: they
+#: exist to hold volatile data, so every wall-clock read in them must
+#: carry an explicit `# repro: volatile` justification
+TELEMETRY_FILES: Tuple[str, ...] = ("obs/telemetry.py",
+                                    "obs/profiler.py",
+                                    "harness/history.py")
 
 #: modules allowed to call compile()/exec(): the DBT is the one
 #: sanctioned JIT; everything it compiles is vetted by the superblock
@@ -94,7 +106,7 @@ class NondeterminismRule(Rule):
     })
 
     def applies_to(self, source: SourceFile) -> bool:
-        return _in_core(source)
+        return _in_core(source) or source.rel in TELEMETRY_FILES
 
     def check(self, source: SourceFile) -> List[Finding]:
         findings: List[Finding] = []
@@ -163,7 +175,8 @@ class StoreDisciplineRule(Rule):
     directive = "store-ok"
 
     #: substrings marking a module as store code
-    STORE_MARKERS: Tuple[str, ...] = ("results-v2", "checkpoints-v1")
+    STORE_MARKERS: Tuple[str, ...] = ("results-v2", "checkpoints-v1",
+                                      "telemetry-v1")
 
     def applies_to(self, source: SourceFile) -> bool:
         if source.rel.startswith("exec/"):
@@ -253,7 +266,8 @@ class VolatileFieldRule(Rule):
                                 "breakdown", "stats")
 
     def applies_to(self, source: SourceFile) -> bool:
-        return _in_core(source) or source.rel.startswith("exec/")
+        return (_in_core(source) or source.rel.startswith("exec/")
+                or source.rel in TELEMETRY_FILES)
 
     def check(self, source: SourceFile) -> List[Finding]:
         findings: List[Finding] = []

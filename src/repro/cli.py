@@ -11,13 +11,36 @@ Commands
     ``--verbose`` streams one decision line per interval (forces a
     fresh simulation); ``--json`` prints a machine-readable record.
 ``suite [--policy KEY] [--size SIZE] [--benchmarks a,b,c] [--jobs N]
-[--timeout S] [--force] [--trace DIR] [--json] [--verbose]``
+[--timeout S] [--force] [--trace DIR] [--telemetry [DIR]] [--json]
+[--verbose]``
     Run a policy over the suite with per-benchmark error vs full
     timing.  ``--jobs N`` (or ``REPRO_JOBS``) runs the grid on N
     worker processes; progress streams to stderr and a re-invoked
     sweep resumes from the result store, re-running only missing or
     failed cells (``--force`` re-runs everything).  ``--trace DIR``
     writes one tagged JSONL event file per job plus a merged trace.
+    ``--telemetry`` gives the run an on-disk telemetry directory
+    (job lifecycle events, worker heartbeats, end-of-run
+    ``run-report.json``) readable mid-run via ``repro status``.
+``status [RUNDIR] [--stale-after S] [--json]``
+    Live job table for a telemetry run — one row per job with
+    lifecycle state, attempt count, heartbeat age, queue wait and
+    wall time.  Works while the run is in flight; a running job
+    whose worker stopped heartbeating is flagged ``stalled``.
+    RUNDIR defaults to the most recent run under the default
+    telemetry root (a telemetry root is also accepted).
+``report [RUNDIR] [--json]``
+    Summarize a finished run from its ``run-report.json``: outcome
+    and retry counts, total/median wall seconds, queue waits,
+    per-mode wall-clock split, and straggler jobs.
+``profile BENCH [--policy KEY] [--size SIZE] [--top N]
+[--flamegraph FILE] [--chrome FILE] [--json]``
+    Run one fresh simulation with the hot-block profiler enabled
+    and print the top-N superblocks by self time — per-tier
+    dispatch counts, translation cost, and tier-promotion
+    attribution.  ``--flamegraph`` writes collapsed stacks for
+    flamegraph.pl / speedscope; ``--chrome`` exports the spans as a
+    Chrome trace.
 ``trace BENCH --out trace.json [--policy KEY] [--size SIZE]
 [--events FILE.jsonl]``
     Re-simulate with the structured tracer attached and export a
@@ -29,7 +52,7 @@ Commands
     fig2, fig4, fig5, fig6, fig7, fig8, fig9).
 ``bench [--suite hotpath|checkpoint] [--size S[,S]] [--benchmarks a,b]
 [--check] [--update-baseline] [--baseline FILE] [--out FILE]
-[--tolerance F] [--json]``
+[--tolerance F] [--record-history] [--history FILE] [--json]``
     Performance benchmarks backing the CI perf gates.  ``hotpath``
     (default): fused fast path vs the ``REPRO_SLOW_PATH=1``
     interpreter oracle, per mode and suite size, gated against
@@ -39,6 +62,10 @@ Commands
     restore-policy geomean speedup and delta-snapshot ratio).
     ``--check`` fails on a >25% ratio regression vs the committed
     baseline; ``--update-baseline`` rewrites that file.
+    ``--record-history`` appends this run's ratio metrics as a dated
+    entry to ``benchmarks/HISTORY.jsonl``; with ``--check`` the gate
+    also compares against the rolling median of the recorded
+    trajectory, catching slow drift a single-point baseline misses.
 ``exec FILE.s``
     Assemble a Z64 source file, run it on the VM, print its console
     output and exit code.
@@ -131,6 +158,23 @@ def _progress_printer(stream=None):
     return report
 
 
+def _event_printer(stream=None):
+    """Dispatch-time stderr lines: jobs visible when they *start*
+    (and when a crashed worker is retried), not only when they land —
+    the engine ``on_event`` hook."""
+    stream = stream or sys.stderr
+
+    def on_event(event):
+        if event.kind == "started":
+            print(f"[start] {event.spec.job_id}", file=stream,
+                  flush=True)
+        elif event.kind == "retrying":
+            print(f"[retry] {event.spec.job_id} "
+                  f"(attempt {event.attempt})", file=stream, flush=True)
+
+    return on_event
+
+
 def _print_failures(failures) -> None:
     from repro.exec import format_failure_summary
     print(format_failure_summary(failures), file=sys.stderr)
@@ -206,13 +250,26 @@ def _cmd_suite(args) -> int:
             return _verbose_tracer(label=spec.benchmark,
                                    to_stderr=args.json)
 
+    telemetry_root = None
+    if args.telemetry:
+        from repro.obs import telemetry as telemetry_mod
+        telemetry_root = (telemetry_mod.default_telemetry_root()
+                          if args.telemetry == "auto"
+                          else args.telemetry)
     engine = ExperimentEngine(
         jobs=args.jobs, timeout=args.timeout,
         trace_dir=args.trace or None, tracer_factory=tracer_factory,
-        progress=_progress_printer())
+        progress=_progress_printer(),
+        telemetry_dir=telemetry_root,
+        on_event=_event_printer() if telemetry_root else None)
     specs = [make_spec(name, key, args.size)
              for name in names for key in dict.fromkeys(["full", policy])]
     outcomes = engine.run(specs, force=args.force)
+    if engine.telemetry_run_dir is not None:
+        # also where run-report.json now lives; `repro status` /
+        # `repro report` with no argument find this run automatically
+        print(f"telemetry: {engine.telemetry_run_dir}",
+              file=sys.stderr)
     failures = failed_jobs(outcomes)
     if failures:
         _print_failures(failures)
@@ -349,6 +406,14 @@ def _cmd_bench(args) -> int:
     if args.out:
         module.write_baseline(payload, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
+    from repro.harness import history
+    history_path = args.history or history.DEFAULT_HISTORY
+    recorded = None
+    if args.record_history:
+        recorded = history.make_entry(args.suite, payload)
+        count = history.append_history(history_path, recorded)
+        print(f"history: entry {count} appended to {history_path}",
+              file=sys.stderr)
     if args.update_baseline:
         module.write_baseline(payload, baseline_path)
         print(f"baseline updated: {baseline_path}", file=sys.stderr)
@@ -362,13 +427,193 @@ def _cmd_bench(args) -> int:
             return 2
         problems = module.compare_to_baseline(
             payload, baseline, tolerance=args.tolerance)
+        # trajectory gate: this run vs the rolling median of the
+        # recorded history (appended in-memory when --record-history
+        # didn't already persist it)
+        entries = history.load_history(history_path)
+        if recorded is None:
+            entries.append(history.make_entry(args.suite, payload))
+        problems += [
+            f"trajectory {problem}" for problem in
+            history.detect_regressions(entries, suite=args.suite,
+                                       tolerance=args.tolerance)]
         if problems:
             print("perf gate FAILED:", file=sys.stderr)
             for problem in problems:
                 print(f"  {problem}", file=sys.stderr)
             return 1
         print("perf gate passed (speedup ratios within "
-              f"{args.tolerance:.0%} of baseline)", file=sys.stderr)
+              f"{args.tolerance:.0%} of baseline and of the "
+              "rolling history median)", file=sys.stderr)
+    return 0
+
+
+def _resolve_run_dir(arg: str):
+    """RUNDIR argument -> concrete run directory (or ``None``).
+
+    Accepts a run directory, a telemetry root (picks its most recent
+    run), or nothing (most recent run under the default root).
+    """
+    from pathlib import Path
+
+    from repro.obs import telemetry
+    if arg:
+        path = Path(arg)
+        if (telemetry.read_manifest(path) is not None
+                or (path / telemetry.EVENTS_NAME).exists()):
+            return path
+        return telemetry.find_latest_run(path)
+    return telemetry.find_latest_run()
+
+
+def _cmd_status(args) -> int:
+    from repro.obs import telemetry
+    run_dir = _resolve_run_dir(args.run_dir)
+    if run_dir is None:
+        print("no telemetry runs found; start one with "
+              "`repro suite --telemetry` (or pass a run directory)",
+              file=sys.stderr)
+        return 2
+    rows = telemetry.job_status_rows(run_dir,
+                                     stale_after=args.stale_after)
+    if args.json:
+        print(json.dumps({"run_dir": str(run_dir), "jobs": rows},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"run: {run_dir}")
+    manifest = telemetry.read_manifest(run_dir)
+    if manifest:
+        print(f"backend {manifest.get('backend', '?')} "
+              f"(--jobs {manifest.get('parallel_jobs', '?')}), "
+              f"{len(manifest.get('jobs', []))} job(s) in manifest")
+    if not rows:
+        print("no lifecycle events yet")
+        return 0
+    print(telemetry.format_status_table(rows))
+    return 0
+
+
+def _format_report(report) -> str:
+    retries = report.get("retries", 0)
+    lines = [
+        f"run     : {report.get('run_id') or '?'}",
+        f"backend : {report.get('backend', '?')} "
+        f"(--jobs {report.get('parallel_jobs', '?')})",
+        f"jobs    : {report.get('jobs_total', 0)} total -- "
+        f"{report.get('ok', 0)} ok, {report.get('failed', 0)} failed, "
+        f"{report.get('cached', 0)} cached"
+        + (f", {retries} crash retry attempt(s)" if retries else ""),
+        f"wall    : {report.get('wall_seconds_total', 0.0):.1f}s "
+        f"total, median fresh "
+        f"{report.get('median_wall_seconds', 0.0):.1f}s",
+    ]
+    stragglers = report.get("stragglers") or []
+    if stragglers:
+        lines.append(f"stragglers: {', '.join(stragglers)} "
+                     "(>2x median fresh wall time)")
+    lines.append("")
+    lines.append(f"{'job':<34} {'status':<7} {'att':>3} {'wall':>8} "
+                 f"{'q-wait':>7}  detail")
+    for job in report.get("jobs", []):
+        queue_wait = job.get("queue_wait_seconds")
+        by_mode = job.get("wall_seconds_by_mode") or {}
+        detail = " ".join(f"{mode}={by_mode[mode]:.2f}s"
+                          for mode in sorted(by_mode))
+        if job.get("cached"):
+            detail = "(cached)"
+        if job.get("error"):
+            detail = str(job["error"])
+        if job.get("straggler"):
+            detail = f"STRAGGLER {detail}".rstrip()
+        lines.append(
+            f"{job.get('job', '?'):<34} {job.get('status', '?'):<7} "
+            f"{job.get('attempts', 1):>3} "
+            f"{job.get('wall_seconds', 0.0):>7.1f}s "
+            f"{'-' if queue_wait is None else f'{queue_wait:.1f}s':>7}"
+            f"  {detail}")
+    return "\n".join(lines)
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import telemetry
+    run_dir = _resolve_run_dir(args.run_dir)
+    if run_dir is None:
+        print("no telemetry runs found; start one with "
+              "`repro suite --telemetry` (or pass a run directory)",
+              file=sys.stderr)
+        return 2
+    report = telemetry.read_report(run_dir)
+    if report is None:
+        print(f"{run_dir} has no {telemetry.REPORT_NAME} yet — run "
+              "still in flight, or killed before the engine wrote "
+              "it; live status:", file=sys.stderr)
+        rows = telemetry.job_status_rows(run_dir)
+        print(telemetry.format_status_table(rows) if rows
+              else "no lifecycle events", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(_format_report(report))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.exec import execute_spec
+    from repro.obs import (disable_profiling, enable_profiling,
+                           export_chrome_trace)
+    profiler = enable_profiling()
+    profiler.reset()
+    try:
+        # execute_spec directly: always a fresh simulation (never
+        # served from the result store), so every block the run
+        # touches is translated — and therefore wrapped — here
+        result = execute_spec(make_spec(args.benchmark, args.policy,
+                                        args.size))
+    finally:
+        disable_profiling()
+    summary = profiler.summary()
+    if args.json:
+        print(json.dumps({
+            "benchmark": result.benchmark,
+            "policy": result.policy,
+            "ipc": result.ipc,
+            "summary": summary,
+            "top_blocks": [record.to_dict() for record in
+                           profiler.top_blocks(args.top)],
+            "promoted_pcs": [hex(pc) for pc in
+                             profiler.promoted_pcs()],
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"benchmark : {result.benchmark}")
+        print(f"policy    : {result.policy}")
+        print(f"IPC       : {result.ipc:.4f}")
+        print(f"profiled  : {summary['blocks']} (pc, tier) blocks, "
+              f"{summary['dispatches']} dispatches, "
+              f"{summary['self_seconds']:.3f}s self time, "
+              f"{summary['translate_seconds']:.3f}s translating")
+        promoted = profiler.promoted_pcs()
+        if promoted:
+            shown = ", ".join(hex(pc) for pc in promoted[:8])
+            more = ("" if len(promoted) <= 8
+                    else f" (+{len(promoted) - 8} more)")
+            print(f"promoted  : {len(promoted)} block(s) reached a "
+                  f"fused tier: {shown}{more}")
+        print()
+        print(profiler.format_table(args.top))
+    if args.flamegraph:
+        lines = profiler.collapsed_stacks()
+        with open(args.flamegraph, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"flamegraph: {args.flamegraph} ({len(lines)} collapsed "
+              "stacks) — feed to flamegraph.pl or speedscope",
+              file=sys.stderr)
+    if args.chrome:
+        records = export_chrome_trace(profiler.trace_events(),
+                                      args.chrome)
+        print(f"chrome    : {args.chrome} ({records} records) — open "
+              "in chrome://tracing or https://ui.perfetto.dev",
+              file=sys.stderr)
     return 0
 
 
@@ -434,6 +679,13 @@ def main(argv=None) -> int:
     suite_parser.add_argument("--trace", default="",
                               help="directory for per-job JSONL "
                                    "traces (+ merged.jsonl)")
+    suite_parser.add_argument("--telemetry", nargs="?", const="auto",
+                              default="",
+                              help="write run telemetry (lifecycle "
+                                   "events, heartbeats, run report) "
+                                   "under DIR; no DIR = the default "
+                                   "telemetry root. Watch with "
+                                   "`repro status`")
     suite_parser.add_argument("--json", action="store_true",
                               help="machine-readable output")
     suite_parser.add_argument("--verbose", action="store_true",
@@ -491,13 +743,66 @@ def main(argv=None) -> int:
     bench_parser.add_argument("--tolerance", type=float, default=0.25,
                               help="allowed fractional speedup "
                                    "regression (default 0.25)")
+    bench_parser.add_argument("--record-history", action="store_true",
+                              help="append this run's ratio metrics "
+                                   "as a dated entry to the history "
+                                   "file")
+    bench_parser.add_argument("--history", default="",
+                              help="history JSONL path (default: "
+                                   "benchmarks/HISTORY.jsonl)")
     bench_parser.add_argument("--json", action="store_true",
                               help="machine-readable output")
+
+    from repro.obs.telemetry import STALE_AFTER
+    status_parser = sub.add_parser("status", help="live job table "
+                                                  "for a telemetry "
+                                                  "run")
+    status_parser.add_argument("run_dir", nargs="?", default="",
+                               help="run directory or telemetry root "
+                                    "(default: the most recent run "
+                                    "under the default root)")
+    status_parser.add_argument("--stale-after", type=float,
+                               default=STALE_AFTER,
+                               help="seconds without a heartbeat "
+                                    "before a running job is flagged "
+                                    f"stalled (default {STALE_AFTER:g})")
+    status_parser.add_argument("--json", action="store_true",
+                               help="machine-readable output")
+
+    report_parser = sub.add_parser("report", help="summarize a "
+                                                  "finished run from "
+                                                  "its run report")
+    report_parser.add_argument("run_dir", nargs="?", default="",
+                               help="run directory or telemetry root "
+                                    "(default: the most recent run "
+                                    "under the default root)")
+    report_parser.add_argument("--json", action="store_true",
+                               help="print run-report.json verbatim")
+
+    profile_parser = sub.add_parser("profile", help="hot-block "
+                                                    "profile of one "
+                                                    "fresh run")
+    profile_parser.add_argument("benchmark")
+    profile_parser.add_argument("--policy", default="CPU-300-1M-inf")
+    profile_parser.add_argument("--size", default="small")
+    profile_parser.add_argument("--top", type=int, default=20,
+                                help="rows in the hot-block table")
+    profile_parser.add_argument("--flamegraph", default="",
+                                help="write collapsed stacks here "
+                                     "(flamegraph.pl / speedscope "
+                                     "input)")
+    profile_parser.add_argument("--chrome", default="",
+                                help="write profile spans as a "
+                                     "Chrome-trace JSON file")
+    profile_parser.add_argument("--json", action="store_true",
+                                help="machine-readable output")
 
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "suite": _cmd_suite,
                 "trace": _cmd_trace, "figure": _cmd_figure,
-                "exec": _cmd_exec, "bench": _cmd_bench}
+                "exec": _cmd_exec, "bench": _cmd_bench,
+                "status": _cmd_status, "report": _cmd_report,
+                "profile": _cmd_profile}
     return handlers[args.command](args)
 
 

@@ -35,14 +35,14 @@ from .ckptstore import (CKPT_DIR_NAME, CheckpointLadder,
 from .engine import (ExperimentEngine, ExperimentError, default_jobs,
                      failed_jobs, format_failure_summary,
                      merge_job_events)
-from .spec import (CACHE_VERSION, JobResult, JobSpec,
+from .spec import (CACHE_VERSION, JobEvent, JobResult, JobSpec,
                    config_fingerprint, default_fingerprint)
 from .store import (FileLock, ResultStore, default_cache_root,
                     default_store)
 from .worker import execute_spec
 
 __all__ = [
-    "CACHE_VERSION", "JobSpec", "JobResult",
+    "CACHE_VERSION", "JobSpec", "JobResult", "JobEvent",
     "config_fingerprint", "default_fingerprint",
     "FileLock", "ResultStore", "default_cache_root", "default_store",
     "ExecutionBackend", "SerialBackend", "ProcessPoolBackend",

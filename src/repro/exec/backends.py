@@ -15,7 +15,10 @@ Two implementations of one interface:
 
 Both backends call ``on_result`` as each job finishes, so the engine
 can persist results incrementally — that is what makes an interrupted
-sweep resumable.
+sweep resumable.  They also call ``on_start`` as each job (or crash
+retry) is dispatched, which is what feeds the engine's lifecycle
+telemetry: progress is visible while jobs are in flight, not only when
+they complete.
 """
 
 from __future__ import annotations
@@ -63,13 +66,19 @@ def _pool_context() -> "_mp.context.BaseContext":
 
 
 class ExecutionBackend:
-    """Runs a batch of job specs, reporting each result as it lands."""
+    """Runs a batch of job specs, reporting each result as it lands.
+
+    ``on_start(spec, attempt)`` fires when a job is dispatched
+    (``attempt > 1`` means a crash retry); ``on_result(job_result)``
+    fires as each job finishes.
+    """
 
     name = "backend"
 
     def run(self, specs: List[JobSpec],
             on_result: Optional[Callable[[JobResult], None]] = None,
-            tracers: Optional[Dict[str, object]] = None
+            tracers: Optional[Dict[str, object]] = None,
+            on_start: Optional[Callable[[JobSpec, int], None]] = None
             ) -> List[JobResult]:
         raise NotImplementedError
 
@@ -84,10 +93,13 @@ class SerialBackend(ExecutionBackend):
 
     def run(self, specs: List[JobSpec],
             on_result: Optional[Callable[[JobResult], None]] = None,
-            tracers: Optional[Dict[str, object]] = None
+            tracers: Optional[Dict[str, object]] = None,
+            on_start: Optional[Callable[[JobSpec, int], None]] = None
             ) -> List[JobResult]:
         results: List[JobResult] = []
         for spec in specs:
+            if on_start is not None:
+                on_start(spec, 1)
             started = time.perf_counter()
             tracer = (tracers or {}).get(spec.key)
             try:
@@ -163,13 +175,15 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def run(self, specs: List[JobSpec],
             on_result: Optional[Callable[[JobResult], None]] = None,
-            tracers: Optional[Dict[str, object]] = None
+            tracers: Optional[Dict[str, object]] = None,
+            on_start: Optional[Callable[[JobSpec, int], None]] = None
             ) -> List[JobResult]:
         if tracers:
             raise ValueError("per-job tracers require the serial "
                              "backend (they cannot cross processes)")
         if not multiprocessing_available():
-            return SerialBackend(self._worker).run(specs, on_result)
+            return SerialBackend(self._worker).run(specs, on_result,
+                                                   on_start=on_start)
         ctx = _pool_context()
         pending = deque((spec, 1) for spec in specs)
         running: Dict[str, _Running] = {}
@@ -177,7 +191,8 @@ class ProcessPoolBackend(ExecutionBackend):
         try:
             while pending or running:
                 while pending and len(running) < self.jobs:
-                    self._start(ctx, pending.popleft(), running)
+                    self._start(ctx, pending.popleft(), running,
+                                on_start)
                 self._wait(running)
                 for job_result in self._reap(running, pending):
                     outcomes[job_result.spec.key] = job_result
@@ -193,8 +208,12 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _start(self, ctx: "_mp.context.BaseContext",
                item: "tuple[JobSpec, int]",
-               running: Dict[str, "_Running"]) -> None:
+               running: Dict[str, "_Running"],
+               on_start: Optional[Callable[[JobSpec, int], None]] = None
+               ) -> None:
         spec, attempt = item
+        if on_start is not None:
+            on_start(spec, attempt)
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=_child_main,
                            args=(child_conn, spec, self._worker),

@@ -18,14 +18,19 @@ from __future__ import annotations
 
 import os
 import re
+import statistics
+import time
 from dataclasses import replace
 from pathlib import Path
-from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
-                    Tuple)
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List,
+                    Optional, Sequence, Set, Tuple)
 
 from .backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
-from .spec import JobResult, JobSpec
+from .spec import JobEvent, JobResult, JobSpec
 from .store import ResultStore, default_store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import RunTelemetry
 
 __all__ = ["ExperimentEngine", "ExperimentError", "failed_jobs",
            "format_failure_summary", "merge_job_events"]
@@ -61,10 +66,17 @@ def failed_jobs(outcomes: Dict[str, JobResult]) -> List[JobResult]:
 def format_failure_summary(failures: Sequence[JobResult]) -> str:
     lines = [f"{len(failures)} job(s) failed:"]
     for job_result in failures:
+        retries = max(job_result.attempts - 1, 0)
+        retry_note = f", {retries} crash retr{'y' if retries == 1 else 'ies'}" if retries else ""
         lines.append(f"  {job_result.spec.job_id:40s} "
                      f"[{job_result.backend}, "
-                     f"attempt {job_result.attempts}] "
+                     f"attempt {job_result.attempts}{retry_note}] "
                      f"{job_result.error}")
+    total_retries = sum(max(job_result.attempts - 1, 0)
+                        for job_result in failures)
+    if total_retries:
+        lines.append(f"  ({total_retries} crash retry attempt(s) "
+                     "consumed across failed jobs)")
     return "\n".join(lines)
 
 
@@ -74,18 +86,28 @@ def _events_filename(spec: JobSpec) -> str:
 
 def merge_job_events(trace_dir: "Path | str") -> List:
     """Merge the per-job JSONL traces under ``trace_dir`` into one
-    coherent event list (grouped by job tag, time-ordered within a
-    job — each job's tracer has its own epoch, so cross-job timestamp
-    order is not meaningful)."""
+    coherent event list.
+
+    The order is fully deterministic: timestamp first, then the job
+    tag, then each event's sequence number within its source file
+    (files are visited in sorted name order, so the tiebreak chain
+    never falls through to comparing event objects).  Each job's
+    tracer has its own epoch, so cross-job timestamp order is only a
+    rough interleaving — but for identical inputs the merged order is
+    bit-for-bit stable across runs and filesystems.
+    """
     from repro.obs import read_jsonl
-    events = []
-    for path in sorted(Path(trace_dir).glob("*.jsonl")):
+    tagged = []
+    for file_index, path in enumerate(
+            sorted(Path(trace_dir).glob("*.jsonl"))):
         if path.name == "merged.jsonl":
             continue
-        events.extend(read_jsonl(path))
-    events.sort(key=lambda event: (str(event.payload.get("job", "")),
-                                   event.ts, event.icount))
-    return events
+        for seq, event in enumerate(read_jsonl(path)):
+            tagged.append((event.ts,
+                           str(event.payload.get("job", "")),
+                           file_index, seq, event))
+    tagged.sort(key=lambda item: item[:4])
+    return [item[4] for item in tagged]
 
 
 class ExperimentEngine:
@@ -98,12 +120,28 @@ class ExperimentEngine:
                  crash_retries: int = 1,
                  trace_dir: "Path | str | None" = None,
                  tracer_factory: Optional[Callable] = None,
-                 progress: Optional[Callable] = None) -> None:
+                 progress: Optional[Callable] = None,
+                 telemetry_dir: "Path | str | None" = None,
+                 run_id: Optional[str] = None,
+                 on_event: Optional[Callable[[JobEvent], None]] = None
+                 ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.store = store if store is not None else default_store()
         self.trace_dir = Path(trace_dir) if trace_dir else None
         self.tracer_factory = tracer_factory
         self.progress = progress
+        #: lifecycle callback: fires on queued/started/retrying as well
+        #: as completion — unlike ``progress``, which by contract only
+        #: fires when a job result lands
+        self.on_event = on_event
+        self._telemetry_root = (Path(telemetry_dir) if telemetry_dir
+                                else None)
+        self._run_id = run_id
+        self._telemetry: Optional["RunTelemetry"] = None
+        self._manifest_jobs: Set[str] = set()
+        self._report_outcomes: Dict[str, JobResult] = {}
+        self._queued_at: Dict[str, float] = {}
+        self._queue_wait: Dict[str, float] = {}
         if backend is not None:
             self.backend = backend
         elif self.jobs > 1:
@@ -124,7 +162,12 @@ class ExperimentEngine:
         results.  Tracer-attached jobs always simulate fresh and are
         never written back (their wall times include tracing cost).
         """
+        telemetry = self._ensure_telemetry()
         specs = self._prepare(specs)
+        if telemetry is not None:
+            self._manifest_jobs.update(spec.job_id for spec in specs)
+            telemetry.write_manifest(sorted(self._manifest_jobs),
+                                     self.backend.name, self.jobs)
         tracers = self._resolve_tracers(specs)
         outcomes: Dict[str, JobResult] = {}
         total = len(specs)
@@ -138,28 +181,52 @@ class ExperimentEngine:
                         spec=spec, status="ok", result=cached,
                         cached=True, backend="cache")
                     outcomes[spec.key] = job_result
+                    self._report_outcomes[spec.key] = job_result
+                    self._emit("cached", spec)
                     self._notify(job_result, len(outcomes), total)
                     continue
             pending.append(spec)
+            self._queued_at[spec.key] = time.monotonic()
+            self._emit("queued", spec)
 
-        if pending:
-            backend = self.backend
-            if tracers and not isinstance(backend, SerialBackend):
-                backend = SerialBackend()  # tracers cannot cross procs
+        try:
+            if pending:
+                backend = self.backend
+                if tracers and not isinstance(backend, SerialBackend):
+                    backend = SerialBackend()  # tracers can't cross procs
 
-            def on_result(job_result: JobResult) -> None:
-                spec = job_result.spec
-                traced = bool(spec.events_path) or spec.key in tracers
-                if job_result.ok and use_cache and not traced:
-                    self.store.put(spec.key, job_result.result, meta={
-                        "backend": job_result.backend,
-                        "attempts": job_result.attempts,
-                        "wall_seconds": job_result.wall_seconds,
-                    })
-                outcomes[spec.key] = job_result
-                self._notify(job_result, len(outcomes), total)
+                def on_start(spec: JobSpec, attempt: int) -> None:
+                    queued = self._queued_at.get(spec.key)
+                    if queued is not None and spec.key not in self._queue_wait:
+                        self._queue_wait[spec.key] = max(
+                            time.monotonic() - queued, 0.0)
+                    self._emit("started" if attempt <= 1 else "retrying",
+                               spec, attempt=attempt)
 
-            backend.run(pending, on_result, tracers=tracers or None)
+                def on_result(job_result: JobResult) -> None:
+                    spec = job_result.spec
+                    traced = bool(spec.events_path) or spec.key in tracers
+                    if job_result.ok and use_cache and not traced:
+                        self.store.put(spec.key, job_result.result, meta={
+                            "backend": job_result.backend,
+                            "attempts": job_result.attempts,
+                            "wall_seconds": job_result.wall_seconds,
+                        })
+                    outcomes[spec.key] = job_result
+                    self._report_outcomes[spec.key] = job_result
+                    self._emit("done" if job_result.ok else "failed",
+                               spec, attempt=job_result.attempts,
+                               wall_seconds=job_result.wall_seconds,
+                               error=job_result.error)
+                    self._notify(job_result, len(outcomes), total)
+
+                backend.run(pending, on_result, tracers=tracers or None,
+                            on_start=on_start)
+        finally:
+            # end-of-run report; also written when a sweep is
+            # interrupted so the partial run stays inspectable
+            if telemetry is not None:
+                telemetry.write_report(self.build_run_report())
         return outcomes
 
     def run_grid(self, benchmarks: Sequence[str],
@@ -180,6 +247,108 @@ class ExperimentEngine:
 
     # ------------------------------------------------------------------
 
+    def _ensure_telemetry(self) -> Optional["RunTelemetry"]:
+        """Create the run's telemetry directory on first use.
+
+        One engine = one run directory, even across multiple ``run()``
+        calls: the report accumulates every outcome the engine has
+        seen, so a sweep that runs in phases still ends with a single
+        coherent ``run-report.json``.
+        """
+        if self._telemetry_root is None:
+            return None
+        if self._telemetry is None:
+            from repro.obs.telemetry import RunTelemetry
+            self._telemetry = RunTelemetry(root=self._telemetry_root,
+                                           run_id=self._run_id)
+        return self._telemetry
+
+    @property
+    def telemetry_run_dir(self) -> Optional[Path]:
+        """The live run directory (``None`` until telemetry starts)."""
+        return (self._telemetry.run_dir
+                if self._telemetry is not None else None)
+
+    def _emit(self, kind: str, spec: JobSpec, attempt: int = 1,
+              wall_seconds: float = 0.0, error: str = "") -> None:
+        if self.on_event is not None:
+            self.on_event(JobEvent(kind=kind, spec=spec,
+                                   attempt=attempt,
+                                   wall_seconds=wall_seconds,
+                                   error=error))
+        if self._telemetry is not None:
+            telemetry_fields: Dict[str, object] = {"attempt": attempt}
+            if kind in ("done", "failed", "cached"):
+                telemetry_fields["wall_seconds"] = wall_seconds
+            if error:
+                telemetry_fields["error"] = error
+            self._telemetry.emit(kind, spec.job_id, **telemetry_fields)
+
+    def build_run_report(self) -> Dict[str, object]:
+        """Machine-readable roll-up of every outcome this engine saw.
+
+        A job is a *straggler* when its fresh wall time is more than
+        twice the median fresh wall time and at least half a second
+        above it (the floor keeps sub-second suites from flagging
+        noise) — the signal the paper's cost ledger cares about when
+        one grid cell dominates a sweep.
+        """
+        fresh_walls = sorted(
+            job_result.wall_seconds
+            for job_result in self._report_outcomes.values()
+            if job_result.ok and not job_result.cached)
+        median = statistics.median(fresh_walls) if fresh_walls else 0.0
+        jobs: List[Dict[str, object]] = []
+        stragglers: List[str] = []
+        for key in sorted(self._report_outcomes):
+            job_result = self._report_outcomes[key]
+            spec = job_result.spec
+            extra = (job_result.result.extra
+                     if job_result.result is not None else {})
+            straggler = bool(
+                job_result.ok and not job_result.cached
+                and median > 0.0
+                and job_result.wall_seconds > 2.0 * median
+                and job_result.wall_seconds - median > 0.5)
+            if straggler:
+                stragglers.append(spec.job_id)
+            jobs.append({
+                "job": spec.job_id,
+                "key": key,
+                "status": job_result.status,
+                "cached": job_result.cached,
+                "backend": job_result.backend,
+                "attempts": job_result.attempts,
+                "error": job_result.error,
+                "wall_seconds": job_result.wall_seconds,
+                "queue_wait_seconds": self._queue_wait.get(key),
+                "wall_seconds_by_mode":
+                    extra.get("wall_seconds_by_mode"),
+                "straggler": straggler,
+            })
+        outcomes = self._report_outcomes.values()
+        return {
+            "schema": 1,
+            "run_id": (self._telemetry.run_id
+                       if self._telemetry is not None else ""),
+            "generated_at": time.time(),
+            "backend": self.backend.name,
+            "parallel_jobs": self.jobs,
+            "jobs_total": len(jobs),
+            "ok": sum(job_result.ok for job_result in outcomes),
+            "failed": sum(not job_result.ok
+                          for job_result in outcomes),
+            "cached": sum(job_result.cached
+                          for job_result in outcomes),
+            "retries": sum(max(job_result.attempts - 1, 0)
+                           for job_result in outcomes),
+            "wall_seconds_total": sum(job_result.wall_seconds
+                                      for job_result in outcomes),
+            "median_wall_seconds": median,
+            "stragglers": stragglers,
+            "jobs": jobs,
+        }
+
     def _prepare(self, specs: Iterable[JobSpec]) -> List[JobSpec]:
         unique = list({spec.key: spec for spec in specs}.values())
         from .ckptstore import CKPT_DIR_NAME
@@ -188,6 +357,12 @@ class ExperimentEngine:
             spec if spec.checkpoint_root else replace(
                 spec, checkpoint_root=checkpoint_root)
             for spec in unique]
+        if self._telemetry is not None:
+            run_dir = str(self._telemetry.run_dir)
+            unique = [
+                spec if spec.telemetry_dir else replace(
+                    spec, telemetry_dir=run_dir)
+                for spec in unique]
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
             unique = [

@@ -24,8 +24,8 @@ from typing import Dict, Optional
 from repro.sampling import PolicyResult
 
 __all__ = [
-    "CACHE_VERSION", "JobSpec", "JobResult", "config_fingerprint",
-    "default_fingerprint",
+    "CACHE_VERSION", "JobSpec", "JobResult", "JobEvent",
+    "config_fingerprint", "default_fingerprint",
 ]
 
 #: bump to invalidate cached results when result semantics change
@@ -80,6 +80,11 @@ class JobSpec:
     #: results are identical with or without it, so like ``events_path``
     #: it is not part of the result-store key.
     checkpoint_root: str = ""
+    #: telemetry run directory (``telemetry-v1/<run-id>``); set by the
+    #: engine when run telemetry is enabled.  Workers write periodic
+    #: heartbeat + metrics snapshots under it.  Pure observability —
+    #: never part of the result-store key.
+    telemetry_dir: str = ""
 
     @property
     def key(self) -> str:
@@ -98,6 +103,24 @@ class JobSpec:
     @classmethod
     def from_dict(cls, data: Dict) -> "JobSpec":
         return cls(**data)
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One engine-side job lifecycle notification.
+
+    ``kind`` is ``queued`` / ``started`` / ``retrying`` / ``done`` /
+    ``failed`` / ``cached``.  Start and retry events fire *before* the
+    job runs (so progress consumers see in-flight work, not just
+    completions); ``wall_seconds`` and ``error`` are meaningful only on
+    terminal kinds.
+    """
+
+    kind: str
+    spec: JobSpec
+    attempt: int = 1
+    wall_seconds: float = 0.0
+    error: str = ""
 
 
 @dataclass

@@ -27,6 +27,12 @@ def execute_spec(spec: JobSpec,
     JSONL file tracer is attached for the duration of the job, with
     every event tagged ``job=<job_id>`` so traces from parallel
     workers can be merged coherently.
+
+    When ``spec.telemetry_dir`` is set, a heartbeat thread writes
+    periodic liveness + metrics-registry snapshots under it for the
+    duration of the job (metrics are enabled for the job so the
+    snapshots carry live counters; the previous enablement state is
+    restored on exit — a no-op in the usual forked-worker case).
     """
     from repro.harness.experiments import policy_factory
     from repro.sampling import SimulationController
@@ -38,6 +44,15 @@ def execute_spec(spec: JobSpec,
         from repro.obs import JsonlFileSink, Tracer
         owned_tracer = tracer = Tracer(JsonlFileSink(spec.events_path),
                                        tags={"job": spec.job_id})
+    heartbeat = None
+    metrics_were_enabled = True
+    if spec.telemetry_dir:
+        from repro.obs import enable_metrics, metrics_enabled
+        from repro.obs.telemetry import HeartbeatWriter
+        metrics_were_enabled = metrics_enabled()
+        enable_metrics()
+        heartbeat = HeartbeatWriter(spec.telemetry_dir,
+                                    spec.job_id).start()
     try:
         workload = load_benchmark(spec.benchmark, size=spec.size)
         controller = SimulationController(
@@ -55,7 +70,17 @@ def execute_spec(spec: JobSpec,
                     program_fingerprint(workload),
                     config_fingerprint(None, SUITE_MACHINE_KWARGS)))
         result = policy_factory(spec.policy)().run(controller)
+    except BaseException:
+        if heartbeat is not None:
+            heartbeat.stop("failed")
+            heartbeat = None
+        raise
     finally:
+        if heartbeat is not None:
+            heartbeat.stop("done")
+        if spec.telemetry_dir and not metrics_were_enabled:
+            from repro.obs import disable_metrics
+            disable_metrics()
         if owned_tracer is not None:
             owned_tracer.close()
     result.fingerprint = spec.fingerprint

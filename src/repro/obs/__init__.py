@@ -24,10 +24,13 @@ Quick start::
 """
 
 from .chrometrace import export_chrome_trace, to_chrome_trace
-from .events import (EV_DECISION, EV_MARK, EV_MODE, EV_VMSTATS,
-                     EV_WARMSTATE, EVENT_TYPES, TraceEvent)
+from .events import (EV_DECISION, EV_MARK, EV_MODE, EV_PROFILE,
+                     EV_VMSTATS, EV_WARMSTATE, EVENT_TYPES, TraceEvent)
 from .hooks import (DecisionLogSink, decision_timeline,
                     format_decision_line, mode_spans)
+from .profiler import (BlockProfiler, BlockRecord, disable_profiling,
+                       enable_profiling, get_profiler,
+                       profiling_enabled, reset_profiler)
 from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
                        NullRegistry, disable_metrics, enable_metrics,
                        get_registry, metrics_enabled, reset_metrics)
@@ -41,8 +44,12 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "enable_metrics", "disable_metrics", "metrics_enabled",
     "get_registry", "reset_metrics",
+    "BlockProfiler", "BlockRecord",
+    "enable_profiling", "disable_profiling", "profiling_enabled",
+    "get_profiler", "reset_profiler",
     "TraceEvent", "EVENT_TYPES",
     "EV_MODE", "EV_DECISION", "EV_VMSTATS", "EV_WARMSTATE", "EV_MARK",
+    "EV_PROFILE",
     "TraceSink", "NullSink", "RingBufferSink", "JsonlFileSink",
     "CallbackSink", "TeeSink", "read_jsonl", "write_jsonl",
     "Tracer", "NullTracer", "NULL_TRACER",

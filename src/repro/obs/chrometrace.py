@@ -13,6 +13,9 @@ the Chrome Trace Event Format (the JSON object form), which both
                          CPU/EXC/IO statistic streams and per-mode
                          instruction counters
 * ``warmstate``        → instant events on the "timing core" track
+* ``profile.block``    → complete spans on the "hot blocks" track —
+                         the profiler lays blocks back-to-back so span
+                         width is the block's share of DBT self time
 * everything else      → instant events on the "misc" track
 
 Timestamps are microseconds since the tracer epoch; ``mode`` spans are
@@ -26,8 +29,8 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Union
 
-from .events import (EV_DECISION, EV_MODE, EV_VMSTATS, EV_WARMSTATE,
-                     TraceEvent)
+from .events import (EV_DECISION, EV_MODE, EV_PROFILE, EV_VMSTATS,
+                     EV_WARMSTATE, TraceEvent)
 
 __all__ = ["to_chrome_trace", "export_chrome_trace"]
 
@@ -36,12 +39,14 @@ TID_CONTROLLER = 1
 TID_SAMPLER = 2
 TID_TIMING = 3
 TID_MISC = 4
+TID_PROFILE = 5
 
 _THREAD_NAMES = {
     TID_CONTROLLER: "controller (modes)",
     TID_SAMPLER: "sampler (decisions)",
     TID_TIMING: "timing core (warm state)",
     TID_MISC: "misc",
+    TID_PROFILE: "hot blocks (profiler)",
 }
 
 #: vmstats snapshot key -> counter-track series name
@@ -113,6 +118,20 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict:
                     "ph": "C", "pid": PID, "ts": ts_us,
                     "args": instructions,
                 })
+        elif event.type == EV_PROFILE:
+            dur_us = max(payload.get("seconds", 0.0), 0.0) * 1e6
+            trace_events.append({
+                "name": f"{payload.get('pc', '?')} "
+                        f"[{payload.get('tier', '?')}]",
+                "cat": "profile", "ph": "X", "pid": PID,
+                "tid": TID_PROFILE, "ts": ts_us, "dur": dur_us,
+                "args": {
+                    "dispatches": payload.get("dispatches"),
+                    "instructions": payload.get("instructions"),
+                    "translations": payload.get("translations"),
+                    "translate_seconds": payload.get("translate_seconds"),
+                },
+            })
         elif event.type == EV_WARMSTATE:
             trace_events.append({
                 "name": "warm state", "cat": "warmstate", "ph": "i",

@@ -17,6 +17,9 @@ map onto the paper's vocabulary:
                          from the timing core after a timed interval
                          (the §3.3 warming discussion)
 * ``mark``             — free-form annotations (run begin/end, ...)
+* ``profile.block``    — one hot-block attribution span from
+                         :mod:`repro.obs.profiler`: per-superblock
+                         dispatch count and self time, by tier
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from typing import Dict
 
 __all__ = [
     "TraceEvent", "EV_MODE", "EV_DECISION", "EV_VMSTATS",
-    "EV_WARMSTATE", "EV_MARK", "EVENT_TYPES",
+    "EV_WARMSTATE", "EV_MARK", "EV_PROFILE", "EVENT_TYPES",
 ]
 
 EV_MODE = "mode"
@@ -34,8 +37,10 @@ EV_DECISION = "sampler.decision"
 EV_VMSTATS = "vmstats"
 EV_WARMSTATE = "warmstate"
 EV_MARK = "mark"
+EV_PROFILE = "profile.block"
 
-EVENT_TYPES = (EV_MODE, EV_DECISION, EV_VMSTATS, EV_WARMSTATE, EV_MARK)
+EVENT_TYPES = (EV_MODE, EV_DECISION, EV_VMSTATS, EV_WARMSTATE, EV_MARK,
+               EV_PROFILE)
 
 
 @dataclass

@@ -1,0 +1,296 @@
+"""Hot-block profiler: per-superblock dispatch counts and self time.
+
+The DBT's wall time is normally unattributed: the translator compiles a
+block once and the dispatch loop runs it from the code cache with no
+record of *which* blocks the run actually spent its time in.  This
+module adds an opt-in attribution layer, mirroring the metrics
+registry's module-flag pattern (:mod:`repro.obs.registry`): when
+profiling is disabled — the default — the translator returns its
+compiled closures untouched and the dispatch loop pays **zero**
+per-dispatch cost (there is no wrapper to call, not even a no-op one;
+``benchmarks/bench_obs_overhead.py`` pins this structurally).  When
+enabled, each freshly translated block is wrapped in a closure that
+counts dispatches, retired instructions, and wall-clock self time per
+``(pc, tier)`` pair.
+
+Tiers name the translation flavour a block executed under:
+
+* ``fast`` / ``event`` — the plain flavours of :mod:`repro.vm.translator`
+* ``fused-timed`` / ``fused-warm`` — the fused superblocks of
+  :mod:`repro.timing.codegen`
+
+Because records are keyed per tier, tier promotion is directly
+attributable: a pc that appears under both a plain tier and a fused
+tier was promoted by the machine's dispatch-count heuristic, and the
+per-tier dispatch split shows how much work ran before and after the
+promotion.  Translation (source generation + ``compile``) time is
+attributed separately via :func:`record_translation`.
+
+Enable profiling *before* constructing machines/controllers: wrapping
+happens at translation time, so blocks translated while the flag was
+off stay unwrapped in that machine's code cache.
+
+Exports: a deterministic top-N table, the collapsed-stack format that
+flamegraph tools consume (``repro;tier;block 0x... <microseconds>``),
+and Chrome-trace spans via :mod:`repro.obs.chrometrace`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .events import EV_PROFILE, TraceEvent
+
+__all__ = [
+    "BlockRecord", "BlockProfiler",
+    "enable_profiling", "disable_profiling", "profiling_enabled",
+    "get_profiler", "reset_profiler",
+    "now", "wrap_block", "record_translation",
+    "PLAIN_TIERS", "FUSED_TIERS",
+]
+
+PLAIN_TIERS = ("fast", "event")
+FUSED_TIERS = ("fused-timed", "fused-warm")
+
+
+class BlockRecord:
+    """Accumulated attribution for one ``(pc, tier)`` pair.
+
+    ``instructions`` counts only cleanly returned dispatches (a faulting
+    dispatch's retired count is unknown to the wrapper); ``dispatches``
+    and ``self_seconds`` count every entry, faulting or not.
+    """
+
+    __slots__ = ("pc", "tier", "dispatches", "instructions",
+                 "self_seconds", "translations", "translate_seconds",
+                 "source_lines")
+
+    def __init__(self, pc: int, tier: str):
+        self.pc = pc
+        self.tier = tier
+        self.dispatches = 0
+        self.instructions = 0
+        self.self_seconds = 0.0
+        self.translations = 0
+        self.translate_seconds = 0.0
+        self.source_lines = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "pc": self.pc,
+            "tier": self.tier,
+            "dispatches": self.dispatches,
+            "instructions": self.instructions,
+            "self_seconds": self.self_seconds,
+            "translations": self.translations,
+            "translate_seconds": self.translate_seconds,
+            "source_lines": self.source_lines,
+        }
+
+
+class BlockProfiler:
+    """Per-``(pc, tier)`` dispatch/self-time records plus exports."""
+
+    def __init__(self):
+        self._records: Dict[Tuple[int, str], BlockRecord] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, pc: int, tier: str) -> BlockRecord:
+        key = (pc, tier)
+        rec = self._records.get(key)
+        if rec is None:
+            rec = self._records[key] = BlockRecord(pc, tier)
+        return rec
+
+    def record_translation(self, pc: int, tier: str, seconds: float,
+                           source_lines: int = 0) -> None:
+        rec = self.record(pc, tier)
+        rec.translations += 1
+        rec.translate_seconds += seconds
+        rec.source_lines = max(rec.source_lines, source_lines)
+
+    def wrap_block(self, fn: Callable, pc: int, tier: str) -> Callable:
+        """Wrap a translated block's callable with attribution.
+
+        The wrapper preserves the block signature
+        ``fn(state, budget) -> executed`` and re-raises guest faults
+        after charging the dispatch.
+        """
+        rec = self.record(pc, tier)
+        clock = time.perf_counter  # repro: volatile self-time attribution
+
+        def _profiled_block(state, budget):
+            start = clock()  # repro: volatile self-time attribution
+            try:
+                executed = fn(state, budget)
+            finally:
+                rec.dispatches += 1
+                rec.self_seconds += clock() - start  # repro: volatile
+            rec.instructions += executed
+            return executed
+
+        return _profiled_block
+
+    # -- views ---------------------------------------------------------
+
+    def records(self) -> List[BlockRecord]:
+        """All records in deterministic ``(pc, tier)`` order."""
+        return [self._records[key] for key in sorted(self._records)]
+
+    def top_blocks(self, n: Optional[int] = 20) -> List[BlockRecord]:
+        """Hottest records by self time (ties broken deterministically)."""
+        ranked = sorted(
+            self._records.values(),
+            key=lambda rec: (-rec.self_seconds, -rec.dispatches,
+                             rec.pc, rec.tier))
+        return ranked if n is None else ranked[:n]
+
+    def promoted_pcs(self) -> List[int]:
+        """PCs that executed under a plain tier *and* a fused tier.
+
+        This is the tier-promotion attribution: the machine's
+        dispatch-count heuristic moved these blocks from the
+        per-instruction event flavour to a fused superblock.
+        """
+        plain = {pc for pc, tier in self._records if tier in PLAIN_TIERS}
+        fused = {pc for pc, tier in self._records if tier in FUSED_TIERS}
+        return sorted(plain & fused)
+
+    def total_seconds(self) -> float:
+        return sum(rec.self_seconds for rec in self._records.values())
+
+    def total_dispatches(self) -> int:
+        return sum(rec.dispatches for rec in self._records.values())
+
+    def summary(self) -> Dict:
+        """JSON-serialisable roll-up (volatile timing fields inside)."""
+        return {
+            "blocks": len(self._records),
+            "dispatches": self.total_dispatches(),
+            "instructions": sum(rec.instructions
+                                for rec in self._records.values()),
+            "self_seconds": self.total_seconds(),
+            "translate_seconds": sum(rec.translate_seconds
+                                     for rec in self._records.values()),
+            "promoted_blocks": len(self.promoted_pcs()),
+            "tiers": sorted({tier for _, tier in self._records}),
+        }
+
+    # -- exports -------------------------------------------------------
+
+    def format_table(self, n: int = 20) -> str:
+        """Human-readable top-N hot-block table."""
+        total = self.total_seconds() or 1.0
+        lines = [f"{'pc':>12}  {'tier':<11} {'disp':>9} {'instrs':>12} "
+                 f"{'self(s)':>9} {'%':>6} {'xlate(s)':>9}"]
+        for rec in self.top_blocks(n):
+            lines.append(
+                f"{rec.pc:#12x}  {rec.tier:<11} {rec.dispatches:>9} "
+                f"{rec.instructions:>12} {rec.self_seconds:>9.4f} "
+                f"{100.0 * rec.self_seconds / total:>5.1f}% "
+                f"{rec.translate_seconds:>9.4f}")
+        promoted = self.promoted_pcs()
+        lines.append(f"-- {len(self._records)} block records, "
+                     f"{self.total_dispatches()} dispatches, "
+                     f"{self.total_seconds():.4f}s self time, "
+                     f"{len(promoted)} promoted block(s)")
+        return "\n".join(lines)
+
+    def collapsed_stacks(self, root: str = "repro") -> List[str]:
+        """Collapsed-stack lines (``a;b;c <count>``) for flamegraph tools.
+
+        The synthetic stack is ``root;tier;block 0x<pc>`` and the count
+        is self time in integer microseconds; zero-time records are
+        skipped (flamegraph renderers drop them anyway).
+        """
+        lines = []
+        for rec in self.records():
+            micros = int(rec.self_seconds * 1e6)
+            if micros <= 0:
+                continue
+            lines.append(f"{root};{rec.tier};block_0x{rec.pc:x} {micros}")
+        return lines
+
+    def trace_events(self) -> List[TraceEvent]:
+        """Profile spans as :class:`TraceEvent` records.
+
+        Blocks are laid back-to-back in descending self-time order so
+        the Chrome-trace track reads as a visual hot-block table: span
+        width is proportional to the block's share of DBT wall time.
+        """
+        events: List[TraceEvent] = []
+        cursor = 0.0
+        icount = 0
+        for rec in self.top_blocks(None):
+            if rec.self_seconds <= 0.0:
+                continue
+            icount += rec.instructions
+            events.append(TraceEvent(
+                type=EV_PROFILE, ts=cursor, icount=icount,
+                payload={
+                    "pc": f"0x{rec.pc:x}",
+                    "tier": rec.tier,
+                    "dispatches": rec.dispatches,
+                    "instructions": rec.instructions,
+                    "seconds": rec.self_seconds,
+                    "translations": rec.translations,
+                    "translate_seconds": rec.translate_seconds,
+                }))
+            cursor += rec.self_seconds
+        return events
+
+    def reset(self) -> None:
+        self._records.clear()
+
+
+# ----------------------------------------------------------------------
+# module-level switch (same shape as repro.obs.registry)
+
+_ENABLED = False
+_PROFILER = BlockProfiler()
+
+
+def enable_profiling() -> BlockProfiler:
+    """Turn the global profiler on; returns it for convenience."""
+    global _ENABLED
+    _ENABLED = True
+    return _PROFILER
+
+
+def disable_profiling() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def profiling_enabled() -> bool:
+    return _ENABLED
+
+
+def get_profiler() -> BlockProfiler:
+    return _PROFILER
+
+
+def reset_profiler() -> None:
+    """Drop every recorded value (used between runs / tests)."""
+    _PROFILER.reset()
+
+
+def now() -> float:
+    """Wall-clock probe for translation-time attribution.
+
+    Lives here — not in the translator — so every profiler wall-clock
+    site sits in one annotated module.
+    """
+    return time.perf_counter()  # repro: volatile profiler timestamps
+
+
+def wrap_block(fn: Callable, pc: int, tier: str) -> Callable:
+    """Module-level convenience over the global profiler."""
+    return _PROFILER.wrap_block(fn, pc, tier)
+
+
+def record_translation(pc: int, tier: str, seconds: float,
+                       source_lines: int = 0) -> None:
+    _PROFILER.record_translation(pc, tier, seconds, source_lines)

@@ -804,6 +804,8 @@ class _BlockEmitter:
 class TimedBlockCodegen:
     """Fused detailed-timing flavour for one :class:`OutOfOrderCore`."""
 
+    #: translator flavour tag; the hot-block profiler labels blocks
+    #: compiled through this codegen with the ``fused-timed`` tier
     flavor = "timed"
 
     def __init__(self, core):
@@ -836,6 +838,8 @@ class TimedBlockCodegen:
 class WarmingBlockCodegen:
     """Fused functional-warming flavour for one warming sink."""
 
+    #: translator flavour tag; the hot-block profiler labels blocks
+    #: compiled through this codegen with the ``fused-warm`` tier
     flavor = "warm"
 
     def __init__(self, sink):

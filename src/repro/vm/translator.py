@@ -198,6 +198,20 @@ _CODE_CACHE_CAPACITY = 8192
 #: package — and its result-analysis dependencies — along)
 _SANITIZER = None
 
+#: lazily bound repro.obs.profiler module, same deferral rationale.
+#: When profiling is disabled (the default) the only cost is one flag
+#: check per *translation* — never per dispatch — and translated
+#: blocks are returned unwrapped, so the dispatch loop is untouched.
+_PROFILER = None
+
+
+def _profiler():
+    global _PROFILER
+    if _PROFILER is None:
+        from repro.obs import profiler as _profiler_module
+        _PROFILER = _profiler_module
+    return _PROFILER
+
 
 def _sanitize(source: str, env_names, flavor: str) -> None:
     """Run the generated-superblock sanitizer unless disabled.
@@ -261,8 +275,12 @@ class Translator:
         """
         instrs = self._decode_block(pc)
         key = _block_key(pc, instrs, flavor, codegen)
+        profiler = _profiler()
+        profiling = profiler.profiling_enabled()
+        tier = flavor if codegen is None else f"fused-{codegen.flavor}"
         cached = _CODE_CACHE.get(key)
         if cached is None:
+            started = profiler.now() if profiling else 0.0
             if codegen is not None:
                 source = self._generate_fused(pc, instrs, codegen)
             else:
@@ -272,6 +290,10 @@ class Translator:
                 env_names.update(codegen.env())
             _sanitize(source, env_names, flavor)
             code = compile(source, f"<block 0x{pc:x} {flavor}>", "exec")
+            if profiling:
+                profiler.record_translation(
+                    pc, tier, profiler.now() - started,
+                    source_lines=source.count("\n"))
             if len(_CODE_CACHE) >= _CODE_CACHE_CAPACITY:
                 _CODE_CACHE.clear()
             _CODE_CACHE[key] = (code, source)
@@ -283,6 +305,8 @@ class Translator:
             namespace.update(codegen.env())
         exec(code, namespace)  # noqa: S102 - this *is* the JIT
         fn = namespace["_block"]
+        if profiling:
+            fn = profiler.wrap_block(fn, pc, tier)
         return TranslatedBlock(pc, fn, len(instrs),
                                block_pages(pc, len(instrs)))
 

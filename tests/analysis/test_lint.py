@@ -199,3 +199,36 @@ def test_cli_malformed_baseline_is_usage_error(tmp_path):
     code = main(["--root", str(FIXTURES), "--baseline", str(bad)],
                 stdout=io.StringIO())
     assert code == 2
+
+
+def test_telemetry_modules_are_covered_by_rules():
+    """Coverage self-check for the observability modules: the
+    telemetry/profiler/history files are opted into REPRO001/REPRO003
+    by name, the telemetry writer falls under REPRO002 via its store
+    marker, and each opted-in file genuinely contains wall-clock reads
+    that only pass because they carry `# repro: volatile` escapes."""
+    from repro.analysis.rules import ALL_RULES, TELEMETRY_FILES
+
+    src_root = default_root()
+    by_id = {rule.id: rule for rule in ALL_RULES}
+    assert set(TELEMETRY_FILES) == {"obs/telemetry.py",
+                                    "obs/profiler.py",
+                                    "harness/history.py"}
+    for rel in TELEMETRY_FILES:
+        path = src_root / rel
+        assert path.exists(), f"TELEMETRY_FILES names a ghost: {rel}"
+        source = SourceFile.load(path, rel)
+        assert by_id["REPRO001"].applies_to(source), rel
+        assert by_id["REPRO003"].applies_to(source), rel
+        # the escapes are load-bearing: scrub the directives and the
+        # nondeterminism rule must fire on the naked host-state reads
+        scrubbed = SourceFile(path, rel,
+                              path.read_text().replace(
+                                  "repro: volatile", "scrubbed"))
+        assert by_id["REPRO001"].check(scrubbed), (
+            f"{rel}: no annotated nondeterminism sources — either the "
+            "volatile reads moved or the opt-in is vacuous")
+
+    telemetry_source = SourceFile.load(src_root / "obs/telemetry.py",
+                                       "obs/telemetry.py")
+    assert by_id["REPRO002"].applies_to(telemetry_source)

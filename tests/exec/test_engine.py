@@ -190,3 +190,36 @@ def test_tracer_factory_forces_serial_and_fresh(tmp_path):
     engine.run(specs)  # traced: never cached, always re-runs
     assert len(worker.executed) == 4
     assert len(tracers) == 4
+
+
+def test_merge_job_events_deterministic_under_timestamp_ties(tmp_path):
+    """Interleaved traces with colliding timestamps merge in a fully
+    deterministic order: ts, then job tag, then per-file sequence —
+    the tiebreak chain never falls through to comparing event objects
+    (which would TypeError) and never depends on dict/filesystem
+    order."""
+    from repro.obs import TraceEvent, write_jsonl
+
+    def event(ts, job, seq):
+        return TraceEvent(type="decision.sample", ts=ts, icount=seq,
+                          payload={"job": job, "seq": seq})
+
+    trace_dir = tmp_path / "traces"
+    trace_dir.mkdir()
+    # every timestamp collides across the two jobs; within a file the
+    # events are deliberately NOT ts-sorted (stable sort must not
+    # reorder equal keys by accident)
+    write_jsonl([event(1.0, "jobB", 0), event(1.0, "jobB", 1),
+                 event(2.0, "jobB", 2)], trace_dir / "b.jsonl")
+    write_jsonl([event(1.0, "jobA", 0), event(2.0, "jobA", 1),
+                 event(1.0, "jobA", 2)], trace_dir / "a.jsonl")
+
+    merged = merge_job_events(trace_dir)
+    order = [(e.ts, e.payload["job"], e.payload["seq"])
+             for e in merged]
+    assert order == [(1.0, "jobA", 0), (1.0, "jobA", 2),
+                     (1.0, "jobB", 0), (1.0, "jobB", 1),
+                     (2.0, "jobA", 1), (2.0, "jobB", 2)]
+    # bit-for-bit stable across repeated merges
+    assert order == [(e.ts, e.payload["job"], e.payload["seq"])
+                     for e in merge_job_events(trace_dir)]

@@ -1,0 +1,213 @@
+"""Engine telemetry: lifecycle events (start/retry included), queue
+waits, the end-of-run report, and the store-resume interplay."""
+
+import json
+
+from repro.exec import (ExperimentEngine, ExecutionBackend, JobResult,
+                        JobSpec, ResultStore, SerialBackend,
+                        format_failure_summary)
+from repro.obs import telemetry
+from repro.sampling import PolicyResult
+
+
+def _fake_result(spec, wall_by_mode=None):
+    result = PolicyResult(
+        policy=spec.policy, benchmark=spec.benchmark, ipc=2.0,
+        total_instructions=10, fast_instructions=0,
+        profile_instructions=0, warming_instructions=0,
+        timed_instructions=10, timed_intervals=1,
+        wall_seconds=0.0, modeled_seconds=1.0,
+        fingerprint=spec.fingerprint)
+    if wall_by_mode is not None:
+        result.extra["wall_seconds_by_mode"] = wall_by_mode
+    return result
+
+
+def _specs(n):
+    return [JobSpec(benchmark=f"b{i}", policy="full", size="tiny",
+                    fingerprint="f") for i in range(n)]
+
+
+def _engine(tmp_path, **kwargs):
+    kwargs.setdefault("backend",
+                      SerialBackend(worker=lambda spec, tracer=None:
+                                    _fake_result(spec)))
+    kwargs.setdefault("telemetry_dir", tmp_path / "tel")
+    kwargs.setdefault("run_id", "run-test")
+    return ExperimentEngine(store=ResultStore(tmp_path / "v2"),
+                            **kwargs)
+
+
+class FlakyBackend(ExecutionBackend):
+    """Dispatches every job twice (simulated crash retry) then lands
+    the configured outcome — exercises the retry lifecycle path the
+    serial backend never takes."""
+
+    name = "flaky"
+
+    def __init__(self, fail_keys=()):
+        self.fail_keys = set(fail_keys)
+
+    def run(self, specs, on_result=None, tracers=None, on_start=None):
+        results = []
+        for spec in specs:
+            if on_start is not None:
+                on_start(spec, 1)
+                on_start(spec, 2)  # crash: worker re-dispatched
+            if spec.key in self.fail_keys:
+                job_result = JobResult(
+                    spec=spec, status="failed", attempts=2,
+                    error="worker crashed (exit code -9) after "
+                          "2 attempt(s)",
+                    wall_seconds=0.1, backend=self.name)
+            else:
+                job_result = JobResult(
+                    spec=spec, status="ok", result=_fake_result(spec),
+                    attempts=2, wall_seconds=0.1, backend=self.name)
+            results.append(job_result)
+            if on_result is not None:
+                on_result(job_result)
+        return results
+
+
+def test_lifecycle_events_fire_on_start_not_only_completion(tmp_path):
+    seen = []
+    engine = _engine(tmp_path, on_event=seen.append)
+    specs = _specs(2)
+    engine.run(specs)
+    kinds = [(event.kind, event.spec.job_id) for event in seen]
+    for spec in specs:
+        assert kinds.index(("queued", spec.job_id)) \
+            < kinds.index(("started", spec.job_id)) \
+            < kinds.index(("done", spec.job_id))
+    # the same history is on disk for other processes
+    disk = [(e["kind"], e["job"]) for e in
+            telemetry.read_events(engine.telemetry_run_dir)]
+    assert disk == kinds
+
+
+def test_cached_jobs_emit_cached_events_and_skip_started(tmp_path):
+    specs = _specs(2)
+    _engine(tmp_path).run(specs)
+
+    seen = []
+    engine = _engine(tmp_path, run_id="run-resume",
+                     on_event=seen.append)
+    engine.run(specs)  # resumes from results-v2: nothing dispatched
+    assert [event.kind for event in seen] == ["cached", "cached"]
+    report = telemetry.read_report(engine.telemetry_run_dir)
+    assert report["cached"] == 2
+    assert report["ok"] == 2
+
+
+def test_retry_events_carry_attempt_numbers(tmp_path):
+    seen = []
+    engine = _engine(tmp_path, backend=FlakyBackend(),
+                     on_event=seen.append)
+    engine.run(_specs(1))
+    kinds = [(event.kind, event.attempt) for event in seen]
+    assert kinds == [("queued", 1), ("started", 1), ("retrying", 2),
+                     ("done", 2)]
+    report = telemetry.read_report(engine.telemetry_run_dir)
+    assert report["retries"] == 1
+
+
+def test_failure_summary_surfaces_retry_counts(tmp_path):
+    specs = _specs(1)
+    engine = _engine(tmp_path,
+                     backend=FlakyBackend(fail_keys={specs[0].key}))
+    outcomes = engine.run(specs)
+    (failure,) = outcomes.values()
+    summary = format_failure_summary([failure])
+    assert "attempt 2, 1 crash retry" in summary
+    assert "1 crash retry attempt(s) consumed" in summary
+
+
+def test_queue_wait_measured_on_first_start_only(tmp_path):
+    engine = _engine(tmp_path, backend=FlakyBackend())
+    engine.run(_specs(1))
+    report = telemetry.read_report(engine.telemetry_run_dir)
+    (job,) = report["jobs"]
+    assert job["queue_wait_seconds"] is not None
+    assert job["queue_wait_seconds"] >= 0.0
+    assert job["attempts"] == 2
+
+
+def test_straggler_flagging_uses_median_and_floor(tmp_path):
+    class UnevenBackend(ExecutionBackend):
+        name = "uneven"
+
+        def run(self, specs, on_result=None, tracers=None,
+                on_start=None):
+            walls = {spec.key: wall
+                     for spec, wall in zip(specs, (1.0, 1.2, 5.0))}
+            results = []
+            for spec in specs:
+                if on_start is not None:
+                    on_start(spec, 1)
+                job_result = JobResult(
+                    spec=spec, status="ok",
+                    result=_fake_result(spec),
+                    wall_seconds=walls[spec.key], backend=self.name)
+                results.append(job_result)
+                if on_result is not None:
+                    on_result(job_result)
+            return results
+
+    engine = _engine(tmp_path, backend=UnevenBackend())
+    engine.run(_specs(3))
+    report = telemetry.read_report(engine.telemetry_run_dir)
+    assert report["stragglers"] == ["b2:full:tiny"]
+    flags = {job["job"]: job["straggler"] for job in report["jobs"]}
+    assert flags == {"b0:full:tiny": False, "b1:full:tiny": False,
+                     "b2:full:tiny": True}
+
+
+def test_manifest_written_with_job_list(tmp_path):
+    engine = _engine(tmp_path)
+    engine.run(_specs(2))
+    manifest = telemetry.read_manifest(engine.telemetry_run_dir)
+    assert manifest["backend"] == "serial"
+    assert manifest["jobs"] == ["b0:full:tiny", "b1:full:tiny"]
+
+
+def test_no_telemetry_dir_means_no_telemetry(tmp_path):
+    engine = ExperimentEngine(
+        store=ResultStore(tmp_path / "v2"),
+        backend=SerialBackend(worker=lambda spec, tracer=None:
+                              _fake_result(spec)))
+    outcomes = engine.run(_specs(1))
+    assert all(jr.ok for jr in outcomes.values())
+    assert engine.telemetry_run_dir is None
+    assert not (tmp_path / "tel").exists()
+
+
+def _normalize_report(report):
+    """Zero the volatile (wall-clock) fields so the remainder can be
+    compared against the committed golden report bit-for-bit."""
+    report = json.loads(json.dumps(report, sort_keys=True))
+    report["generated_at"] = 0.0
+    report["wall_seconds_total"] = 0.0
+    report["median_wall_seconds"] = 0.0
+    for job in report["jobs"]:
+        job["wall_seconds"] = 0.0
+        if job["queue_wait_seconds"] is not None:
+            job["queue_wait_seconds"] = 0.0
+        if job["wall_seconds_by_mode"] is not None:
+            job["wall_seconds_by_mode"] = {
+                mode: 0.0 for mode in job["wall_seconds_by_mode"]}
+    return report
+
+
+def test_two_job_serial_run_matches_golden_report(tmp_path):
+    from pathlib import Path
+    engine = _engine(
+        tmp_path,
+        backend=SerialBackend(
+            worker=lambda spec, tracer=None: _fake_result(
+                spec, wall_by_mode={"fast": 0.5, "timed": 1.5})))
+    engine.run(_specs(2))
+    report = telemetry.read_report(engine.telemetry_run_dir)
+    golden = json.loads(
+        (Path(__file__).parent / "golden_run_report.json").read_text())
+    assert _normalize_report(report) == golden

@@ -1,0 +1,93 @@
+"""End-to-end CLI observability: suite --telemetry feeding status and
+report, and the hot-block profile command with its exports."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def cache_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_suite_telemetry_then_status_and_report(cache_root, capsys):
+    assert main(["suite", "--benchmarks", "gzip", "--size", "tiny",
+                 "--telemetry"]) == 0
+    captured = capsys.readouterr()
+    assert "telemetry:" in captured.err
+    assert "[start] gzip:full:tiny" in captured.err
+    run_dirs = list((cache_root / "telemetry-v1").iterdir())
+    assert len(run_dirs) == 1
+
+    assert main(["status"]) == 0
+    out = capsys.readouterr().out
+    assert "gzip:full:tiny" in out
+    assert "0 in flight, 0 stalled" in out
+
+    assert main(["status", str(run_dirs[0]), "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)["jobs"]
+    assert {row["job"] for row in rows} == {"gzip:full:tiny",
+                                            "gzip:CPU-300-1M-inf:tiny"}
+    assert all(row["state"] == "done" for row in rows)
+
+    assert main(["report", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["jobs_total"] == 2
+    assert report["ok"] == 2
+    assert report["failed"] == 0
+
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "2 total -- 2 ok" in out
+    assert "gzip:CPU-300-1M-inf:tiny" in out
+
+
+def test_status_without_runs_is_a_usage_error(cache_root, capsys):
+    assert main(["status"]) == 2
+    assert "no telemetry runs" in capsys.readouterr().err
+
+
+def test_report_on_in_flight_run_falls_back_to_status(cache_root,
+                                                      capsys):
+    from repro.obs.telemetry import RunTelemetry
+    run = RunTelemetry(root=cache_root / "telemetry-v1",
+                       run_id="run-live")
+    run.write_manifest(["a"], backend="process", parallel_jobs=2)
+    run.emit("queued", "a")
+    assert main(["report"]) == 1
+    err = capsys.readouterr().err
+    assert "no run-report.json yet" in err
+    assert "a" in err
+
+
+def test_profile_command_outputs_and_exports(cache_root, tmp_path,
+                                             capsys):
+    flame = tmp_path / "fg.collapsed"
+    chrome = tmp_path / "profile.json"
+    assert main(["profile", "gzip", "--size", "tiny", "--top", "5",
+                 "--flamegraph", str(flame),
+                 "--chrome", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert "profiled" in out
+    assert "block records" in out
+    lines = flame.read_text().splitlines()
+    assert lines and all(" " in line and line.startswith("repro;")
+                         for line in lines)
+    assert json.loads(chrome.read_text())["traceEvents"]
+    # the profiler switch was restored: later translations unwrapped
+    from repro.obs import profiling_enabled
+    assert not profiling_enabled()
+
+
+def test_profile_json_reports_tier_promotion(cache_root, capsys):
+    assert main(["profile", "gzip", "--size", "tiny", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["blocks"] > 0
+    assert payload["top_blocks"]
+    tiers = {record["tier"] for record in payload["top_blocks"]}
+    assert tiers <= {"fast", "event", "fused-timed", "fused-warm"}
+    assert payload["promoted_pcs"], "no tier promotions attributed"

@@ -1,0 +1,174 @@
+"""Hot-block profiler: attribution, tier promotion, exports, and the
+zero-overhead-when-disabled contract at the translator seam."""
+
+import pytest
+
+from repro.obs import (EV_PROFILE, disable_profiling, enable_profiling,
+                       export_chrome_trace, get_profiler,
+                       profiling_enabled, reset_profiler)
+from repro.obs.profiler import BlockProfiler
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiler():
+    disable_profiling()
+    reset_profiler()
+    yield
+    disable_profiling()
+    reset_profiler()
+
+
+def _block(executed=7):
+    def fn(state, budget):
+        return executed
+    return fn
+
+
+def test_wrap_block_counts_dispatches_and_instructions():
+    profiler = BlockProfiler()
+    wrapped = profiler.wrap_block(_block(7), pc=0x1000, tier="fast")
+    assert wrapped(None, 100) == 7
+    assert wrapped(None, 100) == 7
+    (rec,) = profiler.records()
+    assert (rec.pc, rec.tier) == (0x1000, "fast")
+    assert rec.dispatches == 2
+    assert rec.instructions == 14
+    assert rec.self_seconds >= 0.0
+
+
+def test_faulting_dispatch_charges_time_but_not_instructions():
+    profiler = BlockProfiler()
+
+    def faulting(state, budget):
+        raise ValueError("guest fault")
+
+    wrapped = profiler.wrap_block(faulting, pc=0x2000, tier="event")
+    with pytest.raises(ValueError):
+        wrapped(None, 100)
+    (rec,) = profiler.records()
+    assert rec.dispatches == 1
+    assert rec.instructions == 0  # retired count unknown on a fault
+
+
+def test_translation_attribution_accumulates():
+    profiler = BlockProfiler()
+    profiler.record_translation(0x1000, "fast", 0.5, source_lines=12)
+    profiler.record_translation(0x1000, "fast", 0.25, source_lines=9)
+    (rec,) = profiler.records()
+    assert rec.translations == 2
+    assert rec.translate_seconds == pytest.approx(0.75)
+    assert rec.source_lines == 12  # max, not sum
+
+
+def test_top_blocks_ranked_by_self_time_with_stable_ties():
+    profiler = BlockProfiler()
+    profiler.record(0x30, "fast").self_seconds = 1.0
+    profiler.record(0x10, "fast").self_seconds = 3.0
+    profiler.record(0x20, "event").self_seconds = 1.0
+    assert [(r.pc, r.tier) for r in profiler.top_blocks()] == [
+        (0x10, "fast"), (0x20, "event"), (0x30, "fast")]
+    assert [(r.pc, r.tier) for r in profiler.top_blocks(1)] == [
+        (0x10, "fast")]
+
+
+def test_promoted_pcs_require_plain_and_fused_tiers():
+    profiler = BlockProfiler()
+    profiler.record(0x10, "event")          # plain only
+    profiler.record(0x20, "event")          # promoted
+    profiler.record(0x20, "fused-timed")
+    profiler.record(0x30, "fused-warm")     # fused only (warm start)
+    assert profiler.promoted_pcs() == [0x20]
+    assert profiler.summary()["promoted_blocks"] == 1
+
+
+def test_collapsed_stacks_format_and_zero_skipping():
+    profiler = BlockProfiler()
+    profiler.record(0x10, "fast").self_seconds = 0.0015
+    profiler.record(0x20, "fused-timed")  # zero time: dropped
+    assert profiler.collapsed_stacks() == [
+        "repro;fast;block_0x10 1500"]
+
+
+def test_trace_events_lay_spans_back_to_back():
+    profiler = BlockProfiler()
+    hot = profiler.record(0x10, "fast")
+    hot.self_seconds, hot.dispatches, hot.instructions = 0.2, 4, 40
+    cold = profiler.record(0x20, "event")
+    cold.self_seconds, cold.dispatches = 0.1, 1
+    events = profiler.trace_events()
+    assert [event.type for event in events] == [EV_PROFILE] * 2
+    assert events[0].ts == 0.0
+    assert events[1].ts == pytest.approx(0.2)  # hottest first
+    assert events[0].payload["pc"] == "0x10"
+    assert events[0].payload["seconds"] == pytest.approx(0.2)
+
+
+def test_chrome_trace_export_renders_profile_spans(tmp_path):
+    import json
+    profiler = BlockProfiler()
+    rec = profiler.record(0x10, "fused-warm")
+    rec.self_seconds, rec.dispatches = 0.25, 9
+    out = tmp_path / "trace.json"
+    export_chrome_trace(profiler.trace_events(), out)
+    records = json.loads(out.read_text())["traceEvents"]
+    spans = [r for r in records if r.get("ph") == "X"
+             and "0x10" in r.get("name", "")]
+    assert spans, "no complete span for the profiled block"
+    assert spans[0]["dur"] == pytest.approx(0.25e6)
+    assert spans[0]["args"]["dispatches"] == 9
+
+
+def test_format_table_lists_hot_blocks():
+    profiler = BlockProfiler()
+    rec = profiler.record(0xABC, "fused-timed")
+    rec.self_seconds, rec.dispatches, rec.instructions = 0.5, 3, 30
+    table = profiler.format_table()
+    assert "0xabc" in table
+    assert "fused-timed" in table
+    assert "1 block records" in table
+
+
+def test_module_switch_round_trip():
+    assert not profiling_enabled()
+    profiler = enable_profiling()
+    assert profiling_enabled()
+    assert profiler is get_profiler()
+    disable_profiling()
+    assert not profiling_enabled()
+
+
+# ----------------------------------------------------------------------
+# translator integration
+
+
+def _boot_tiny():
+    from repro.isa import assemble
+    from repro.kernel import boot
+    return boot(assemble(
+        "_start:\n    li t0, 5\n    li t1, 6\n    add t2, t0, t1\n"
+        "    li t7, 0\n    li t0, 0\n    ecall\n"))
+
+
+def test_translator_attributes_real_execution():
+    profiler = enable_profiling()
+    profiler.reset()
+    try:
+        system = _boot_tiny()
+        system.run_to_completion()
+    finally:
+        disable_profiling()
+    records = profiler.records()
+    assert records, "no blocks attributed"
+    assert profiler.total_dispatches() >= len(records)
+    assert all(rec.translations >= 1 for rec in records)
+    tiers = {rec.tier for rec in records}
+    assert tiers <= {"fast", "event", "fused-timed", "fused-warm"}
+
+
+def test_disabled_translator_returns_unwrapped_blocks():
+    from repro.vm.translator import FLAVOR_FAST
+    system = _boot_tiny()
+    machine = system.machine
+    block = machine.translator.translate(machine.state.pc, FLAVOR_FAST)
+    assert block.fn.__name__ == "_block"
+    assert get_profiler().records() == []
