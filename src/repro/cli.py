@@ -4,15 +4,18 @@ Commands
 --------
 
 ``list``
-    Show the benchmark suite and the policy keys.
-``run BENCH [--policy KEY] [--size SIZE] [--jobs N] [--json]
-[--verbose]``
+    Show the benchmark suite (sequential + parallel) and the policy
+    keys.
+``run BENCH [--policy KEY] [--size SIZE] [--cores N] [--jobs N]
+[--json] [--verbose]``
     Run one sampling policy on one benchmark and print the result.
-    ``--verbose`` streams one decision line per interval (forces a
-    fresh simulation); ``--json`` prints a machine-readable record.
-``suite [--policy KEY] [--size SIZE] [--benchmarks a,b,c] [--jobs N]
-[--timeout S] [--force] [--trace DIR] [--telemetry [DIR]] [--json]
-[--verbose]``
+    ``--cores N`` runs an N-hart guest (parallel benchmarks default
+    to their own core count); ``--verbose`` streams one decision line
+    per interval (forces a fresh simulation); ``--json`` prints a
+    machine-readable record.
+``suite [--policy KEY] [--size SIZE] [--benchmarks a,b,c] [--cores N]
+[--jobs N] [--timeout S] [--force] [--trace DIR] [--telemetry [DIR]]
+[--json] [--verbose]``
     Run a policy over the suite with per-benchmark error vs full
     timing.  ``--jobs N`` (or ``REPRO_JOBS``) runs the grid on N
     worker processes; progress streams to stderr and a re-invoked
@@ -22,6 +25,8 @@ Commands
     ``--telemetry`` gives the run an on-disk telemetry directory
     (job lifecycle events, worker heartbeats, end-of-run
     ``run-report.json``) readable mid-run via ``repro status``.
+    Multi-core cells print one ``per-core[BENCH]: ...`` line with the
+    per-hart block-dispatch counts.
 ``status [RUNDIR] [--stale-after S] [--json]``
     Live job table for a telemetry run — one row per job with
     lifecycle state, attempt count, heartbeat age, queue wait and
@@ -42,14 +47,16 @@ Commands
     flamegraph.pl / speedscope; ``--chrome`` exports the spans as a
     Chrome trace.
 ``trace BENCH --out trace.json [--policy KEY] [--size SIZE]
-[--events FILE.jsonl]``
+[--cores N] [--events FILE.jsonl]``
     Re-simulate with the structured tracer attached and export a
     Chrome-trace file (open in ``chrome://tracing`` or
     https://ui.perfetto.dev): mode-switch spans, per-interval
-    sampler decisions, VM-statistic counter tracks.
+    sampler decisions, VM-statistic counter tracks.  Multi-core runs
+    get one decision/timing track per core.
 ``figure NAME``
     Regenerate one of the paper's tables/figures (table1, table2,
-    fig2, fig4, fig5, fig6, fig7, fig8, fig9).
+    fig2, fig4, fig5, fig6, fig7, fig8, fig9) or the ``parallel``
+    multi-core suite table.
 ``bench [--suite hotpath|checkpoint] [--size S[,S]] [--benchmarks a,b]
 [--check] [--update-baseline] [--baseline FILE] [--out FILE]
 [--tolerance F] [--record-history] [--history FILE] [--json]``
@@ -90,13 +97,21 @@ from repro.sampling import accuracy_error, speedup
 
 def _cmd_list(_args) -> int:
     from repro.harness import FIGURE5_POLICIES
-    from repro.workloads import SPEC2000, SUITE_ORDER
+    from repro.workloads import (PARALLEL_BENCHMARKS,
+                                 PARALLEL_DESCRIPTIONS, SPEC2000,
+                                 SUITE_ORDER, default_benchmark_cores)
     print("benchmarks (paper Table 2):")
     for name in SUITE_ORDER:
         spec = SPEC2000[name]
         print(f"  {name:10s} ref={spec.ref_input:15s} "
               f"{spec.paper_billions:>4}G instr, "
               f"{spec.paper_simpoints:>3} simpoints")
+    print("\nparallel benchmarks (multi-core guests; --cores N):")
+    for name, factory in PARALLEL_BENCHMARKS.items():
+        workload = factory("tiny")
+        print(f"  {name:10s} ref={workload.ref_input:15s} "
+              f"default {default_benchmark_cores(name)} cores -- "
+              f"{PARALLEL_DESCRIPTIONS.get(name, '')}")
     print("\npolicy keys: full, smarts, simpoint, simpoint+prof,")
     print("  VAR-SENS-LEN-MAXF (e.g. " + ", ".join(
         p for p in FIGURE5_POLICIES if "-" in p) + ")")
@@ -133,6 +148,8 @@ def _result_json(result, comparison=None) -> dict:
         "modeled_seconds": result.modeled_seconds,
         "vm_stats": extra.get("vm_stats"),
     }
+    if extra.get("cores"):
+        payload["cores"] = extra["cores"]
     if comparison is not None:
         payload["vs_full"] = comparison
     return payload
@@ -185,9 +202,11 @@ def _cmd_run(args) -> int:
     engine = ExperimentEngine(
         jobs=args.jobs,
         progress=_progress_printer() if (args.jobs or 0) > 1 else None)
-    spec = make_spec(args.benchmark, args.policy, args.size)
+    spec = make_spec(args.benchmark, args.policy, args.size,
+                     cores=args.cores)
     needs_full = args.policy != "full"
-    full_spec = (make_spec(args.benchmark, "full", args.size)
+    full_spec = (make_spec(args.benchmark, "full", args.size,
+                           cores=args.cores)
                  if needs_full else None)
     outcomes = {}
     if args.verbose:
@@ -195,7 +214,8 @@ def _cmd_run(args) -> int:
         # machine-parseable
         tracer = _verbose_tracer(to_stderr=args.json)
         result = run_policy(args.benchmark, args.policy,
-                            size=args.size, tracer=tracer)
+                            size=args.size, tracer=tracer,
+                            cores=args.cores)
         if needs_full:
             outcomes = engine.run([full_spec])
     elif args.no_cache:
@@ -262,7 +282,7 @@ def _cmd_suite(args) -> int:
         progress=_progress_printer(),
         telemetry_dir=telemetry_root,
         on_event=_event_printer() if telemetry_root else None)
-    specs = [make_spec(name, key, args.size)
+    specs = [make_spec(name, key, args.size, cores=args.cores)
              for name in names for key in dict.fromkeys(["full", policy])]
     outcomes = engine.run(specs, force=args.force)
     if engine.telemetry_run_dir is not None:
@@ -303,8 +323,10 @@ def _cmd_suite(args) -> int:
     policy_seconds = 0.0
     rows = []
     for name in names:
-        full = outcomes[make_spec(name, "full", args.size).key].result
-        result = outcomes[make_spec(name, policy, args.size).key].result
+        full = outcomes[make_spec(name, "full", args.size,
+                                  cores=args.cores).key].result
+        result = outcomes[make_spec(name, policy, args.size,
+                                    cores=args.cores).key].result
         error = accuracy_error(result.ipc, full.ipc)
         errors.append(error)
         full_seconds += full.modeled_seconds
@@ -317,6 +339,12 @@ def _cmd_suite(args) -> int:
         else:
             print(f"{name:10s} ipc={result.ipc:7.4f} "
                   f"full={full.ipc:7.4f} err={error * 100:6.2f}%")
+            per_core = (result.extra or {}).get("cores")
+            if per_core:
+                dispatches = [stats.get("block_dispatches", 0)
+                              for stats in per_core.get("vm_stats", [])]
+                print(f"per-core[{name}]: cores={per_core.get('n')} "
+                      f"block_dispatches={dispatches}")
     mean_error = sum(errors) / len(errors)
     suite_speedup = speedup(full_seconds, policy_seconds)
     if args.json:
@@ -341,7 +369,7 @@ def _cmd_trace(args) -> int:
                            export_chrome_trace, mode_spans, write_jsonl)
     sink = RingBufferSink(capacity=args.buffer)
     result = run_policy(args.benchmark, args.policy, size=args.size,
-                        tracer=Tracer(sink))
+                        tracer=Tracer(sink), cores=args.cores)
     events = sink.events
     records = export_chrome_trace(events, args.out)
     if args.events:
@@ -372,6 +400,7 @@ def _cmd_figure(args) -> int:
         "fig7": harness.build_figure7,
         "fig8": harness.build_figure8,
         "fig9": harness.build_figure9,
+        "parallel": harness.build_parallel_figure,
     }
     if args.name not in builders:
         print(f"unknown figure {args.name!r}; "
@@ -653,6 +682,10 @@ def main(argv=None) -> int:
     run_parser.add_argument("benchmark")
     run_parser.add_argument("--policy", default="CPU-300-1M-inf")
     run_parser.add_argument("--size", default="small")
+    run_parser.add_argument("--cores", type=int, default=None,
+                            help="guest hart count (default: the "
+                                 "benchmark's own — 1 for SPEC, 2 for "
+                                 "the parallel suite)")
     run_parser.add_argument("--no-cache", action="store_true")
     run_parser.add_argument("--jobs", type=int, default=None,
                             help="worker processes (default: "
@@ -668,6 +701,10 @@ def main(argv=None) -> int:
     suite_parser.add_argument("--policy", default="CPU-300-1M-inf")
     suite_parser.add_argument("--size", default="small")
     suite_parser.add_argument("--benchmarks", default="")
+    suite_parser.add_argument("--cores", type=int, default=None,
+                              help="guest hart count for every "
+                                   "benchmark (default: each "
+                                   "benchmark's own)")
     suite_parser.add_argument("--jobs", type=int, default=None,
                               help="worker processes (default: "
                                    "REPRO_JOBS or 1 = serial)")
@@ -697,6 +734,9 @@ def main(argv=None) -> int:
     trace_parser.add_argument("benchmark")
     trace_parser.add_argument("--policy", default="CPU-300-1M-inf")
     trace_parser.add_argument("--size", default="small")
+    trace_parser.add_argument("--cores", type=int, default=None,
+                              help="guest hart count (default: the "
+                                   "benchmark's own)")
     trace_parser.add_argument("--out", required=True,
                               help="Chrome-trace JSON output path")
     trace_parser.add_argument("--events", default="",

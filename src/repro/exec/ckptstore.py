@@ -121,7 +121,7 @@ def encode_manifest(checkpoint: Checkpoint) -> Dict:
     kernel = dict(checkpoint.kernel)
     kernel["regions"] = [list(region) for region in kernel["regions"]]
     kernel["syscall_counts"] = _str_keys(kernel["syscall_counts"])
-    return {
+    manifest = {
         "cpu": checkpoint.cpu,
         "frame_hashes": _str_keys(checkpoint.frame_hashes),
         "next_free_frame": checkpoint.next_free_frame,
@@ -137,6 +137,18 @@ def encode_manifest(checkpoint: Checkpoint) -> Dict:
         "timer": checkpoint.timer,
         "nic": nic,
     }
+    if checkpoint.cores is not None:
+        # SMP only: single-core manifests stay byte-identical to the
+        # pre-SMP format, so committed ladders remain loadable (and
+        # shareable) across versions.
+        manifest["cores"] = [{
+            "cpu": snap["cpu"],
+            "stats": snap["stats"],
+            "profile_counts": _str_keys(snap["profile_counts"]),
+            "pending_irqs": list(snap["pending_irqs"]),
+            "fast_cache": list(snap["fast_cache"]),
+        } for snap in checkpoint.cores]
+    return manifest
 
 
 def decode_manifest(data: Dict, blobs: Dict[str, bytes]) -> Checkpoint:
@@ -153,6 +165,15 @@ def decode_manifest(data: Dict, blobs: Dict[str, bytes]) -> Checkpoint:
     kernel = dict(data["kernel"])
     kernel["regions"] = [tuple(region) for region in kernel["regions"]]
     kernel["syscall_counts"] = _int_keys(kernel["syscall_counts"])
+    cores = None
+    if data.get("cores") is not None:
+        cores = [{
+            "cpu": snap["cpu"],
+            "stats": snap["stats"],
+            "profile_counts": _int_keys(snap["profile_counts"]),
+            "pending_irqs": list(snap["pending_irqs"]),
+            "fast_cache": list(snap["fast_cache"]),
+        } for snap in data["cores"]]
     return Checkpoint(
         cpu=data["cpu"],
         frame_hashes=_int_keys(data["frame_hashes"]),
@@ -169,6 +190,7 @@ def decode_manifest(data: Dict, blobs: Dict[str, bytes]) -> Checkpoint:
         disk=disk,
         timer=data["timer"],
         nic=nic,
+        cores=cores,
     )
 
 

@@ -89,11 +89,13 @@ def merge_job_events(trace_dir: "Path | str") -> List:
     coherent event list.
 
     The order is fully deterministic: timestamp first, then the job
-    tag, then each event's sequence number within its source file
-    (files are visited in sorted name order, so the tiebreak chain
-    never falls through to comparing event objects).  Each job's
-    tracer has its own epoch, so cross-job timestamp order is only a
-    rough interleaving — but for identical inputs the merged order is
+    tag, then the event's ``core`` (events without one — single-core
+    runs, controller-level events — sort before any per-core stream),
+    then each event's sequence number within its source file (files
+    are visited in sorted name order, so the tiebreak chain never
+    falls through to comparing event objects).  Each job's tracer has
+    its own epoch, so cross-job timestamp order is only a rough
+    interleaving — but for identical inputs the merged order is
     bit-for-bit stable across runs and filesystems.
     """
     from repro.obs import read_jsonl
@@ -103,11 +105,13 @@ def merge_job_events(trace_dir: "Path | str") -> List:
         if path.name == "merged.jsonl":
             continue
         for seq, event in enumerate(read_jsonl(path)):
+            core = event.payload.get("core")
+            core_key = core if isinstance(core, int) else -1
             tagged.append((event.ts,
                            str(event.payload.get("job", "")),
-                           file_index, seq, event))
-    tagged.sort(key=lambda item: item[:4])
-    return [item[4] for item in tagged]
+                           core_key, file_index, seq, event))
+    tagged.sort(key=lambda item: item[:5])
+    return [item[5] for item in tagged]
 
 
 class ExperimentEngine:
@@ -231,13 +235,16 @@ class ExperimentEngine:
 
     def run_grid(self, benchmarks: Sequence[str],
                  policies: Sequence[str], size: str = "small",
-                 use_cache: bool = True, force: bool = False
+                 use_cache: bool = True, force: bool = False,
+                 cores: "Optional[int]" = None
                  ) -> Dict[Tuple[str, str], JobResult]:
         """Run the (benchmark x policy) grid; returns results keyed by
         the *requested* ``(benchmark, policy)`` pairs (aliases such as
-        ``simpoint+prof`` share the underlying job)."""
+        ``simpoint+prof`` share the underlying job).  ``cores=None``
+        uses each benchmark's default hart count."""
         from repro.harness.experiments import make_spec
-        request = {(bench, policy): make_spec(bench, policy, size)
+        request = {(bench, policy): make_spec(bench, policy, size,
+                                              cores=cores)
                    for policy in policies for bench in benchmarks}
         unique = list({spec.key: spec for spec in request.values()}
                       .values())

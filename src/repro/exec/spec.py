@@ -72,6 +72,11 @@ class JobSpec:
     policy: str
     size: str = "small"
     fingerprint: str = ""
+    #: guest hart count.  1 (the default) runs the original single-core
+    #: machine and produces byte-identical keys/ids to pre-SMP jobs;
+    #: multi-core jobs are additionally distinguished by the
+    #: ``n_cores`` machine kwarg folded into :attr:`fingerprint`.
+    cores: int = 1
     #: per-job JSONL trace target; set by the engine when a trace
     #: directory is requested.  Not part of the result-store key.
     events_path: str = ""
@@ -94,8 +99,13 @@ class JobSpec:
 
     @property
     def job_id(self) -> str:
-        """Human-readable id used for progress lines and trace tags."""
-        return f"{self.benchmark}:{self.policy}:{self.size}"
+        """Human-readable id used for progress lines and trace tags.
+
+        Single-core ids keep the historical ``bench:policy:size``
+        format; multi-core jobs append a ``:cN`` suffix.
+        """
+        base = f"{self.benchmark}:{self.policy}:{self.size}"
+        return base if self.cores <= 1 else f"{base}:c{self.cores}"
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)

@@ -35,7 +35,7 @@ def execute_spec(spec: JobSpec,
     restored on exit — a no-op in the usual forked-worker case).
     """
     from repro.harness.experiments import policy_factory
-    from repro.sampling import SimulationController
+    from repro.sampling import make_controller
     from repro.timing import TimingConfig
     from repro.workloads import SUITE_MACHINE_KWARGS, load_benchmark
 
@@ -55,9 +55,15 @@ def execute_spec(spec: JobSpec,
                                     spec.job_id).start()
     try:
         workload = load_benchmark(spec.benchmark, size=spec.size)
-        controller = SimulationController(
+        machine_kwargs = dict(SUITE_MACHINE_KWARGS)
+        # Single-core jobs keep the exact historical kwargs (and thus
+        # fingerprint); any SMP job — multi-core, or an inherently
+        # parallel benchmark at any count — pins its count explicitly.
+        if spec.cores > 1 or getattr(workload, "parallel", False):
+            machine_kwargs["n_cores"] = spec.cores
+        controller = make_controller(
             workload, timing_config=TimingConfig.small(),
-            machine_kwargs=SUITE_MACHINE_KWARGS, tracer=tracer)
+            machine_kwargs=machine_kwargs, tracer=tracer)
         if spec.checkpoint_root:
             from repro.sampling.controller import checkpoints_enabled
             if checkpoints_enabled():
@@ -68,7 +74,7 @@ def execute_spec(spec: JobSpec,
                 controller.attach_checkpoints(CheckpointLadder(
                     CheckpointStore(spec.checkpoint_root),
                     program_fingerprint(workload),
-                    config_fingerprint(None, SUITE_MACHINE_KWARGS)))
+                    config_fingerprint(None, machine_kwargs)))
         result = policy_factory(spec.policy)().run(controller)
     except BaseException:
         if heartbeat is not None:

@@ -22,9 +22,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro import obs
 from repro.exec import (CACHE_VERSION, ExperimentEngine, ExperimentError,
-                        JobSpec, ResultStore, default_fingerprint,
-                        default_store, execute_spec, failed_jobs,
-                        format_failure_summary)
+                        JobSpec, ResultStore, config_fingerprint,
+                        default_fingerprint, default_store, execute_spec,
+                        failed_jobs, format_failure_summary)
 from repro.sampling import (CheckpointedSimPointSampler, DynamicSampler,
                             FullTiming, PolicyResult,
                             SIMPOINT_PRESET, SMARTS_PRESET,
@@ -36,6 +36,7 @@ __all__ = [
     "CACHE_VERSION", "QUICK_SUITE", "ResultStore", "default_benchmarks",
     "default_store", "fetch_results", "make_spec", "modeled_seconds_for",
     "normalize_policy", "policy_factory", "run_policy", "run_suite",
+    "smp_fingerprint",
 ]
 
 
@@ -98,26 +99,52 @@ def modeled_seconds_for(key: str, result: PolicyResult) -> float:
 # ----------------------------------------------------------------------
 # engine entry points
 
+def smp_fingerprint(cores: int) -> str:
+    """Fingerprint of the suite defaults at ``cores`` guest harts."""
+    from repro.timing import TimingConfig
+    from repro.workloads import SUITE_MACHINE_KWARGS
+    return config_fingerprint(TimingConfig.small(),
+                              {**SUITE_MACHINE_KWARGS, "n_cores": cores})
+
+
 def make_spec(benchmark: str, policy: str, size: str = "small",
-              fingerprint: Optional[str] = None) -> JobSpec:
+              fingerprint: Optional[str] = None,
+              cores: Optional[int] = None) -> JobSpec:
     """Build the job spec for one grid cell (validates the policy key,
-    normalises aliases, stamps the config fingerprint)."""
+    normalises aliases, stamps the config fingerprint).
+
+    ``cores=None`` picks the benchmark's default hart count — 1 for the
+    SPEC suite (byte-identical keys to pre-SMP specs), the workload's
+    own default for the parallel suite.  Any SMP cell folds ``n_cores``
+    into the fingerprint so core counts can never share cached results.
+    """
+    from repro.workloads import (default_benchmark_cores,
+                                 is_parallel_benchmark)
     policy = normalize_policy(policy)
     policy_factory(policy)  # raises KeyError for unknown keys up front
+    if cores is None:
+        cores = default_benchmark_cores(benchmark)
+    cores = max(1, int(cores))
+    if fingerprint is None:
+        if cores > 1 or is_parallel_benchmark(benchmark):
+            fingerprint = smp_fingerprint(cores)
+        else:
+            fingerprint = default_fingerprint()
     return JobSpec(benchmark=benchmark, policy=policy, size=size,
-                   fingerprint=fingerprint or default_fingerprint())
+                   fingerprint=fingerprint, cores=cores)
 
 
 def run_policy(benchmark: str, policy: str, size: str = "small",
                store: Optional[ResultStore] = None,
                use_cache: bool = True,
-               tracer: Optional["obs.Tracer"] = None) -> PolicyResult:
+               tracer: Optional["obs.Tracer"] = None,
+               cores: Optional[int] = None) -> PolicyResult:
     """Run (or fetch) one policy on one benchmark.
 
     Passing a ``tracer`` forces a fresh simulation (cached results
     carry no event stream) and wires it into the controller.
     """
-    spec = make_spec(benchmark, policy, size)
+    spec = make_spec(benchmark, policy, size, cores=cores)
     if tracer is not None:
         return execute_spec(spec, tracer=tracer)
     engine = ExperimentEngine(store=store, jobs=1)
@@ -133,16 +160,18 @@ def fetch_results(policies: List[str], benchmarks: List[str],
                   store: Optional[ResultStore] = None,
                   jobs: Optional[int] = None,
                   engine: Optional[ExperimentEngine] = None,
-                  use_cache: bool = True
+                  use_cache: bool = True,
+                  cores: Optional[int] = None
                   ) -> Dict[tuple, PolicyResult]:
     """Run/fetch a (benchmark x policy) grid through the engine.
 
     Returns ``{(benchmark, policy): PolicyResult}`` for every requested
     pair; raises :class:`ExperimentError` if any cell failed.
+    ``cores=None`` uses each benchmark's default hart count.
     """
     engine = engine or ExperimentEngine(store=store, jobs=jobs)
     outcomes = engine.run_grid(benchmarks, policies, size=size,
-                               use_cache=use_cache)
+                               use_cache=use_cache, cores=cores)
     failures = failed_jobs(outcomes)
     if failures:
         raise ExperimentError(format_failure_summary(failures),
@@ -154,12 +183,13 @@ def fetch_results(policies: List[str], benchmarks: List[str],
 def run_suite(policy: str, size: str = "small",
               benchmarks: Optional[List[str]] = None,
               store: Optional[ResultStore] = None,
-              jobs: Optional[int] = None
+              jobs: Optional[int] = None,
+              cores: Optional[int] = None
               ) -> Dict[str, PolicyResult]:
     """Run one policy over the suite; returns {benchmark: result}."""
     names = list(benchmarks or SUITE_ORDER)
     results = fetch_results([policy], names, size=size, store=store,
-                            jobs=jobs)
+                            jobs=jobs, cores=cores)
     return {name: results[(name, policy)] for name in names}
 
 

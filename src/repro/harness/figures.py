@@ -352,3 +352,58 @@ def build_figure9(size: str = "small",
     return table + "\n", {
         policy: {name: numbers[policy]["per_benchmark"][name]["seconds"]
                  for name in benchmarks} for policy in policies}
+
+
+# ----------------------------------------------------------------------
+# parallel suite (multi-core guests; not in the paper)
+
+#: policies compared on the multi-threaded workloads
+PARALLEL_FIGURE_POLICIES = ("smarts", "CPU-300-1M-inf", "EXC-300-1M-10")
+
+
+def build_parallel_figure(size: str = "small",
+                          cores: Optional[int] = None
+                          ) -> Tuple[str, dict]:
+    """Parallel suite: sampling accuracy on multi-core guests.
+
+    Per-core Dynamic Sampling (gang-scheduled Algorithm 1) vs full
+    timing on the multi-threaded workloads, plus the per-hart
+    block-dispatch balance of each guest.  ``cores=None`` uses each
+    benchmark's default hart count.
+    """
+    from repro.workloads import (default_benchmark_cores,
+                                 parallel_benchmark_names)
+    names = parallel_benchmark_names()
+    wanted = list(dict.fromkeys(("full",) + PARALLEL_FIGURE_POLICIES))
+    grid = fetch_results(wanted, names, size=size, cores=cores)
+    rows = []
+    data = {}
+    balance_lines = []
+    for name in names:
+        full = grid[(name, "full")]
+        per_core = (full.extra or {}).get("cores") or {}
+        n_cores = per_core.get("n",
+                               cores or default_benchmark_cores(name))
+        dispatches = [stats.get("block_dispatches", 0)
+                      for stats in per_core.get("vm_stats", [])]
+        balance_lines.append(
+            f"per-core[{name}]: cores={n_cores} "
+            f"block_dispatches={dispatches}")
+        data[name] = {"cores": n_cores, "full_ipc": full.ipc,
+                      "block_dispatches": dispatches, "policies": {}}
+        for policy in PARALLEL_FIGURE_POLICIES:
+            result = grid[(name, policy)]
+            error = accuracy_error(result.ipc, full.ipc)
+            speed = (full.modeled_seconds / result.modeled_seconds
+                     if result.modeled_seconds else math.inf)
+            rows.append((name, n_cores, policy, f"{result.ipc:.4f}",
+                         f"{full.ipc:.4f}", f"{error * 100:.2f}",
+                         f"{speed:.1f}"))
+            data[name]["policies"][policy] = {
+                "ipc": result.ipc, "error": error, "speedup": speed}
+    table = format_table(
+        ("benchmark", "cores", "policy", "ipc", "full ipc",
+         "error %", "speedup x"),
+        rows, title="Parallel suite: per-core dynamic sampling on "
+                    f"multi-core guests (size={size})")
+    return table + "\n" + "\n".join(balance_lines) + "\n", data

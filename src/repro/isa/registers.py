@@ -24,6 +24,8 @@ NUM_INT_REGS = 16
 NUM_FP_REGS = 16
 
 ZERO = 0
+S0 = 9
+S3 = 12
 GP = 13
 RA = 14
 SP = 15

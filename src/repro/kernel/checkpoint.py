@@ -61,6 +61,13 @@ class Checkpoint:
     disk: dict
     timer: dict
     nic: dict
+    #: per-core snapshots for SMP guests — one dict per hart with keys
+    #: ``cpu``/``stats``/``profile_counts``/``pending_irqs``/
+    #: ``fast_cache``; ``None`` for single-core checkpoints (the
+    #: top-level fields then hold the sole core's state, keeping the
+    #: format backward compatible).  For SMP, the top-level fields
+    #: mirror core 0.
+    cores: Optional[List[dict]] = None
     parent: Optional["Checkpoint"] = field(default=None, repr=False,
                                            compare=False)
     #: write epoch closed when this checkpoint was taken/restored, valid
@@ -119,6 +126,10 @@ def take(system, parent: Optional[Checkpoint] = None) -> Checkpoint:
     machine = system.machine
     phys = machine.phys
     kernel = system.kernel
+    #: SMP guests expose per-hart machines; single-core machines stand
+    #: for themselves.  The shared frames are scanned once either way.
+    harts = getattr(machine, "cores", None)
+    primary = harts[0] if harts else machine
 
     # Clean-frame shortcut is only sound against the same live memory
     # the parent's epoch was recorded on; content-hash dedup below
@@ -138,30 +149,43 @@ def take(system, parent: Optional[Checkpoint] = None) -> Checkpoint:
                                         and parent.has_blob(digest)):
             blobs[digest] = bytes(data)
 
+    cores_field = None
+    if harts:
+        cores_field = [{
+            "cpu": hart.state.snapshot(),
+            "stats": copy.deepcopy(vars(hart.stats)),
+            "profile_counts": dict(hart.profile_counts),
+            "pending_irqs": list(hart._pending_irqs),
+            "fast_cache": hart.snapshot_code_cache(),
+        } for hart in harts]
+
     checkpoint = Checkpoint(
-        cpu=machine.state.snapshot(),
+        cpu=primary.state.snapshot(),
         frame_hashes=frame_hashes,
         blobs=blobs,
         next_free_frame=phys.next_free,
         page_table=machine.page_table.snapshot(),
-        stats=copy.deepcopy(vars(machine.stats)),
-        profile_counts=dict(machine.profile_counts),
-        pending_irqs=list(machine._pending_irqs),
-        fast_cache=machine.snapshot_code_cache(),
+        stats=copy.deepcopy(vars(primary.stats)),
+        profile_counts=dict(primary.profile_counts),
+        pending_irqs=list(primary._pending_irqs),
+        fast_cache=primary.snapshot_code_cache(),
         kernel=kernel.snapshot(),
         console=system.console.snapshot(),
         disk=system.disk.snapshot(),
         timer=system.timer.snapshot(),
         nic=system.nic.snapshot(),
+        cores=cores_field,
         parent=parent,
     )
     # Close the epoch *after* scanning: frames written from here on are
-    # dirty relative to this checkpoint.  The MMU's cached write
+    # dirty relative to this checkpoint.  Every hart's cached write
     # translations must be dropped so the next store to each page goes
-    # through the fill path again and re-marks its frame.
+    # through the fill path again and re-marks its frame — the dirty
+    # generations are shared, the write caches are not.
     checkpoint.phys_token = id(phys)
     checkpoint.phys_epoch = phys.begin_write_epoch()
-    machine.mmu.drop_write_cache()
+    for hart in (harts or (machine,)):
+        hart.mmu.drop_write_cache()
     return checkpoint
 
 
@@ -171,14 +195,29 @@ def restore(system, checkpoint: Checkpoint) -> None:
     machine = system.machine
     phys = machine.phys
     kernel = system.kernel
+    harts = getattr(machine, "cores", None)
+    if harts is not None:
+        snaps = checkpoint.cores
+        if snaps is None or len(snaps) != len(harts):
+            raise ValueError(
+                f"checkpoint holds {len(checkpoint.cores or [])} core "
+                f"snapshot(s), machine has {len(harts)} core(s)")
+        pairs = list(zip(harts, snaps))
+    else:
+        if checkpoint.cores is not None and len(checkpoint.cores) != 1:
+            raise ValueError("multi-core checkpoint restored onto a "
+                             "single-core machine")
+        pairs = [(machine, None)]
 
     # Stash the resident fast-cache blocks before flushing: a block
     # whose code pages come through the restore with identical mapping
     # and identical bytes would re-translate to the same thing, so it
     # can be reinserted as-is (restoring adjacent checkpoints of one
-    # ladder shares almost all code pages).
-    stash = {pc: machine.fast_cache.get(pc)
-             for pc in machine.fast_cache.blocks()}
+    # ladder shares almost all code pages).  Per hart: each core owns
+    # its architectural fast cache.
+    stashes = [{pc: hart.fast_cache.get(pc)
+                for pc in hart.fast_cache.blocks()}
+               for hart, _snap in pairs]
     old_mapping = machine.page_table.snapshot()
 
     # guest memory + page table (public hooks)
@@ -193,33 +232,45 @@ def restore(system, checkpoint: Checkpoint) -> None:
             return False
         return entry is None or entry[0] not in changed_pfns
 
-    reuse = {}
-    for pc, entry in stash.items():
-        # The page beyond the block matters too: an originally
-        # page-fault-cut block would decode longer if that page became
-        # mapped, so reuse demands it is equally (un)mapped and intact.
-        if all(_page_intact(vpn)
-               for vpn in (*entry.pages, max(entry.pages) + 1)):
-            reuse[pc] = entry
+    reuses = []
+    for stash in stashes:
+        reuse = {}
+        for pc, entry in stash.items():
+            # The page beyond the block matters too: an originally
+            # page-fault-cut block would decode longer if that page
+            # became mapped, so reuse demands it is equally (un)mapped
+            # and intact.
+            if all(_page_intact(vpn)
+                   for vpn in (*entry.pages, max(entry.pages) + 1)):
+                reuse[pc] = entry
+        reuses.append(reuse)
 
-    # Host-side caches are stale: flush everything, then rebuild the
+    # Host-side caches are stale: flush everything, then rebuild each
     # architectural fast cache to its recorded residency.  Both happen
     # *before* restoring statistics, so the flush-induced invalidation
     # counts are erased and the monitored statistics resume exactly as
     # saved (the rebuild re-translations are already included in the
     # saved counters).
-    machine.mmu.flush()
-    machine.mmu.code_pages.clear()
+    for hart, _snap in pairs:
+        hart.mmu.flush()
+    pairs[0][0].mmu.code_pages.clear()  # shared across harts
     machine.flush_code_caches()
 
-    # CPU + machine bookkeeping
-    machine.state.restore(checkpoint.cpu)
-    machine.rebuild_code_cache(checkpoint.fast_cache, reuse=reuse)
-    for key, value in copy.deepcopy(checkpoint.stats).items():
-        setattr(machine.stats, key, value)
-    machine.profile_counts.clear()
-    machine.profile_counts.update(checkpoint.profile_counts)
-    machine._pending_irqs[:] = checkpoint.pending_irqs
+    # CPU + per-core machine bookkeeping
+    for (hart, snap), reuse in zip(pairs, reuses):
+        hart.state.restore(snap["cpu"] if snap else checkpoint.cpu)
+        hart.rebuild_code_cache(
+            snap["fast_cache"] if snap else checkpoint.fast_cache,
+            reuse=reuse)
+        stats = snap["stats"] if snap else checkpoint.stats
+        for key, value in copy.deepcopy(stats).items():
+            setattr(hart.stats, key, value)
+        hart.profile_counts.clear()
+        hart.profile_counts.update(
+            snap["profile_counts"] if snap
+            else checkpoint.profile_counts)
+        hart._pending_irqs[:] = (snap["pending_irqs"] if snap
+                                 else checkpoint.pending_irqs)
 
     # kernel + devices (public hooks)
     kernel.restore(checkpoint.kernel)
@@ -233,4 +284,5 @@ def restore(system, checkpoint: Checkpoint) -> None:
     # was marked at the current epoch by phys.restore; close it).
     checkpoint.phys_token = id(phys)
     checkpoint.phys_epoch = phys.begin_write_epoch()
-    machine.mmu.drop_write_cache()
+    for hart, _snap in pairs:
+        hart.mmu.drop_write_cache()

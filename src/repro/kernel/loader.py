@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.isa import Program
 from repro.mem import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, PROT_RWX
-from repro.isa.registers import SP
+from repro.isa.registers import GP, S3, SP
 from repro.vm.machine import Machine
 
 from .syscalls import Kernel
@@ -51,4 +51,48 @@ def load_program(machine: Machine, kernel: Kernel, program: Program,
     state.reset(pc=program.entry)
     # Stack pointer starts 16-byte aligned just below the top page edge.
     state.regs[SP] = (stack_top - 16) & ~0xF
+    machine.kernel = kernel
+
+
+def load_program_smp(machine, kernel: Kernel, program: Program,
+                     stack_top: int = STACK_TOP,
+                     stack_size: int = STACK_SIZE) -> None:
+    """Map ``program`` once into an SMP guest's shared address space
+    and start every hart at the entry point.
+
+    Boot convention (documented for workload authors):
+
+    * all harts start at ``program.entry`` with ``gp`` (r13) holding
+      the hart id and ``s3`` (r12) holding the total core count — the
+      program branches on ``gp`` to split work;
+    * each hart gets its own demand-paged stack: hart ``i``'s stack
+      top sits ``i * (stack_size + one guard page)`` below
+      ``stack_top``, so stacks can never silently run into each other;
+    * segments, heap and the globals page are shared (mapped once in
+      the shared page table).
+    """
+    core0 = machine.cores[0]
+    highest = 0
+    for segment in program.segments:
+        first = segment.base >> PAGE_SHIFT
+        last = (segment.end - 1) >> PAGE_SHIFT if segment.data else first
+        for vpn in range(first, last + 1):
+            if machine.page_table.lookup(vpn) is None:
+                machine.page_table.map(vpn, machine.phys.alloc_frame(),
+                                       PROT_RWX)
+        core0.mmu.write_block(segment.base, bytes(segment.data))
+        highest = max(highest, segment.end)
+
+    heap_base = (highest + PAGE_MASK) & ~PAGE_MASK
+    kernel.set_heap(heap_base, DEFAULT_HEAP_SIZE)
+    kernel.add_region(GLOBALS_BASE, PAGE_SIZE)
+
+    for index, core in enumerate(machine.cores):
+        top = stack_top - index * (stack_size + PAGE_SIZE)
+        kernel.add_region(top - stack_size, stack_size)
+        state = core.state
+        state.reset(pc=program.entry)
+        state.regs[SP] = (top - 16) & ~0xF
+        state.regs[GP] = index
+        state.regs[S3] = machine.n_cores
     machine.kernel = kernel

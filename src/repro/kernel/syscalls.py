@@ -27,7 +27,16 @@ TIME       8  time() -> virtual cycle counter
 YIELD      9  yield() — scheduling hint, a no-op here
 MAP       10  map(size) -> base of a new demand-paged RW region
 UNMAP     11  unmap(base, size) -> 0
+CAS       12  cas(addr, expected, new) -> old value at addr
 ======== ==== ==========================================================
+
+``CAS`` is the guest's only read-modify-write primitive: the kernel
+reads the 8-byte word at ``addr``, stores ``new`` iff it equals
+``expected``, and returns the old value — atomic by construction
+because syscalls execute between quanta of the (serialized) SMP
+interleaver.  Lock-based multi-threaded workloads spin on it, which
+makes contention visible to Dynamic Sampling through the EXC signal
+(every attempt is a syscall trap).
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ SYS_TIME = 8
 SYS_YIELD = 9
 SYS_MAP = 10
 SYS_UNMAP = 11
+SYS_CAS = 12
 
 #: register indices of the ABI
 REG_NUM = 8    # t7
@@ -181,6 +191,8 @@ class Kernel:
             state.regs[REG_A0] = self._sys_map(a0)
         elif number == SYS_UNMAP:
             state.regs[REG_A0] = self._sys_unmap(machine, a0, a1)
+        elif number == SYS_CAS:
+            state.regs[REG_A0] = self._sys_cas(machine, a0, a1, a2)
         else:
             raise MachineError(f"unknown syscall {number}")
 
@@ -287,9 +299,26 @@ class Kernel:
                          if not (s >= base and e <= end)]
         first = base >> PAGE_SHIFT
         last = (end - 1) >> PAGE_SHIFT
+        # The page table is shared across an SMP guest, so unmapping
+        # must invalidate every hart's TLB and translation caches — not
+        # just the trapping core's.
+        harts = machine.smp_peers or (machine,)
         for vpn in range(first, last + 1):
             if machine.page_table.lookup(vpn) is not None:
                 machine.page_table.unmap(vpn)
-                machine.mmu.invalidate_page(vpn)
-                machine.invalidate_code_page(vpn)
+                for hart in harts:
+                    hart.mmu.invalidate_page(vpn)
+                    hart.invalidate_code_page(vpn)
         return 0
+
+    def _sys_cas(self, machine: Machine, addr: int, expected: int,
+                 new: int) -> int:
+        """Compare-and-swap on a naturally-aligned 8-byte word."""
+        if addr & 7:
+            return ERR
+        if not self._ensure_mapped(machine, addr, 8):
+            return ERR
+        old = machine.mmu.read_u64(addr)
+        if old == expected:
+            machine.mmu.write_u64(addr, new & ERR)
+        return old

@@ -21,8 +21,9 @@ from repro.devices import (BlockDevice, Bus, ConsoleDevice, NicDevice,
 from repro.isa import Program
 from repro.mem import PAGE_SHIFT, PROT_DEVICE, PROT_RW
 from repro.vm.machine import Machine
+from repro.vm.smp import DEFAULT_QUANTUM, SmpMachine
 
-from .loader import load_program
+from .loader import load_program, load_program_smp
 from .syscalls import Kernel
 
 #: MMIO window bases (one page each)
@@ -88,3 +89,54 @@ def boot(program: Optional[Program] = None,
         load_program(machine, kernel, program)
     return System(machine=machine, kernel=kernel, console=console,
                   disk=disk, timer=timer, nic=nic)
+
+
+@dataclass
+class SmpSystem(System):
+    """A booted multi-core guest (``machine`` is an
+    :class:`~repro.vm.smp.SmpMachine`)."""
+
+    @property
+    def cores(self):
+        return self.machine.cores
+
+
+def boot_smp(program: Optional[Program] = None,
+             n_cores: int = 2,
+             phys_size: int = 64 * 1024 * 1024,
+             code_cache_capacity: int = 512,
+             code_cache_policy: str = "fifo",
+             tlb_capacity: int = 256,
+             nic_peer=None,
+             smp_quantum: int = DEFAULT_QUANTUM) -> SmpSystem:
+    """Boot an ``n_cores``-hart guest with the standard device set.
+
+    Devices are mapped once in the shared page table and reachable from
+    every hart; the timer interrupt targets core 0 (the conventional
+    boot hart).  See :func:`~repro.kernel.loader.load_program_smp` for
+    the per-hart entry convention.
+    """
+    machine = SmpMachine(n_cores=n_cores, phys_size=phys_size,
+                         code_cache_capacity=code_cache_capacity,
+                         code_cache_policy=code_cache_policy,
+                         tlb_capacity=tlb_capacity,
+                         quantum=smp_quantum)
+    bus = Bus(stats=machine.cores[0].stats)
+    machine.attach_bus(bus)
+
+    console = ConsoleDevice()
+    disk = BlockDevice()
+    timer = TimerDevice(machine.cores[0])
+    nic = NicDevice(peer=nic_peer)
+    for device, base in ((console, CONSOLE_BASE), (disk, BLOCK_BASE),
+                         (timer, TIMER_BASE), (nic, NIC_BASE)):
+        bus.attach(device, base)
+        machine.page_table.map(base >> PAGE_SHIFT, 0,
+                               PROT_RW | PROT_DEVICE)
+
+    kernel = Kernel(console=console, disk=disk, nic=nic, timer=timer)
+    machine.kernel = kernel
+    if program is not None:
+        load_program_smp(machine, kernel, program)
+    return SmpSystem(machine=machine, kernel=kernel, console=console,
+                     disk=disk, timer=timer, nic=nic)

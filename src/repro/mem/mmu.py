@@ -21,7 +21,7 @@ Three additional responsibilities matter for the paper's mechanisms:
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from .faults import AlignmentFault, PageFault
 from .paging import (PROT_DEVICE, PROT_R, PROT_W, PROT_X, PageTable)
@@ -50,6 +50,9 @@ class MMU:
         self.code_pages: Set[int] = set()
         #: called with the written VPN before a store into a code page
         self.code_write_hook: Optional[Callable[[int], None]] = None
+        #: sibling MMUs sharing :attr:`code_pages` (SMP guests); empty
+        #: for a single-core machine
+        self._code_peers: Tuple["MMU", ...] = ()
 
     # ------------------------------------------------------------------
     # TLB fill (slow path)
@@ -274,14 +277,34 @@ class MMU:
     # ------------------------------------------------------------------
     # translation-cache maintenance
 
+    def link_code_page_peers(self, peers: "Tuple[MMU, ...]",
+                             shared: Set[int]) -> None:
+        """Share one code-page registry with sibling MMUs (SMP).
+
+        All cores of an SMP guest execute out of the same physical
+        memory, so a page holding translated code must leave *every*
+        core's fast write path — otherwise a store from one core could
+        bypass another core's self-modifying-code detection.
+        """
+        shared.update(self.code_pages)
+        self.code_pages = shared
+        self._code_peers = tuple(peer for peer in peers
+                                 if peer is not self)
+
     def register_code_page(self, vpn: int) -> None:
         """Mark ``vpn`` as holding translated code.
 
         Removes it from the fast write path so the next store into it
         triggers ``code_write_hook`` (self-modifying-code detection).
+        On an SMP guest the page leaves every sibling core's write path
+        too: a peer may hold a cached write translation from before the
+        page became code, and a store through it would silently skip
+        invalidation.
         """
         self.code_pages.add(vpn)
         self._wr.pop(vpn, None)
+        for peer in self._code_peers:
+            peer._wr.pop(vpn, None)
 
     def invalidate_page(self, vpn: int) -> None:
         """Drop every cached translation of ``vpn`` (unmap/protect)."""

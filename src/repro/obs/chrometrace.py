@@ -8,7 +8,10 @@ the Chrome Trace Event Format (the JSON object form), which both
                          "controller" track — the mode-switch timeline
 * ``sampler.decision`` → instant events (``ph: "i"``) on the "sampler"
                          track; fired decisions are named ``TIMED`` so
-                         they stand out
+                         they stand out.  Multi-core runs (payload
+                         carries ``cores > 1``) get one sampler track
+                         and one timing track *per core*; single-core
+                         traces keep the original track ids exactly
 * ``vmstats``          → counter tracks (``ph: "C"``): the monitored
                          CPU/EXC/IO statistic streams and per-mode
                          instruction counters
@@ -40,6 +43,10 @@ TID_SAMPLER = 2
 TID_TIMING = 3
 TID_MISC = 4
 TID_PROFILE = 5
+#: per-core track bases for multi-core traces: core ``c`` lands on
+#: ``base + c`` (far above the static tids, so they never collide)
+TID_SAMPLER_CORE_BASE = 100
+TID_TIMING_CORE_BASE = 200
 
 _THREAD_NAMES = {
     TID_CONTROLLER: "controller (modes)",
@@ -76,6 +83,23 @@ def _metadata() -> List[Dict]:
 def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict:
     """Build the Chrome Trace Event Format object."""
     trace_events: List[Dict] = _metadata()
+    named_core_tids = set()
+
+    def _core_tid(base: int, kind: str, payload: Dict,
+                  default: int) -> int:
+        """Per-core track id when the payload is from a multi-core
+        run; the original static track otherwise."""
+        if payload.get("cores", 1) <= 1:
+            return default
+        core = payload.get("core", 0)
+        tid = base + core
+        if tid not in named_core_tids:
+            named_core_tids.add(tid)
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": PID,
+                "tid": tid, "args": {"name": f"{kind} core {core}"}})
+        return tid
+
     for event in events:
         ts_us = event.ts * 1e6
         payload = event.payload
@@ -96,8 +120,10 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict:
             name = "TIMED" if payload.get("fired") else "functional"
             trace_events.append({
                 "name": name, "cat": "decision", "ph": "i",
-                "pid": PID, "tid": TID_SAMPLER, "ts": ts_us,
-                "s": "t", "args": dict(payload),
+                "pid": PID,
+                "tid": _core_tid(TID_SAMPLER_CORE_BASE, "sampler",
+                                 payload, TID_SAMPLER),
+                "ts": ts_us, "s": "t", "args": dict(payload),
             })
         elif event.type == EV_VMSTATS:
             monitored = {series: payload[key]
@@ -135,8 +161,10 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict:
         elif event.type == EV_WARMSTATE:
             trace_events.append({
                 "name": "warm state", "cat": "warmstate", "ph": "i",
-                "pid": PID, "tid": TID_TIMING, "ts": ts_us,
-                "s": "t", "args": dict(payload),
+                "pid": PID,
+                "tid": _core_tid(TID_TIMING_CORE_BASE, "timing",
+                                 payload, TID_TIMING),
+                "ts": ts_us, "s": "t", "args": dict(payload),
             })
         else:
             trace_events.append({

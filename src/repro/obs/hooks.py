@@ -66,11 +66,15 @@ def format_decision_line(event: TraceEvent,
     Shows, per monitored variable, the per-interval delta of the
     monitored statistic, the relative change against the previous
     delta, and the sensitivity threshold ``S`` — then the outcome.
+    Multi-core decisions (payload carries ``cores > 1``) are prefixed
+    with their core id; single-core lines are unchanged.
     """
     payload = event.payload
     parts = []
     if label:
         parts.append(f"[{label}]")
+    if payload.get("cores", 1) > 1:
+        parts.append(f"c{payload.get('core', 0)}")
     parts.append(f"i={payload.get('interval', '?'):>5}")
     parts.append(f"icount={event.icount:>9}")
     for name, var in sorted(payload.get("variables", {}).items()):
@@ -81,6 +85,11 @@ def format_decision_line(event: TraceEvent,
     parts.append(f"S={payload.get('threshold', 0.0):.2f}")
     if payload.get("fired"):
         reason = "max_func" if payload.get("forced") else "trigger"
+        if (reason == "trigger" and payload.get("cores", 1) > 1
+                and not payload.get("core_trigger", True)):
+            # gang scheduling: another core tripped Algorithm 1 and
+            # dragged this one into the timed interval with it
+            reason = "gang"
         parts.append(f"-> TIMED ({reason})")
     else:
         parts.append(f"-> functional (func#{payload.get('num_func', 0)})")

@@ -22,10 +22,12 @@ from .simpoint import (BbvCollector, CheckpointedSimPointSampler,
                        SimPointConfig, SimPointSampler,
                        SimPointSelection, select_simpoints)
 from .smarts import SmartsConfig, SmartsSampler
+from .smp import SmpSimulationController, make_controller
 
 __all__ = [
     "PolicyResult", "Sampler",
     "ModeBreakdown", "SimulationController",
+    "SmpSimulationController", "make_controller",
     "CostModel", "DEFAULT_COST_MODEL",
     "DynamicSampler", "DynamicSamplingConfig", "sweep_configs",
     "MeanCpiEstimator", "SegmentedIpcEstimator",

@@ -121,7 +121,12 @@ class Sampler:
             self.cost_model.modeled_seconds(**counts)
         extra["wall_seconds_by_mode"] = dict(breakdown.wall_seconds)
         extra["checkpoints"] = dict(controller.checkpoint_stats)
-        extra["vm_stats"] = controller.machine.stats.snapshot()
+        extra["vm_stats"] = controller.vm_stats_snapshot()
+        if controller.n_cores > 1:
+            extra["cores"] = {
+                "n": controller.n_cores,
+                "vm_stats": controller.per_core_vm_stats(),
+            }
         if "profile" not in self.charge_modes and counts["profile"]:
             # e.g. the paper's "SimPoint+prof" point in Figure 5
             extra["modeled_seconds_with_profiling"] = (

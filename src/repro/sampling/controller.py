@@ -82,16 +82,8 @@ class SimulationController:
         self.machine_kwargs = dict(machine_kwargs or {})
         self.system: System = workload.boot(**self.machine_kwargs)
         self.machine = self.system.machine
-        self.core = OutOfOrderCore(timing_config or TimingConfig.small())
-        self.warming_sink = FunctionalWarmingSink(self.core)
-        if self.core.config.fast_path:
-            # Fused fast path: event-mode intervals dispatch superblocks
-            # with the timing updates compiled in.  Bit-identical to the
-            # per-instruction sink path (REPRO_SLOW_PATH=1 restores it).
-            self.machine.register_fast_sink(
-                self.core, TimedBlockCodegen(self.core))
-            self.machine.register_fast_sink(
-                self.warming_sink, WarmingBlockCodegen(self.warming_sink))
+        self.timing_config = timing_config or TimingConfig.small()
+        self._init_timing()
         self.feedback = feedback
         self.breakdown = ModeBreakdown()
         #: checkpoint ladder (repro.exec.ckptstore.CheckpointLadder)
@@ -130,8 +122,32 @@ class SimulationController:
             mode: registry.gauge(f"controller.throughput.{mode}")
             for mode in ("fast", "profile", "warming", "timed")}
 
+    def _init_timing(self) -> None:
+        """Create the timing core(s) and bind their fused codegens.
+
+        The SMP controller overrides this to build one detailed core +
+        warming sink per hart; the contract is that afterwards
+        :attr:`core`/:attr:`warming_sink` reference core 0's pair and
+        :attr:`timing_cores`/:attr:`warming_sinks` hold all of them.
+        """
+        self.core = OutOfOrderCore(self.timing_config)
+        self.warming_sink = FunctionalWarmingSink(self.core)
+        self.timing_cores = (self.core,)
+        self.warming_sinks = (self.warming_sink,)
+        if self.core.config.fast_path:
+            # Fused fast path: event-mode intervals dispatch superblocks
+            # with the timing updates compiled in.  Bit-identical to the
+            # per-instruction sink path (REPRO_SLOW_PATH=1 restores it).
+            self.machine.register_fast_sink(
+                self.core, TimedBlockCodegen(self.core))
+            self.machine.register_fast_sink(
+                self.warming_sink, WarmingBlockCodegen(self.warming_sink))
+
     # ------------------------------------------------------------------
     # state
+
+    #: number of guest harts (the SMP controller overrides this)
+    n_cores = 1
 
     @property
     def finished(self) -> bool:
@@ -145,6 +161,22 @@ class SimulationController:
     def read_stat(self, name: str) -> int:
         """Read one of the monitorable VM statistics (CPU/EXC/IO)."""
         return self.machine.stats.monitored(name)
+
+    def read_core_stat(self, core: int, name: str) -> int:
+        """Per-core view of :meth:`read_stat` (core 0 == the machine
+        on a single-core guest)."""
+        if core != 0:
+            raise IndexError(f"single-core guest has no core {core}")
+        return self.machine.stats.monitored(name)
+
+    def vm_stats_snapshot(self) -> Dict:
+        """The vmstats dict recorded in results and trace events (the
+        SMP controller aggregates across harts here)."""
+        return self.machine.stats.snapshot()
+
+    def per_core_vm_stats(self) -> list:
+        """Per-core vmstats snapshots, in core order."""
+        return [self.machine.stats.snapshot()]
 
     # ------------------------------------------------------------------
     # instrumentation (repro.obs)
@@ -166,7 +198,7 @@ class SimulationController:
                        instructions=executed, wall=elapsed,
                        icount_start=icount_start)
             trace.emit(obs.EV_VMSTATS, icount=self.icount,
-                       **self.machine.stats.snapshot())
+                       **self.vm_stats_snapshot())
 
     # ------------------------------------------------------------------
     # checkpoint acceleration

@@ -99,10 +99,19 @@ class DynamicSampler(Sampler):
         num_func = 0
         timed_intervals = 0
         interval_index = 0
-        last_counts = {variable: controller.read_stat(variable)
-                       for variable in config.variables}
-        prev_deltas: Dict[str, Optional[int]] = {
-            variable: None for variable in config.variables}
+        # Algorithm 1 state is kept per (core, variable): each hart's
+        # statistic stream is monitored independently, and a phase
+        # change detected on any hart gang-schedules timing for all of
+        # them (they share memory — measuring one core while the others
+        # free-run would time an unreachable machine state).  On a
+        # single-core guest this degenerates to the paper's Algorithm 1
+        # verbatim.
+        n_cores = controller.n_cores
+        last_counts = {
+            (core, variable): controller.read_core_stat(core, variable)
+            for core in range(n_cores) for variable in config.variables}
+        prev_deltas: Dict[Tuple[int, str], Optional[int]] = {
+            key: None for key in last_counts}
 
         while not controller.finished:
             if timing:
@@ -118,9 +127,11 @@ class DynamicSampler(Sampler):
                 # The warming/timed stretch ran in event mode, which
                 # distorts the translation-cache statistic stream;
                 # re-establish the delta baseline before comparing again.
-                for variable in config.variables:
-                    last_counts[variable] = controller.read_stat(variable)
-                    prev_deltas[variable] = None
+                for core in range(n_cores):
+                    for variable in config.variables:
+                        last_counts[(core, variable)] = \
+                            controller.read_core_stat(core, variable)
+                        prev_deltas[(core, variable)] = None
                 continue
             else:
                 executed = controller.run_fast(interval)
@@ -129,28 +140,30 @@ class DynamicSampler(Sampler):
                     executed, estimator.ipc() or 1.0)
                 num_func += 1
 
-            # Inspect the monitored variables (end of interval).
+            # Inspect the monitored variables (end of interval), per core.
             interval_index += 1
-            triggered = False
-            record_vars: Optional[Dict[str, Dict]] = \
-                {} if trace is not None else None
-            for variable in config.variables:
-                count = controller.read_stat(variable)
-                delta = count - last_counts[variable]
-                last_counts[variable] = count
-                previous = prev_deltas[variable]
-                relative = None
-                if previous is not None:
-                    relative = abs(delta - previous) / max(previous, 1)
-                    m_relative.observe(relative)
-                    if relative > config.sensitivity:
-                        triggered = True
-                prev_deltas[variable] = delta
-                if record_vars is not None:
-                    record_vars[variable] = {
-                        "count": count, "delta": delta,
-                        "prev_delta": previous, "relative": relative}
+            core_triggered = [False] * n_cores
+            record_vars: Optional[list] = \
+                [{} for _ in range(n_cores)] if trace is not None else None
+            for core in range(n_cores):
+                for variable in config.variables:
+                    count = controller.read_core_stat(core, variable)
+                    delta = count - last_counts[(core, variable)]
+                    last_counts[(core, variable)] = count
+                    previous = prev_deltas[(core, variable)]
+                    relative = None
+                    if previous is not None:
+                        relative = abs(delta - previous) / max(previous, 1)
+                        m_relative.observe(relative)
+                        if relative > config.sensitivity:
+                            core_triggered[core] = True
+                    prev_deltas[(core, variable)] = delta
+                    if record_vars is not None:
+                        record_vars[core][variable] = {
+                            "count": count, "delta": delta,
+                            "prev_delta": previous, "relative": relative}
 
+            triggered = any(core_triggered)
             forced = False
             if triggered:
                 timing = True
@@ -166,12 +179,20 @@ class DynamicSampler(Sampler):
             if forced:
                 m_forced.inc()
             if trace is not None:
-                trace.emit(obs.EV_DECISION, icount=controller.icount,
-                           interval=interval_index,
-                           variables=record_vars,
-                           threshold=config.sensitivity,
-                           fired=timing, forced=forced,
-                           num_func=num_func)
+                # One decision record per core; ``fired`` is the gang
+                # outcome, ``core_trigger`` whether *this* core's
+                # variables crossed the threshold.
+                for core in range(n_cores):
+                    payload = dict(icount=controller.icount,
+                                   interval=interval_index, core=core,
+                                   variables=record_vars[core],
+                                   threshold=config.sensitivity,
+                                   fired=timing, forced=forced,
+                                   num_func=num_func)
+                    if n_cores > 1:
+                        payload["cores"] = n_cores
+                        payload["core_trigger"] = core_triggered[core]
+                    trace.emit(obs.EV_DECISION, **payload)
 
         return {
             "ipc": estimator.ipc(),

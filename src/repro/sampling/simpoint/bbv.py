@@ -87,7 +87,9 @@ def profile_bbv(controller: SimulationController,
                 cached["profile_instructions"]
             controller.checkpoint_stats["profile_cache_hits"] += 1
             return collector
-    profiler = SimulationController(
+    # Profile on a replica of the controller's own class: a multi-core
+    # guest must be profiled on an identically interleaved SMP machine.
+    profiler = type(controller)(
         controller.workload,
         machine_kwargs=controller.machine_kwargs)
     collector.collect(profiler)

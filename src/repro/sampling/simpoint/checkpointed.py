@@ -59,7 +59,10 @@ class CheckpointedSimPointSampler(Sampler):
 
         snapshots: List[Tuple[int, float, ckpt.Checkpoint]] = []
         dropped = 0
-        recorder = SimulationController(
+        # Replicate the controller's own class: a multi-core guest must
+        # be re-run on an identically interleaved SMP machine or the
+        # recorded warm-up boundaries would not line up.
+        recorder = type(controller)(
             controller.workload,
             machine_kwargs=controller.machine_kwargs)
         recorder.attach_checkpoints(controller.checkpoints)

@@ -12,6 +12,7 @@ from .events import (InstructionSink, NullSink, RecordingSink, TeeSink,
 from .interpreter import Interpreter
 from .machine import (MODE_EVENT, MODE_FAST, MODE_INTERP, MODE_PROFILE,
                       MODES, Machine, MachineError)
+from .smp import DEFAULT_QUANTUM, SmpMachine
 from .state import CpuState
 from .stats import MONITORABLE, VmStats
 from .translator import (FLAVOR_EVENT, FLAVOR_FAST, MAX_BLOCK, Translator)
@@ -24,6 +25,7 @@ __all__ = [
     "MODE_EVENT", "MODE_FAST", "MODE_INTERP", "MODE_PROFILE", "MODES",
     "Machine",
     "MachineError",
+    "DEFAULT_QUANTUM", "SmpMachine",
     "CpuState",
     "MONITORABLE", "VmStats",
     "FLAVOR_EVENT", "FLAVOR_FAST", "MAX_BLOCK", "Translator",

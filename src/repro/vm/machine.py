@@ -66,9 +66,22 @@ class Machine:
                  code_cache_policy: str = "fifo",
                  tlb_capacity: int = 256,
                  max_block: int = MAX_BLOCK,
-                 bus=None):
-        self.phys = PhysicalMemory(phys_size)
-        self.page_table = PageTable()
+                 bus=None,
+                 phys: Optional[PhysicalMemory] = None,
+                 page_table: Optional[PageTable] = None,
+                 core_id: int = 0):
+        # An SMP guest passes shared phys/page_table objects so every
+        # hart executes out of one address space; a plain machine owns
+        # fresh ones.
+        self.phys = phys if phys is not None else PhysicalMemory(phys_size)
+        self.page_table = (page_table if page_table is not None
+                           else PageTable())
+        #: hart index within an SMP guest (0 for a single-core machine)
+        self.core_id = core_id
+        #: all harts of the owning SMP guest (None = single-core); set
+        #: by repro.vm.smp so kernel-side invalidation reaches per-core
+        #: TLBs and translation caches
+        self.smp_peers = None
         self.bus = bus
         self.stats = VmStats()
         self.mmu = MMU(self.phys, self.page_table, bus=bus,

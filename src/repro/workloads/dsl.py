@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.isa import Program, assemble
-from repro.kernel import System, boot
+from repro.kernel import System, boot, boot_smp
 
 from .kernels import KERNELS, SLOTTED_KERNELS
 
@@ -54,13 +54,29 @@ class Workload:
     seed: int = 0
     #: reference input label (Table 2 column 2)
     ref_input: str = ""
+    #: multi-threaded workload: every hart runs the program, dispatching
+    #: on its core id (gp); booting one defaults to :attr:`n_cores`
+    parallel: bool = False
+    #: default hart count for parallel workloads (1 for sequential)
+    n_cores: int = 1
 
     @property
     def estimated_instructions(self) -> int:
         return sum(phase.estimated_instructions for phase in self.phases)
 
     def boot(self, **kwargs) -> System:
-        """Boot a fresh system running this workload (deterministic)."""
+        """Boot a fresh system running this workload (deterministic).
+
+        ``n_cores`` in ``kwargs`` (or the workload being parallel)
+        routes to :func:`repro.kernel.boot_smp`; plain workloads keep
+        the original single-core boot path bit-for-bit.
+        """
+        n_cores = int(kwargs.pop("n_cores", 0) or 0)
+        if n_cores == 0 and self.parallel:
+            n_cores = max(1, self.n_cores)
+        if n_cores > 1 or (n_cores == 1 and self.parallel):
+            return boot_smp(self.program, n_cores=max(1, n_cores),
+                            **kwargs)
         return boot(self.program, **kwargs)
 
     def run_fast(self, **kwargs) -> int:
@@ -82,6 +98,8 @@ class WorkloadBuilder:
         self._uid = 0
         self._slots: Dict[str, int] = {}
         self.ref_input = ""
+        self.parallel = False
+        self.n_cores = 1
 
     def _next_uid(self) -> str:
         self._uid += 1
@@ -160,7 +178,8 @@ class WorkloadBuilder:
         program = assemble("\n".join(parts), base=base)
         return Workload(name=self.name, program=program,
                         phases=list(self._phases), seed=self.seed,
-                        ref_input=self.ref_input)
+                        ref_input=self.ref_input,
+                        parallel=self.parallel, n_cores=self.n_cores)
 
 
 _EPILOGUE = """

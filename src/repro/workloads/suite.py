@@ -5,6 +5,8 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .dsl import Workload
+from .parallel import (DEFAULT_PARALLEL_CORES, PARALLEL_BENCHMARKS,
+                       build_parallel)
 from .spec2000 import (BenchmarkSpec, SCALE, SPEC2000, SUITE_ORDER,
                        build_benchmark)
 
@@ -24,6 +26,20 @@ def benchmark_names() -> Tuple[str, ...]:
     return SUITE_ORDER
 
 
+def parallel_benchmark_names() -> Tuple[str, ...]:
+    """The multi-threaded benchmark names (SMP suite)."""
+    return tuple(PARALLEL_BENCHMARKS)
+
+
+def is_parallel_benchmark(name: str) -> bool:
+    return name in PARALLEL_BENCHMARKS
+
+
+def default_benchmark_cores(name: str) -> int:
+    """Default hart count when running ``name`` (1 for the SPEC suite)."""
+    return DEFAULT_PARALLEL_CORES if name in PARALLEL_BENCHMARKS else 1
+
+
 def get_spec(name: str) -> BenchmarkSpec:
     if name not in SPEC2000:
         raise KeyError(f"unknown benchmark {name!r}")
@@ -34,14 +50,18 @@ def load_benchmark(name: str, size: str = "small",
                    use_cache: bool = True) -> Workload:
     """Build (or fetch the memoised) workload for one benchmark.
 
-    Workload construction is deterministic, so memoising by
-    ``(name, size)`` is safe and saves repeated assembly time in the
-    experiment harness.
+    Both suites resolve here: the 26 SPEC names and the parallel
+    benchmarks.  Workload construction is deterministic, so memoising
+    by ``(name, size)`` is safe and saves repeated assembly time in
+    the experiment harness.
     """
     key = (name, size)
     if use_cache and key in _CACHE:
         return _CACHE[key]
-    workload = build_benchmark(get_spec(name), size=size)
+    if name in PARALLEL_BENCHMARKS:
+        workload = build_parallel(name, size=size)
+    else:
+        workload = build_benchmark(get_spec(name), size=size)
     if use_cache:
         _CACHE[key] = workload
     return workload

@@ -223,3 +223,34 @@ def test_merge_job_events_deterministic_under_timestamp_ties(tmp_path):
     # bit-for-bit stable across repeated merges
     assert order == [(e.ts, e.payload["job"], e.payload["seq"])
                      for e in merge_job_events(trace_dir)]
+
+
+def test_merge_job_events_orders_per_core_streams(tmp_path):
+    """Per-core event streams with identical (ts, job) merge in core
+    order — core-less controller events first, then core 0, 1, ... —
+    regardless of emission or file order."""
+    from repro.obs import TraceEvent, write_jsonl
+
+    def event(ts, job, core=None, seq=0):
+        payload = {"job": job, "seq": seq}
+        if core is not None:
+            payload["core"] = core
+        return TraceEvent(type="decision.sample", ts=ts, icount=seq,
+                          payload=payload)
+
+    trace_dir = tmp_path / "traces"
+    trace_dir.mkdir()
+    # one 2-core job whose per-core decisions share a timestamp, with
+    # cores deliberately emitted out of order, plus a tied core-less
+    # controller event
+    write_jsonl([event(1.0, "pcq:full:tiny:c2", core=1, seq=0),
+                 event(1.0, "pcq:full:tiny:c2", core=0, seq=1),
+                 event(1.0, "pcq:full:tiny:c2", seq=2),
+                 event(1.0, "pcq:full:tiny:c2", core=1, seq=3)],
+                trace_dir / "pcq.jsonl")
+
+    merged = merge_job_events(trace_dir)
+    order = [(e.payload.get("core"), e.payload["seq"]) for e in merged]
+    assert order == [(None, 2), (0, 1), (1, 0), (1, 3)]
+    assert order == [(e.payload.get("core"), e.payload["seq"])
+                     for e in merge_job_events(trace_dir)]

@@ -1,0 +1,53 @@
+"""Committed snapshot of results-v2 store keys and fingerprints.
+
+The SMP refactor's compatibility contract: single-core runs keep the
+exact TimingConfig fingerprint, store key and job id they had before
+multi-core existed — the literals below were captured from the pre-SMP
+seed and must never drift, or every cached result in every results-v2
+store on disk silently misses.  Multi-core runs get a *distinct*
+fingerprint (and a ``:cN`` job-id suffix) so they can never collide
+with single-core entries.
+"""
+
+from repro.exec import default_fingerprint
+from repro.harness.experiments import make_spec, smp_fingerprint
+
+# captured at the pre-SMP seed commit -- do not regenerate
+SEED_FINGERPRINT = "a26a32a1d04f"
+SMP2_FINGERPRINT = "752dbc498c7e"
+
+
+def test_single_core_fingerprint_matches_seed_snapshot():
+    assert default_fingerprint() == SEED_FINGERPRINT
+
+
+def test_single_core_store_key_matches_seed_snapshot():
+    spec = make_spec("gzip", "CPU-300-1M-inf", "small")
+    assert spec.key == f"gzip|CPU-300-1M-inf|small|{SEED_FINGERPRINT}"
+    assert spec.job_id == "gzip:CPU-300-1M-inf:small"
+    assert spec.cores == 1
+
+
+def test_explicit_one_core_is_byte_identical_to_default():
+    implicit = make_spec("gzip", "CPU-300-1M-inf", "small")
+    explicit = make_spec("gzip", "CPU-300-1M-inf", "small", cores=1)
+    assert explicit.key == implicit.key
+    assert explicit.job_id == implicit.job_id
+    assert explicit.fingerprint == SEED_FINGERPRINT
+
+
+def test_multi_core_keys_are_distinct():
+    assert smp_fingerprint(2) == SMP2_FINGERPRINT
+    assert smp_fingerprint(2) != default_fingerprint()
+    assert smp_fingerprint(2) != smp_fingerprint(4)
+
+    spec = make_spec("pcq", "full", "tiny")  # parallel: defaults 2 cores
+    assert spec.key == f"pcq|full|tiny|{SMP2_FINGERPRINT}"
+    assert spec.job_id == "pcq:full:tiny:c2"
+    assert spec.cores == 2
+
+
+def test_sequential_benchmark_on_many_cores_changes_key():
+    spec = make_spec("gzip", "full", "tiny", cores=2)
+    assert spec.fingerprint == SMP2_FINGERPRINT
+    assert spec.job_id == "gzip:full:tiny:c2"

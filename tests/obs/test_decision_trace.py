@@ -77,6 +77,20 @@ def test_records_are_algorithm1_consistent(traced_run):
             assert not triggered
 
 
+def test_single_core_records_carry_core_zero_only(traced_run):
+    """Per-core sampling tags every decision with its core id, but a
+    1-hart run must emit exactly the historical payload plus
+    ``core=0`` — no ``cores`` / ``core_trigger`` keys (byte parity of
+    single-core decision timelines with the pre-SMP format)."""
+    _, events = traced_run
+    records = obs.decision_timeline(events)
+    assert records
+    for record in records:
+        assert record["core"] == 0
+        assert "cores" not in record
+        assert "core_trigger" not in record
+
+
 def test_one_decision_per_functional_interval(traced_run):
     _, events = traced_run
     records = obs.decision_timeline(events)
