@@ -55,9 +55,11 @@ Commands
     get one decision/timing track per core.
 ``figure NAME``
     Regenerate one of the paper's tables/figures (table1, table2,
-    fig2, fig4, fig5, fig6, fig7, fig8, fig9) or the ``parallel``
-    multi-core suite table.
-``bench [--suite hotpath|checkpoint] [--size S[,S]] [--benchmarks a,b]
+    fig2, fig4, fig5, fig6, fig7, fig8, fig9), the ``parallel``
+    multi-core suite table, or the ``frontier`` accuracy-vs-cost
+    Pareto sweep over the whole policy zoo.
+``bench [--suite hotpath|checkpoint|frontier] [--size S[,S]]
+[--benchmarks a,b]
 [--check] [--update-baseline] [--baseline FILE] [--out FILE]
 [--tolerance F] [--record-history] [--history FILE] [--json]``
     Performance benchmarks backing the CI perf gates.  ``hotpath``
@@ -67,6 +69,10 @@ Commands
     checkpoint-store wall clock of the SimPoint policies, gated
     against ``benchmarks/BENCH_checkpoint.json`` (absolute floors:
     restore-policy geomean speedup and delta-snapshot ratio).
+    ``frontier``: modeled accuracy-vs-cost sweep over the whole
+    policy zoo, gated against ``benchmarks/BENCH_frontier.json``
+    (absolute floor: policy coverage; per-policy speedup and
+    accuracy-drift tolerances).
     ``--check`` fails on a >25% ratio regression vs the committed
     baseline; ``--update-baseline`` rewrites that file.
     ``--record-history`` appends this run's ratio metrics as a dated
@@ -113,6 +119,11 @@ def _cmd_list(_args) -> int:
               f"default {default_benchmark_cores(name)} cores -- "
               f"{PARALLEL_DESCRIPTIONS.get(name, '')}")
     print("\npolicy keys: full, smarts, simpoint, simpoint+prof,")
+    print("  simpoint-ckpt, simpoint-mav (MAV-augmented BBVs),")
+    print("  stratified / stratified-N (two-phase stratified, "
+          "N timed intervals),")
+    print("  rankedset / rankedset-N (ranked-set, N subsample "
+          "cycles),")
     print("  VAR-SENS-LEN-MAXF (e.g. " + ", ".join(
         p for p in FIGURE5_POLICIES if "-" in p) + ")")
     print("  sizes: tiny, small (default), paper")
@@ -401,6 +412,7 @@ def _cmd_figure(args) -> int:
         "fig8": harness.build_figure8,
         "fig9": harness.build_figure9,
         "parallel": harness.build_parallel_figure,
+        "frontier": harness.build_frontier,
     }
     if args.name not in builders:
         print(f"unknown figure {args.name!r}; "
@@ -422,6 +434,12 @@ def _cmd_bench(args) -> int:
                                    size=size.split(",")[0],
                                    repeats=args.repeats
                                    or module.DEFAULT_REPEATS)
+    elif args.suite == "frontier":
+        from repro.harness import frontier as module
+        size = args.size or module.DEFAULT_SIZE
+        baseline_path = args.baseline or module.DEFAULT_BASELINE
+        payload = module.run_bench(benchmarks=benchmarks,
+                                   size=size.split(",")[0])
     else:
         from repro.harness import hotpath as module
         sizes = [size for size in (args.size or "tiny").split(",")
@@ -755,10 +773,13 @@ def main(argv=None) -> int:
     bench_parser = sub.add_parser("bench", help="perf benchmarks / "
                                                 "CI perf gates")
     bench_parser.add_argument("--suite", default="hotpath",
-                              choices=("hotpath", "checkpoint"),
+                              choices=("hotpath", "checkpoint",
+                                       "frontier"),
                               help="hotpath: fused fast path vs "
                                    "interpreter oracle; checkpoint: "
-                                   "warm vs cold checkpoint store")
+                                   "warm vs cold checkpoint store; "
+                                   "frontier: modeled accuracy-vs-"
+                                   "cost sweep over the policy zoo")
     bench_parser.add_argument("--size", default="",
                               help="suite size(s); default tiny "
                                    "(hotpath, comma-separated) or "

@@ -11,6 +11,8 @@ from .figures import (FIGURE5_POLICIES, FIGURE6_POLICIES,
                       build_figure6, build_figure7, build_figure8,
                       build_figure9, build_parallel_figure,
                       build_table1, build_table2)
+from .frontier import (FRONTIER_POLICIES, build_frontier,
+                       sweep_policies)
 from .traces import (IntervalTrace, PhaseComparison,
                      collect_interval_trace, compare_phase_detection,
                      phase_match_score)
@@ -20,6 +22,7 @@ __all__ = [
     "default_store", "fetch_results", "make_spec", "modeled_seconds_for",
     "normalize_policy", "policy_factory", "run_policy", "run_suite",
     "smp_fingerprint",
+    "FRONTIER_POLICIES", "build_frontier", "sweep_policies",
     "IntervalTrace", "PhaseComparison", "collect_interval_trace",
     "compare_phase_detection", "phase_match_score",
     "FIGURE5_POLICIES", "FIGURE6_POLICIES", "PAPER_FIGURE5",

@@ -27,9 +27,13 @@ from repro.exec import (CACHE_VERSION, ExperimentEngine, ExperimentError,
                         failed_jobs, format_failure_summary)
 from repro.sampling import (CheckpointedSimPointSampler, DynamicSampler,
                             FullTiming, PolicyResult,
+                            RANKEDSET_PRESET, SIMPOINT_MAV_PRESET,
                             SIMPOINT_PRESET, SMARTS_PRESET,
-                            SimPointSampler, SmartsSampler,
-                            dynamic_config)
+                            STRATIFIED_PRESET,
+                            RankedSetSampler, SimPointSampler,
+                            SmartsSampler, StratifiedSampler,
+                            dynamic_config, rankedset_config,
+                            stratified_config)
 from repro.workloads import SUITE_ORDER
 
 __all__ = [
@@ -52,7 +56,11 @@ def _dynamic_factory(variable: str, sensitivity, label: str,
 def policy_factory(key: str) -> Callable:
     """Resolve a policy key to a sampler factory.
 
-    Keys: ``full``, ``smarts``, ``simpoint``, ``simpoint-ckpt``, or
+    Keys: ``full``, ``smarts``, ``simpoint``, ``simpoint-ckpt``,
+    ``simpoint-mav`` (MAV-augmented BBV features), ``stratified`` /
+    ``stratified-N`` (two-phase stratified sampling with a phase-2
+    budget of N timed intervals), ``rankedset`` / ``rankedset-N``
+    (ranked-set sampling with N subsampling cycles), or
     Dynamic-Sampling strings like ``CPU-300-1M-inf`` / ``IO-100-10M-10``
     (paper
     notation; the sensitivity-percent field may be fractional, e.g.
@@ -67,6 +75,24 @@ def policy_factory(key: str) -> Callable:
         return lambda: SimPointSampler(SIMPOINT_PRESET)
     if key == "simpoint-ckpt":
         return lambda: CheckpointedSimPointSampler(SIMPOINT_PRESET)
+    if key == "simpoint-mav":
+        return lambda: SimPointSampler(SIMPOINT_MAV_PRESET)
+    if key == "stratified":
+        return lambda: StratifiedSampler(STRATIFIED_PRESET)
+    if key.startswith("stratified-"):
+        try:
+            config = stratified_config(int(key.split("-", 1)[1]))
+        except ValueError as exc:
+            raise KeyError(f"unknown policy key {key!r}") from exc
+        return lambda: StratifiedSampler(config)
+    if key == "rankedset":
+        return lambda: RankedSetSampler(RANKEDSET_PRESET)
+    if key.startswith("rankedset-"):
+        try:
+            config = rankedset_config(int(key.split("-", 1)[1]))
+        except ValueError as exc:
+            raise KeyError(f"unknown policy key {key!r}") from exc
+        return lambda: RankedSetSampler(config)
     parts = key.split("-")
     if len(parts) == 4 and parts[0] in ("CPU", "EXC", "IO"):
         variable, sensitivity_text, label, maxf = parts

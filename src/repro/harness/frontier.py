@@ -1,0 +1,238 @@
+"""Accuracy-vs-cost frontier over the whole sampling-policy zoo.
+
+The paper's Figure 5 plots its own named points; this module
+generalizes it into a *frontier harness*: every policy family — the
+paper's three baselines, its Dynamic Sampling points, and the
+statistical successors (two-phase stratified at several budgets,
+ranked-set at several cycle counts, MAV-augmented SimPoint) — is swept
+over the same suite and placed on one accuracy-error vs speedup plane,
+with the Pareto-efficient set marked.
+
+Unlike the wall-clock perf gates, every number here is **modeled**:
+accuracy error against the full-timing reference, and cost from the
+paper's per-mode MIPS cost model over exact instruction counts.  The
+payload is therefore bit-deterministic for a given tree, which is what
+lets CI gate it tightly against the committed
+``benchmarks/BENCH_frontier.json`` baseline: a policy drifting off its
+committed accuracy or cost point is a behaviour change, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import ascii_scatter, pareto_frontier
+from repro.sampling import accuracy_error
+
+from .experiments import fetch_results, modeled_seconds_for
+
+SCHEMA_VERSION = 1
+
+DEFAULT_SIZE = "tiny"
+#: the sequential tiny-suite members CI sweeps (fast but diverse:
+#: integer compression, pointer chasing, dense FP, neural simulation)
+DEFAULT_BENCHMARKS = ("gzip", "mcf", "swim", "art")
+
+#: the frontier sweep: paper baselines + named Dynamic Sampling points
+#: + the statistical zoo at several budget settings
+FRONTIER_POLICIES = (
+    "smarts",
+    "simpoint",
+    "simpoint+prof",
+    "simpoint-mav",
+    "CPU-300-1M-inf",
+    "EXC-300-1M-10",
+    "stratified-6",
+    "stratified-12",
+    "stratified-24",
+    "rankedset-3",
+    "rankedset-6",
+)
+
+DEFAULT_BASELINE = "benchmarks/BENCH_frontier.json"
+DEFAULT_TOLERANCE = 0.25
+
+#: absolute gates (ISSUE acceptance criteria): the sweep must keep
+#: covering the zoo, and accuracy may not silently drift
+MIN_POLICIES = 6
+#: allowed absolute drift of a policy's mean error vs the committed
+#: baseline, in percentage points
+MAX_ERROR_DRIFT_PP = 1.0
+
+
+def sweep_policies(policies: Optional[Sequence[str]] = None,
+                   benchmarks: Optional[Sequence[str]] = None,
+                   size: str = DEFAULT_SIZE) -> Dict[str, Dict]:
+    """Per-policy frontier numbers: mean error, suite speedup, cost.
+
+    One grid fetch through the experiment engine (parallel with
+    ``REPRO_JOBS``); the full-timing reference is fetched alongside.
+    """
+    policies = list(policies or FRONTIER_POLICIES)
+    benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
+    wanted = list(dict.fromkeys(policies + ["full"]))
+    grid = fetch_results(wanted, benchmarks, size=size)
+    full = {name: grid[(name, "full")] for name in benchmarks}
+    full_seconds = sum(result.modeled_seconds for result in full.values())
+    numbers: Dict[str, Dict] = {}
+    for policy in policies:
+        results = {name: grid[(name, policy)] for name in benchmarks}
+        errors = {name: accuracy_error(results[name].ipc, full[name].ipc)
+                  for name in benchmarks}
+        seconds = sum(modeled_seconds_for(policy, results[name])
+                      for name in benchmarks)
+        entry = {
+            "error": sum(errors.values()) / len(errors),
+            "speedup": (full_seconds / seconds if seconds > 0
+                        else math.inf),
+            "seconds": seconds,
+            "timed_intervals": sum(result.timed_intervals
+                                   for result in results.values()),
+            "per_benchmark": {name: {
+                "ipc": results[name].ipc,
+                "error": errors[name],
+                "seconds": modeled_seconds_for(policy, results[name]),
+            } for name in benchmarks},
+        }
+        ci_bounds = [results[name].extra.get("ipc_ci_relative")
+                     for name in benchmarks]
+        ci_bounds = [bound for bound in ci_bounds
+                     if isinstance(bound, (int, float))]
+        if ci_bounds:
+            # ranked-set policies report a per-benchmark confidence
+            # interval; surface the worst relative half-width
+            entry["ci_relative_max"] = max(ci_bounds)
+        numbers[policy] = entry
+    return numbers
+
+
+def run_bench(benchmarks: Optional[List[str]] = None,
+              size: str = DEFAULT_SIZE,
+              policies: Optional[List[str]] = None) -> Dict:
+    """The full payload written to ``BENCH_frontier.json``."""
+    policies = list(policies or FRONTIER_POLICIES)
+    benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
+    numbers = sweep_policies(policies, benchmarks, size=size)
+    points = [(policy, numbers[policy]["error"] * 100,
+               numbers[policy]["speedup"]) for policy in policies]
+    frontier = [label for label, _, _ in pareto_frontier(points)]
+    finite_errors = [numbers[p]["error"] for p in policies
+                     if math.isfinite(numbers[p]["error"])]
+    summary = {
+        "num_policies": len(policies),
+        "num_frontier": len(frontier),
+        "best_error": min(finite_errors) if finite_errors else math.inf,
+        "best_speedup": max(numbers[p]["speedup"] for p in policies),
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "size": size,
+        "benchmarks": benchmarks,
+        "policies": {policy: numbers[policy] for policy in policies},
+        "frontier": frontier,
+        "summary": summary,
+    }
+
+
+def compare_to_baseline(current: Dict, baseline: Dict,
+                        tolerance: float = DEFAULT_TOLERANCE
+                        ) -> List[str]:
+    """Gate failures of ``current`` (empty list = gate passes).
+
+    * **absolute** — the sweep still covers at least ``MIN_POLICIES``
+      policies;
+    * **relative** — every baseline policy must still be present, its
+      suite speedup may not fall more than ``tolerance`` (fractional)
+      below the committed value, and its mean accuracy error may not
+      drift more than ``MAX_ERROR_DRIFT_PP`` percentage points in
+      either direction.  Both quantities are modeled (deterministic),
+      so failures are behaviour changes, never host noise.
+    """
+    problems: List[str] = []
+    num_policies = current.get("summary", {}).get(
+        "num_policies", len(current.get("policies", {})))
+    if num_policies < MIN_POLICIES:
+        problems.append(f"frontier sweep covers {num_policies} "
+                        f"policies < required {MIN_POLICIES}")
+    current_policies = current.get("policies", {})
+    for policy in sorted(baseline.get("policies", {})):
+        base_cell = baseline["policies"][policy]
+        cell = current_policies.get(policy)
+        if cell is None:
+            problems.append(f"{policy}: missing from run")
+            continue
+        base_speedup = base_cell.get("speedup", 0.0)
+        speedup = cell.get("speedup", 0.0)
+        floor = base_speedup * (1.0 - tolerance)
+        if speedup < floor:
+            problems.append(
+                f"{policy}: speedup {speedup:.1f}x < {floor:.1f}x "
+                f"(baseline {base_speedup:.1f}x - {tolerance:.0%})")
+        base_error = base_cell.get("error", 0.0) * 100
+        error = cell.get("error", 0.0) * 100
+        if abs(error - base_error) > MAX_ERROR_DRIFT_PP:
+            problems.append(
+                f"{policy}: mean error {error:.2f}% drifted from "
+                f"baseline {base_error:.2f}% by more than "
+                f"{MAX_ERROR_DRIFT_PP:.1f}pp")
+    return problems
+
+
+def format_table(payload: Dict) -> str:
+    """Human-readable Pareto table for one payload."""
+    from repro.analysis import format_table as render
+    frontier = set(payload.get("frontier", ()))
+    rows = []
+    for policy, cell in payload["policies"].items():
+        ci = cell.get("ci_relative_max")
+        rows.append((
+            policy,
+            f"{cell['error'] * 100:.2f}",
+            f"{cell['speedup']:.1f}",
+            f"{cell['seconds']:.3f}",
+            cell.get("timed_intervals", 0),
+            f"+-{ci * 100:.1f}%" if ci is not None else "-",
+            "*" if policy in frontier else "",
+        ))
+    summary = payload["summary"]
+    table = render(
+        ("policy", "error %", "speedup x", "modeled s",
+         "timed ivals", "95% CI", "pareto"),
+        rows,
+        title=(f"Accuracy-vs-cost frontier "
+               f"({len(payload['benchmarks'])} benchmarks, "
+               f"size={payload['size']})"))
+    return (f"{table}"
+            f"\n{summary['num_policies']} policies, "
+            f"{summary['num_frontier']} on the Pareto frontier; "
+            f"best error {summary['best_error'] * 100:.2f}%, "
+            f"best speedup {summary['best_speedup']:.1f}x "
+            f"(gate: >= {MIN_POLICIES} policies)")
+
+
+def build_frontier(size: str = DEFAULT_SIZE,
+                   benchmarks: Optional[Sequence[str]] = None
+                   ):
+    """``python -m repro figure frontier``: table + scatter + data."""
+    payload = run_bench(benchmarks=list(benchmarks or
+                                        DEFAULT_BENCHMARKS),
+                        size=size)
+    points = [(policy, cell["error"] * 100, cell["speedup"])
+              for policy, cell in payload["policies"].items()]
+    text = format_table(payload) + "\n\n" + ascii_scatter(points) + "\n"
+    return text, payload
+
+
+def load_baseline(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def write_baseline(payload: Dict, path: str) -> None:
+    # repro: store-ok committed CI baseline, single writer, no lock
+    with open(path, "w") as handle:
+        # repro: store-ok same committed baseline file as above
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

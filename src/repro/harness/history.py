@@ -20,6 +20,7 @@ point-gate tolerance but the curve clearly sinks.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import statistics
@@ -48,8 +49,11 @@ def extract_metrics(suite: str, payload: Dict) -> Dict[str, float]:
     ``hotpath`` payloads contribute per-size/per-mode speedup geomeans
     plus each size's overall geomean; ``checkpoint`` payloads
     contribute the summary's ``*_speedup_geomean`` ratios and
-    ``delta_ratio_max``.  Keys are prefixed with the suite name so one
-    history file can carry both suites.
+    ``delta_ratio_max``; ``frontier`` payloads contribute each
+    policy's suite speedup (the error gate lives in the frontier
+    baseline comparison, not here — drift in a *modeled* ratio is a
+    behaviour change either way).  Keys are prefixed with the suite
+    name so one history file can carry all suites.
     """
     metrics: Dict[str, float] = {}
     if suite == "hotpath":
@@ -73,6 +77,11 @@ def extract_metrics(suite: str, payload: Dict) -> Dict[str, float]:
                 continue
             if key.endswith("speedup_geomean") or key == "delta_ratio_max":
                 metrics[f"checkpoint.{key}"] = float(value)
+    elif suite == "frontier":
+        for policy in sorted(payload.get("policies", {})):
+            value = payload["policies"][policy].get("speedup")
+            if isinstance(value, (int, float)) and math.isfinite(value):
+                metrics[f"frontier.{policy}.speedup"] = float(value)
     return metrics
 
 

@@ -21,7 +21,7 @@ Three additional responsibilities matter for the paper's mechanisms:
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .faults import AlignmentFault, PageFault
 from .paging import (PROT_DEVICE, PROT_R, PROT_W, PROT_X, PageTable)
@@ -53,6 +53,11 @@ class MMU:
         #: sibling MMUs sharing :attr:`code_pages` (SMP guests); empty
         #: for a single-core machine
         self._code_peers: Tuple["MMU", ...] = ()
+        #: optional access probe (MAV profiling): when a list, the fill
+        #: slow path appends the VPN of every successful TLB fill.
+        #: ``None`` keeps the fast path untouched — one predictable
+        #: branch on the *miss* path only.
+        self.fill_log: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # TLB fill (slow path)
@@ -68,6 +73,8 @@ class MMU:
         entry = self.page_table.lookup(vpn)
         if entry is None or not entry.prot & access_bit:
             raise PageFault(vaddr, access)
+        if self.fill_log is not None:
+            self.fill_log.append(vpn)
         if entry.prot & PROT_DEVICE:
             # Count as a miss but never cache device translations.
             return None

@@ -143,6 +143,57 @@ class MeanCpiEstimator:
         return self.confidence_interval(z) / cpi
 
 
+@dataclass
+class RepeatedSubsampleEstimator:
+    """Ranked-set repeated-subsampling estimate with a CLT interval.
+
+    Each subsampling cycle contributes one whole-program IPC estimate
+    (instruction-weighted over its rank-selected intervals); the point
+    estimate is the mean over cycles, and the confidence interval comes
+    from their spread: half-width ``z * s / sqrt(R)`` for R cycles of
+    sample standard deviation s — so for a given spread, more cycles
+    strictly shrink the interval.
+    """
+
+    _estimates: List[float] = field(default_factory=list)
+
+    def add_subsample(self, ipc: float) -> None:
+        """Record one cycle's IPC estimate."""
+        if ipc <= 0:
+            raise ValueError("subsample IPC must be positive")
+        self._estimates.append(ipc)
+
+    @property
+    def estimates(self) -> List[float]:
+        return list(self._estimates)
+
+    @property
+    def subsamples(self) -> int:
+        return len(self._estimates)
+
+    def ipc(self) -> float:
+        if not self._estimates:
+            return 0.0
+        return sum(self._estimates) / len(self._estimates)
+
+    def ci_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the IPC confidence interval (normal approx)."""
+        n = len(self._estimates)
+        if n < 2:
+            return math.inf
+        mean = self.ipc()
+        variance = sum((x - mean) ** 2
+                       for x in self._estimates) / (n - 1)
+        return z * math.sqrt(variance / n)
+
+    def relative_halfwidth(self, z: float = 1.96) -> float:
+        """The +/- fraction of IPC the subsamples bound at confidence z."""
+        ipc = self.ipc()
+        if ipc <= 0:
+            return math.inf
+        return self.ci_halfwidth(z) / ipc
+
+
 def accuracy_error(estimate: float, reference: float) -> float:
     """The paper's accuracy metric: |est - ref| / ref (fraction)."""
     if reference == 0:

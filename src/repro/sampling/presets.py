@@ -11,8 +11,10 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .dynamic import DynamicSamplingConfig
+from .rankedset import RankedSetConfig
 from .simpoint.simpoint import SimPointConfig
 from .smarts import SmartsConfig
+from .stratified import StratifiedConfig
 
 #: repro instructions per paper 1M instructions
 INTERVAL_UNIT = 1000
@@ -53,6 +55,66 @@ SIMPOINT_PRESET = SimPointConfig(
     projection_dims=15,
     warmup_length=WARMUP_LENGTH,
 )
+
+#: SimPoint with MAV-augmented features: identical clustering budget,
+#: BBVs concatenated with page/stride touch histograms.  The MAV block
+#: is down-weighted to a quarter of the BBV block: it should *refine*
+#: code-similar clusters by memory behaviour, not dominate them — at
+#: equal weight the extra variance can push the BIC to degenerate
+#: single-cluster solutions on small interval counts.
+SIMPOINT_MAV_PRESET = SimPointConfig(
+    interval_length=INTERVAL_UNIT,
+    max_clusters=80,
+    projection_dims=15,
+    warmup_length=WARMUP_LENGTH,
+    mav=True,
+    mav_weight=0.25,
+)
+
+#: default timed budget of the stratified sampler.  The tiny suite has
+#: ~20-100 intervals per benchmark, so 12 detailed measurements keep
+#: the policy clearly cheaper than full timing while covering every
+#: stratum of the default 4-quantile split.
+STRATIFIED_BUDGET = 12
+
+STRATIFIED_PRESET = StratifiedConfig(
+    interval_length=INTERVAL_UNIT,
+    n_strata=4,
+    budget=STRATIFIED_BUDGET,
+    warmup_length=WARMUP_LENGTH,
+)
+
+#: default ranked-set shape: sets of 5 intervals, 3 subsampling cycles
+#: (3 IPC estimates -> a reportable confidence interval)
+RANKEDSET_SET_SIZE = 5
+RANKEDSET_CYCLES = 3
+
+RANKEDSET_PRESET = RankedSetConfig(
+    interval_length=INTERVAL_UNIT,
+    set_size=RANKEDSET_SET_SIZE,
+    cycles=RANKEDSET_CYCLES,
+    warmup_length=WARMUP_LENGTH,
+)
+
+
+def stratified_config(budget: int) -> StratifiedConfig:
+    """The stratified preset at a different phase-2 budget."""
+    return StratifiedConfig(
+        interval_length=INTERVAL_UNIT,
+        n_strata=STRATIFIED_PRESET.n_strata,
+        budget=budget,
+        warmup_length=WARMUP_LENGTH,
+    )
+
+
+def rankedset_config(cycles: int) -> RankedSetConfig:
+    """The ranked-set preset at a different cycle count."""
+    return RankedSetConfig(
+        interval_length=INTERVAL_UNIT,
+        set_size=RANKEDSET_SET_SIZE,
+        cycles=cycles,
+        warmup_length=WARMUP_LENGTH,
+    )
 
 
 def dynamic_config(variable: str, sensitivity_percent: float,

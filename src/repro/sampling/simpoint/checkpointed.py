@@ -55,7 +55,8 @@ class CheckpointedSimPointSampler(Sampler):
         # ---- pass 1: profile (store-memoized), then re-run in fast
         # mode taking delta checkpoints at the warm-up boundaries.
         collector = profile_bbv(controller, interval)
-        selection = select_simpoints_cached(controller, collector, config)
+        selection = select_simpoints_cached(controller,
+                                            collector.matrix, config)
 
         snapshots: List[Tuple[int, float, ckpt.Checkpoint]] = []
         dropped = 0

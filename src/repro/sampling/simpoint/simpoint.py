@@ -20,14 +20,14 @@ implement checkpoints in the VM) but reported separately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
 from ..base import Sampler
 from ..controller import SimulationController, checkpoints_enabled
 from ..estimators import WeightedClusterEstimator
-from .bbv import BbvCollector, profile_bbv
+from .bbv import profile_bbv
 from .kmeans import choose_clustering, random_projection
 
 
@@ -41,6 +41,11 @@ class SimPointConfig:
     warmup_length: int = 1000
     bic_threshold: float = 0.9
     seed: int = 0
+    #: augment BBVs with memory-access-vector features (page/stride
+    #: touch histograms from the MMU fill path) before clustering
+    mav: bool = False
+    #: scale of the MAV block relative to the (L1-normalised) BBV block
+    mav_weight: float = 1.0
 
 
 @dataclass
@@ -85,20 +90,25 @@ def select_simpoints(vectors_matrix: np.ndarray,
 
 
 def select_simpoints_cached(controller: SimulationController,
-                            collector: BbvCollector,
+                            matrix_source: Callable[[], np.ndarray],
                             config: SimPointConfig) -> SimPointSelection:
     """:func:`select_simpoints`, memoized in the checkpoint store.
 
     Projection and clustering are seeded and deterministic, so the
-    selection is a pure function of (profile, config): a store hit
-    reproduces it exactly while skipping the k-means/BIC search — and
-    the BBV matrix build with it.
+    selection is a pure function of (feature matrix, config): a store
+    hit reproduces it exactly while skipping the k-means/BIC search —
+    and the feature-matrix build with it (``matrix_source`` is a
+    zero-arg callable invoked only on a miss).  MAV-augmented configs
+    get their own artifact name — the features differ, so the
+    selections must never mix.
     """
     ladder = controller.checkpoints
     use_store = ladder is not None and checkpoints_enabled()
     name = (f"selection-{config.interval_length}-{config.max_clusters}"
             f"-{config.projection_dims}-{config.bic_threshold}"
             f"-{config.seed}")
+    if config.mav:
+        name += f"-mav{config.mav_weight}"
     if use_store:
         cached = ladder.load_artifact(name)
         if cached is not None:
@@ -107,7 +117,7 @@ def select_simpoints_cached(controller: SimulationController,
                         for index, weight in cached["points"]],
                 num_intervals=cached["num_intervals"],
                 num_clusters=cached["num_clusters"])
-    selection = select_simpoints(collector.matrix(), config)
+    selection = select_simpoints(matrix_source(), config)
     if use_store:
         ladder.publish_artifact(name, {
             "points": [[index, weight]
@@ -119,7 +129,13 @@ def select_simpoints_cached(controller: SimulationController,
 
 
 class SimPointSampler(Sampler):
-    """Two-pass SimPoint simulation of one benchmark."""
+    """Two-pass SimPoint simulation of one benchmark.
+
+    With ``config.mav`` set the profiling pass also collects
+    memory-access-vector histograms and the clusterer sees the
+    concatenated BBV+MAV features; the policy then reports itself as
+    ``simpoint-mav``.
+    """
 
     name = "simpoint"
     charge_modes = ("warming", "timed")
@@ -127,14 +143,36 @@ class SimPointSampler(Sampler):
     def __init__(self, config: SimPointConfig | None = None, **kwargs):
         super().__init__(**kwargs)
         self.config = config or SimPointConfig()
+        if self.config.mav:
+            self.name = "simpoint-mav"
 
     def sample(self, controller: SimulationController) -> Dict:
         config = self.config
         # ---- pass 1: profile on a separate, identical system (memoized
         # in the checkpoint store when a ladder is attached) ------------
-        collector = profile_bbv(controller, config.interval_length)
+        mav_features = None
+        if config.mav:
+            from .mav import mav_matrix, profile_bbv_mav
+            collector, mav = profile_bbv_mav(controller,
+                                             config.interval_length)
+            mav_features = (
+                len({vpn for hist in mav.page_hists for vpn in hist})
+                + len({bucket for hist in mav.stride_hists
+                       for bucket in hist}))
 
-        selection = select_simpoints_cached(controller, collector, config)
+            def matrix_source() -> np.ndarray:
+                bbv = collector.matrix()
+                block = mav_matrix(mav.page_hists, mav.stride_hists,
+                                   weight=config.mav_weight)
+                if bbv.size and block.size:
+                    return np.hstack([bbv, block])
+                return bbv if bbv.size else block
+        else:
+            collector = profile_bbv(controller, config.interval_length)
+            matrix_source = collector.matrix
+
+        selection = select_simpoints_cached(controller, matrix_source,
+                                            config)
 
         # ---- pass 2: fast-forward / warm / measure each point ---------
         estimator = WeightedClusterEstimator()
@@ -157,10 +195,14 @@ class SimPointSampler(Sampler):
                                       executed / cycles if cycles else 0.0)
             if controller.finished:
                 break
-        return {
+        outcome = {
             "ipc": estimator.ipc(),
             "timed_intervals": selection.num_points,
             "num_simpoints": selection.num_points,
             "num_clusters": selection.num_clusters,
             "num_intervals": selection.num_intervals,
         }
+        if mav_features is not None:
+            outcome["mav_features"] = mav_features
+            outcome["mav_weight"] = config.mav_weight
+        return outcome

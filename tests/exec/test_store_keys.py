@@ -36,6 +36,17 @@ def test_explicit_one_core_is_byte_identical_to_default():
     assert explicit.fingerprint == SEED_FINGERPRINT
 
 
+def test_statistical_zoo_policies_share_the_seed_fingerprint():
+    # the policy zoo additions ride the same config fingerprint: a new
+    # policy key must never invalidate cached results of existing ones
+    for policy in ("stratified", "stratified-24", "rankedset",
+                   "rankedset-6", "simpoint-mav"):
+        spec = make_spec("gzip", policy, "tiny")
+        assert spec.key == f"gzip|{policy}|tiny|{SEED_FINGERPRINT}"
+        assert spec.job_id == f"gzip:{policy}:tiny"
+        assert spec.cores == 1
+
+
 def test_multi_core_keys_are_distinct():
     assert smp_fingerprint(2) == SMP2_FINGERPRINT
     assert smp_fingerprint(2) != default_fingerprint()

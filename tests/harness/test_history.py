@@ -53,6 +53,23 @@ def test_extract_metrics_keeps_only_ratios():
     }
 
 
+def test_extract_metrics_frontier_speedups():
+    payload = {
+        "policies": {
+            "stratified-12": {"error": 0.06, "speedup": 3.2},
+            "rankedset-3": {"error": 0.02, "speedup": 1.5},
+            "broken": {"error": 0.0},  # no speedup: skipped
+        },
+    }
+    metrics = history.extract_metrics("frontier", payload)
+    assert metrics == {
+        "frontier.stratified-12.speedup": 3.2,
+        "frontier.rankedset-3.speedup": 1.5,
+    }
+    # accuracy errors are gated by the baseline comparison, not here
+    assert not any("error" in key for key in metrics)
+
+
 def test_make_entry_shape():
     entry = history.make_entry("hotpath", HOTPATH_PAYLOAD,
                                recorded_at="2026-08-07T00:00:00")

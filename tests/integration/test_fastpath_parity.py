@@ -27,7 +27,8 @@ from repro.sampling import SimulationController
 from repro.timing import TimingConfig
 from repro.workloads import SUITE_MACHINE_KWARGS, load_benchmark
 
-POLICIES = ("full", "smarts", "simpoint",
+POLICIES = ("full", "smarts", "simpoint", "simpoint-mav",
+            "stratified", "rankedset",
             "CPU-300-1M-inf", "EXC-300-1M-10")
 
 ENGINES = ("fused", "event", "interp")

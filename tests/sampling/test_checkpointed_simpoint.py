@@ -73,9 +73,12 @@ def test_point_beyond_program_end_is_dropped_and_renormalized(
     from repro.sampling.simpoint import checkpointed as mod
     real_select = mod.select_simpoints_cached
 
-    def with_bogus_point(ctrl, collector, config):
-        selection = real_select(ctrl, collector, config)
-        # a point whose warm-up window starts far beyond program end
+    def with_bogus_point(ctrl, matrix_source, config):
+        selection = real_select(ctrl, matrix_source, config)
+        # the sampler passes the collector's bound matrix method; pull
+        # the collector back out to plant a point whose warm-up window
+        # starts far beyond program end
+        collector = matrix_source.__self__
         selection.points.append((len(collector.starts), 0.5))
         collector.starts.append(10 ** 9)
         return selection

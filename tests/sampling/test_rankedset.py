@@ -1,0 +1,154 @@
+"""Tests for ranked-set sampling and the repeated-subsample CI."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling import (RankedSetConfig, RankedSetSampler,
+                            RepeatedSubsampleEstimator,
+                            SimulationController,
+                            ranked_set_subsamples)
+from repro.workloads import SUITE_MACHINE_KWARGS, WorkloadBuilder
+
+
+def tiny_workload():
+    builder = WorkloadBuilder("tiny-rss", seed=7)
+    for i in range(6):
+        if i % 2 == 0:
+            builder.phase("crc", iters=3000)
+        else:
+            builder.phase("stream", n=256, iters=8)
+    return builder.build()
+
+
+def make_controller():
+    return SimulationController(tiny_workload(),
+                                machine_kwargs=SUITE_MACHINE_KWARGS)
+
+
+# ----------------------------------------------------------------------
+# subsample construction
+
+def test_subsamples_every_set_represented_in_every_cycle():
+    scores = [5.0, 1.0, 3.0, 2.0, 4.0, 0.5, 6.0]
+    cycles = ranked_set_subsamples(scores, set_size=3, cycles=3)
+    assert len(cycles) == 3
+    for picks in cycles:
+        # one pick per set: sets are [0,1,2], [3,4,5], [6]
+        assert len(picks) == 3
+        assert sum(1 for i in picks if i < 3) == 1
+        assert sum(1 for i in picks if 3 <= i < 6) == 1
+        assert picks[-1] == 6  # the partial set has a single member
+
+
+def test_subsamples_rank_rotates_through_the_set():
+    scores = [2.0, 0.0, 1.0]  # ranks within the set: 1, 2, 0
+    cycles = ranked_set_subsamples(scores, set_size=3, cycles=3)
+    # cycle c takes rank c from the single set
+    assert cycles == [[1], [2], [0]]
+
+
+def test_subsamples_single_interval():
+    assert ranked_set_subsamples([1.0], set_size=5, cycles=3) \
+        == [[0], [0], [0]]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1,
+                max_size=40),
+       st.integers(1, 8), st.integers(1, 6))
+def test_subsamples_structure(scores, set_size, cycles):
+    picks = ranked_set_subsamples(scores, set_size, cycles)
+    n_sets = math.ceil(len(scores) / set_size)
+    assert len(picks) == cycles
+    for cycle in picks:
+        assert len(cycle) == n_sets
+        assert len(set(cycle)) == n_sets  # distinct: one per set
+        for j, index in enumerate(cycle):
+            assert j * set_size <= index < (j + 1) * set_size
+
+
+# ----------------------------------------------------------------------
+# repeated-subsample estimator
+
+def test_estimator_mean_and_halfwidth():
+    est = RepeatedSubsampleEstimator()
+    for value in (1.0, 2.0, 3.0):
+        est.add_subsample(value)
+    assert est.ipc() == pytest.approx(2.0)
+    # sample std = 1, halfwidth = 1.96 / sqrt(3)
+    assert est.ci_halfwidth() == pytest.approx(1.96 / math.sqrt(3))
+    assert est.relative_halfwidth() == \
+        pytest.approx(1.96 / math.sqrt(3) / 2.0)
+
+
+def test_estimator_single_subsample_has_infinite_ci():
+    est = RepeatedSubsampleEstimator()
+    est.add_subsample(1.5)
+    assert est.ipc() == 1.5
+    assert math.isinf(est.ci_halfwidth())
+
+
+def test_estimator_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        RepeatedSubsampleEstimator().add_subsample(0.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0.1, 5.0, allow_nan=False), min_size=2,
+                max_size=12))
+def test_ci_halfwidth_shrinks_with_repeated_subsampling(ipcs):
+    # doubling the evidence (same empirical distribution, twice the
+    # subsample count) must strictly shrink the confidence interval:
+    # the squared-halfwidth ratio is (n-1)/(2n-1) < 1, strictly
+    base = RepeatedSubsampleEstimator()
+    doubled = RepeatedSubsampleEstimator()
+    for value in ipcs:
+        base.add_subsample(value)
+        doubled.add_subsample(value)
+        doubled.add_subsample(value)
+    if base.ci_halfwidth() > 1e-9:
+        assert doubled.ci_halfwidth() < base.ci_halfwidth()
+    else:
+        # all-equal subsamples: both CIs collapse (modulo float eps)
+        assert doubled.ci_halfwidth() < 1e-9
+
+
+# ----------------------------------------------------------------------
+# config + sampler
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RankedSetConfig(set_size=0)
+    with pytest.raises(ValueError):
+        RankedSetConfig(cycles=0)
+    with pytest.raises(ValueError):
+        RankedSetConfig(interval_length=0)
+
+
+def test_rankedset_single_interval_degrades_gracefully():
+    # one giant interval: every cycle measures the same member, the
+    # subsample variance is zero, and the CI must come out zero (not a
+    # divide-by-zero, not infinity in the stored extra)
+    sampler = RankedSetSampler(RankedSetConfig(
+        interval_length=50_000_000, set_size=5, cycles=3,
+        warmup_length=100))
+    result = sampler.run(make_controller())
+    assert result.ipc > 0
+    assert result.extra["num_intervals"] == 1
+    assert len(result.extra["subsample_ipcs"]) == 3
+    assert result.extra["ipc_ci_halfwidth"] == pytest.approx(0.0)
+    json.dumps(result.canonical_dict())
+
+
+def test_rankedset_reports_confidence_interval():
+    sampler = RankedSetSampler(RankedSetConfig(
+        interval_length=1000, set_size=5, cycles=3,
+        warmup_length=1000))
+    result = sampler.run(make_controller())
+    assert len(result.extra["subsample_ipcs"]) == 3
+    halfwidth = result.extra["ipc_ci_halfwidth"]
+    assert halfwidth is None or halfwidth >= 0.0
+    json.dumps(result.canonical_dict())

@@ -1,0 +1,202 @@
+"""Tests for two-phase stratified sampling (allocation + sampler)."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling import (StratifiedConfig, StratifiedSampler,
+                            neyman_allocation, quantile_strata,
+                            systematic_pick)
+from repro.workloads import SUITE_MACHINE_KWARGS, WorkloadBuilder
+from repro.sampling import SimulationController
+
+
+def tiny_workload(phases=6):
+    builder = WorkloadBuilder("tiny-strat", seed=11)
+    for i in range(phases):
+        if i % 2 == 0:
+            builder.phase("crc", iters=3000)
+        else:
+            builder.phase("stream", n=256, iters=8)
+    return builder.build()
+
+
+def make_controller():
+    return SimulationController(tiny_workload(),
+                                machine_kwargs=SUITE_MACHINE_KWARGS)
+
+
+# ----------------------------------------------------------------------
+# quantile strata
+
+def test_quantile_strata_basic_quartiles():
+    scores = [float(i) for i in range(8)]
+    strata = quantile_strata(scores, 4)
+    assert strata == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_quantile_strata_ties_share_a_stratum():
+    scores = [1.0, 1.0, 1.0, 2.0]
+    strata = quantile_strata(scores, 4)
+    assert strata[0] == strata[1] == strata[2]
+    assert strata[3] != strata[0]
+
+
+def test_quantile_strata_all_equal_single_stratum():
+    assert quantile_strata([3.0] * 10, 4) == [0] * 10
+
+
+def test_quantile_strata_single_interval():
+    assert quantile_strata([1.0], 4) == [0]
+
+
+def test_quantile_strata_empty():
+    assert quantile_strata([], 4) == []
+
+
+def test_quantile_strata_rejects_bad_k():
+    with pytest.raises(ValueError):
+        quantile_strata([1.0], 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1,
+                max_size=40),
+       st.integers(1, 8))
+def test_quantile_strata_ids_dense_and_ordered(scores, n_strata):
+    strata = quantile_strata(scores, n_strata)
+    used = set(strata)
+    # dense ids in [0, k), k bounded by both inputs
+    assert used == set(range(len(used)))
+    assert len(used) <= min(n_strata, len(scores))
+    # ids ascend with score: a higher-scoring interval never sits in a
+    # lower stratum
+    for i in range(len(scores)):
+        for j in range(len(scores)):
+            if scores[i] < scores[j]:
+                assert strata[i] <= strata[j]
+
+
+# ----------------------------------------------------------------------
+# Neyman allocation
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50),
+                          st.floats(0, 10, allow_nan=False)),
+                min_size=1, max_size=10),
+       st.integers(0, 120))
+def test_neyman_allocation_invariants(strata, budget):
+    sizes = [size for size, _ in strata]
+    stds = [std for _, std in strata]
+    allocation = neyman_allocation(sizes, stds, budget)
+    # sums to exactly the feasible budget, never over-draws a stratum
+    assert sum(allocation) == min(budget, sum(sizes))
+    for n_h, size in zip(allocation, sizes):
+        assert 0 <= n_h <= size
+    # coverage floor: with enough budget every non-empty stratum is hit
+    nonempty = sum(1 for size in sizes if size > 0)
+    if budget >= nonempty:
+        for n_h, size in zip(allocation, sizes):
+            if size > 0:
+                assert n_h >= 1
+
+
+def test_neyman_zero_variance_falls_back_to_proportional():
+    # all-homogeneous strata: the S_h weights vanish; allocation must
+    # degrade to proportional-by-size, not divide by zero
+    allocation = neyman_allocation([10, 20, 30], [0.0, 0.0, 0.0], 6)
+    assert sum(allocation) == 6
+    assert allocation[2] >= allocation[1] >= allocation[0] >= 1
+
+
+def test_neyman_weights_follow_size_times_std():
+    allocation = neyman_allocation([10, 10], [1.0, 9.0], 10)
+    assert sum(allocation) == 10
+    assert allocation[1] > allocation[0]
+
+
+def test_neyman_budget_exceeding_population_is_clamped():
+    assert neyman_allocation([2, 3], [1.0, 1.0], 100) == [2, 3]
+
+
+def test_neyman_rejects_mismatched_or_negative():
+    with pytest.raises(ValueError):
+        neyman_allocation([1, 2], [1.0], 3)
+    with pytest.raises(ValueError):
+        neyman_allocation([-1], [1.0], 3)
+    with pytest.raises(ValueError):
+        neyman_allocation([1], [-1.0], 3)
+
+
+# ----------------------------------------------------------------------
+# systematic picks
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=50,
+                unique=True),
+       st.integers(0, 60))
+def test_systematic_pick_distinct_members(members, count):
+    picks = systematic_pick(members, count)
+    assert len(picks) == min(count, len(members))
+    assert len(set(picks)) == len(picks)
+    assert set(picks) <= set(members)
+
+
+def test_systematic_pick_midpoint_spread():
+    assert systematic_pick(list(range(10)), 2) == [2, 7]
+    assert systematic_pick(list(range(10)), 10) == list(range(10))
+
+
+# ----------------------------------------------------------------------
+# config validation
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StratifiedConfig(budget=0)
+    with pytest.raises(ValueError):
+        StratifiedConfig(n_strata=0)
+    with pytest.raises(ValueError):
+        StratifiedConfig(interval_length=0)
+
+
+# ----------------------------------------------------------------------
+# graceful degradation of the full sampler (regression: single
+# interval / zero-variance strata must not divide by zero)
+
+def test_stratified_single_interval_degrades_gracefully():
+    # an interval length far beyond the workload: the cheap pass sees
+    # exactly one interval, one stratum, and the whole budget lands on
+    # it without any divide-by-zero
+    sampler = StratifiedSampler(StratifiedConfig(
+        interval_length=50_000_000, n_strata=4, budget=8,
+        warmup_length=100))
+    result = sampler.run(make_controller())
+    assert result.ipc > 0
+    assert result.extra["num_intervals"] == 1
+    assert result.extra["num_strata"] == 1
+    assert result.timed_intervals == 1
+    # the result must stay JSON-clean for the store
+    json.dumps(result.canonical_dict())
+
+
+def test_stratified_budget_above_population_measures_everything():
+    sampler = StratifiedSampler(StratifiedConfig(
+        interval_length=50_000_000, n_strata=4, budget=64,
+        warmup_length=100))
+    result = sampler.run(make_controller())
+    assert result.timed_intervals == result.extra["num_intervals"]
+
+
+def test_stratified_tracks_reference_on_tiny_workload():
+    controller = make_controller()
+    from repro.sampling import FullTiming
+    reference = FullTiming().run(make_controller())
+    sampler = StratifiedSampler(StratifiedConfig(
+        interval_length=1000, n_strata=4, budget=12,
+        warmup_length=1000))
+    result = sampler.run(controller)
+    assert result.timed_intervals <= 12  # never exceeds the budget
+    assert math.isfinite(result.ipc)
+    assert abs(result.ipc - reference.ipc) / reference.ipc < 0.5
