@@ -58,7 +58,7 @@ Commands
     fig2, fig4, fig5, fig6, fig7, fig8, fig9), the ``parallel``
     multi-core suite table, or the ``frontier`` accuracy-vs-cost
     Pareto sweep over the whole policy zoo.
-``bench [--suite hotpath|checkpoint|frontier] [--size S[,S]]
+``bench [--suite hotpath|checkpoint|frontier|megablock] [--size S[,S]]
 [--benchmarks a,b]
 [--check] [--update-baseline] [--baseline FILE] [--out FILE]
 [--tolerance F] [--record-history] [--history FILE] [--json]``
@@ -72,7 +72,10 @@ Commands
     ``frontier``: modeled accuracy-vs-cost sweep over the whole
     policy zoo, gated against ``benchmarks/BENCH_frontier.json``
     (absolute floor: policy coverage; per-policy speedup and
-    accuracy-drift tolerances).
+    accuracy-drift tolerances).  ``megablock``: chained-dispatch
+    megablock tier vs the fused tier on the loop-dominated suite,
+    gated against ``benchmarks/BENCH_megablock.json`` (absolute
+    floor: overall speedup geomean).
     ``--check`` fails on a >25% ratio regression vs the committed
     baseline; ``--update-baseline`` rewrites that file.
     ``--record-history`` appends this run's ratio metrics as a dated
@@ -440,6 +443,15 @@ def _cmd_bench(args) -> int:
         baseline_path = args.baseline or module.DEFAULT_BASELINE
         payload = module.run_bench(benchmarks=benchmarks,
                                    size=size.split(",")[0])
+    elif args.suite == "megablock":
+        from repro.harness import megablock as module
+        sizes = [size for size
+                 in (args.size or module.DEFAULT_SIZE).split(",")
+                 if size]
+        baseline_path = args.baseline or module.DEFAULT_BASELINE
+        payload = module.run_bench(
+            sizes=sizes, benchmarks=benchmarks,
+            repeats=args.repeats or module.DEFAULT_REPEATS)
     else:
         from repro.harness import hotpath as module
         sizes = [size for size in (args.size or "tiny").split(",")
@@ -774,21 +786,24 @@ def main(argv=None) -> int:
                                                 "CI perf gates")
     bench_parser.add_argument("--suite", default="hotpath",
                               choices=("hotpath", "checkpoint",
-                                       "frontier"),
+                                       "frontier", "megablock"),
                               help="hotpath: fused fast path vs "
                                    "interpreter oracle; checkpoint: "
                                    "warm vs cold checkpoint store; "
                                    "frontier: modeled accuracy-vs-"
-                                   "cost sweep over the policy zoo")
+                                   "cost sweep over the policy zoo; "
+                                   "megablock: chained-dispatch tier "
+                                   "vs the fused tier")
     bench_parser.add_argument("--size", default="",
                               help="suite size(s); default tiny "
-                                   "(hotpath, comma-separated) or "
-                                   "paper (checkpoint)")
+                                   "(hotpath, comma-separated), "
+                                   "small (megablock) or paper "
+                                   "(checkpoint)")
     bench_parser.add_argument("--benchmarks", default="",
                               help="comma-separated benchmark subset")
     bench_parser.add_argument("--repeats", type=int, default=None,
-                              help="checkpoint suite: probes per "
-                                   "cell (best-of-N)")
+                              help="checkpoint/megablock suites: "
+                                   "probes per cell (best-of-N)")
     bench_parser.add_argument("--check", action="store_true",
                               help="compare against the committed "
                                    "baseline; exit 1 on regression")

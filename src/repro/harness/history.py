@@ -46,8 +46,10 @@ SCHEMA_VERSION = 1
 def extract_metrics(suite: str, payload: Dict) -> Dict[str, float]:
     """Ratio metrics from a bench payload, flat and deterministic.
 
-    ``hotpath`` payloads contribute per-size/per-mode speedup geomeans
-    plus each size's overall geomean; ``checkpoint`` payloads
+    ``hotpath`` and ``megablock`` payloads contribute per-size/
+    per-mode speedup geomeans plus each size's overall geomean
+    (fast/slow and mega/fused ratios respectively); ``checkpoint``
+    payloads
     contribute the summary's ``*_speedup_geomean`` ratios and
     ``delta_ratio_max``; ``frontier`` payloads contribute each
     policy's suite speedup (the error gate lives in the frontier
@@ -56,7 +58,9 @@ def extract_metrics(suite: str, payload: Dict) -> Dict[str, float]:
     name so one history file can carry all suites.
     """
     metrics: Dict[str, float] = {}
-    if suite == "hotpath":
+    if suite in ("hotpath", "megablock"):
+        # same payload shape: per-size summaries of per-mode speedup
+        # geomeans (hotpath: fast/slow; megablock: mega/fused)
         for size in sorted(payload.get("sizes", {})):
             summary = payload["sizes"][size].get("summary", {})
             for mode in sorted(summary):
@@ -64,10 +68,10 @@ def extract_metrics(suite: str, payload: Dict) -> Dict[str, float]:
                 if isinstance(value, dict):
                     geo = value.get("speedup_geomean")
                     if isinstance(geo, (int, float)):
-                        metrics[f"hotpath.{size}.{mode}"
+                        metrics[f"{suite}.{size}.{mode}"
                                 ".speedup_geomean"] = float(geo)
                 elif mode == "overall_speedup_geomean":
-                    metrics[f"hotpath.{size}.overall_speedup_geomean"] \
+                    metrics[f"{suite}.{size}.overall_speedup_geomean"] \
                         = float(value)
     elif suite == "checkpoint":
         summary = payload.get("summary", {})

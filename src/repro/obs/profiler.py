@@ -18,6 +18,10 @@ Tiers name the translation flavour a block executed under:
 * ``fast`` / ``event`` — the plain flavours of :mod:`repro.vm.translator`
 * ``fused-timed`` / ``fused-warm`` — the fused superblocks of
   :mod:`repro.timing.codegen`
+* ``megablock`` — the trace-linked chains of :mod:`repro.vm.chain`
+  (the self time of a megablock dispatch *includes* the fragments it
+  threads through; the fused-tier records only see fragments when the
+  dispatch loop ran them directly)
 
 Because records are keyed per tier, tier promotion is directly
 attributable: a pc that appears under both a plain tier and a fused
@@ -47,11 +51,12 @@ __all__ = [
     "enable_profiling", "disable_profiling", "profiling_enabled",
     "get_profiler", "reset_profiler",
     "now", "wrap_block", "record_translation",
-    "PLAIN_TIERS", "FUSED_TIERS",
+    "PLAIN_TIERS", "FUSED_TIERS", "MEGA_TIERS",
 ]
 
 PLAIN_TIERS = ("fast", "event")
 FUSED_TIERS = ("fused-timed", "fused-warm")
+MEGA_TIERS = ("megablock",)
 
 
 class BlockRecord:

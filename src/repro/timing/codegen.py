@@ -51,7 +51,7 @@ available in production.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.isa import OpClass, registers
 
@@ -719,7 +719,10 @@ class _BlockEmitter:
                 f"if {name} >= {size}:",
                 f"    {name} = {name} - {size}"]
 
-    def epilogue(self) -> List[str]:
+    def epilogue(self, retire: str = "_n") -> List[str]:
+        """Write-back lines; ``retire`` is the retired-count expression
+        credited to the model's instruction counters (megablock chains
+        pass the chain-cumulative ``_base + _n``)."""
         out: List[str] = []
         if self.timed:
             n = self.length
@@ -730,7 +733,8 @@ class _BlockEmitter:
             out += ["CORE._stream_cycle, CORE._last_line, "
                     "CORE.last_retire_cycle, CORE._fq_pos, "
                     "CORE._rob_pos, CORE.retired = "
-                    "_sc, _ll, _tc, _fqp, _robp, CORE.retired + _n"]
+                    "_sc, _ll, _tc, _fqp, _robp, "
+                    f"CORE.retired + {retire}"]
             out += self._ring_writeback()
             if self.has_load:
                 out += self._advance("_ldp", self.ldn, self.ld_static,
@@ -761,7 +765,7 @@ class _BlockEmitter:
                                        for i in range(self.fun)))
         else:
             out.append("WS._last_line, WS.instructions = "
-                       "_ll, WS.instructions + _n")
+                       f"_ll, WS.instructions + {retire}")
         if self.has_branch or self.has_jump:
             out.append("GSH.history, BRU.branches, BRU.mispredicts, "
                        "BRU.btb_misses = _gh, _brb, _brm, _brbm")
@@ -856,3 +860,79 @@ class WarmingBlockCodegen:
 
     def env(self) -> dict:
         return self._env
+
+
+# ----------------------------------------------------------------------
+# megablock exit stubs (the direct-threaded tier above fused blocks)
+
+#: translation flavours a megablock exit stub can thread into:
+#: ``event`` (plain per-instruction sink blocks), ``timed`` (fused
+#: detailed timing) and ``warm`` (fused functional warming).  The stub
+#: text is flavour-independent today — every flavour's block functions
+#: share the ``fn(state, budget) -> executed`` contract and leave
+#: ``state.pc`` at the successor — but the flavour stays an explicit
+#: parameter (and part of the megablock's host-cache key) so a flavour
+#: that ever needs extra glue gets it without changing callers.
+CHAIN_STUB_FLAVORS = ("event", "timed", "warm")
+
+
+def chain_exit_stub(flavor: str, next_pc: int,
+                    budget_expr: str = "n",
+                    on_break: Sequence[str] = (),
+                    budget_test: str = "") -> List[str]:
+    """Guard lines between two chained fragments of a megablock.
+
+    Emitted after a constituent block has retired: fall through into
+    the next compiled fragment only when the observed-successor
+    prediction holds (``state.pc``), the instruction budget still has
+    headroom (the dispatch loop's bounded-overshoot rule,
+    ``budget_expr`` being the instructions the chain will have retired
+    if it continues), no IRQ is pending, the guest has not halted, and
+    no SMC/page invalidation bumped the chain generation since this
+    dispatch entered.  Any miss breaks back to the dispatch loop, which
+    re-dispatches from the per-block caches — the fallback path the
+    chain is bit-identical to.  ``on_break`` lines run only when the
+    guard misses (bookkeeping the fall-through path must not pay;
+    ``block_progress`` needs no reset here because every faulting op
+    writes it before raising).
+    """
+    if flavor not in CHAIN_STUB_FLAVORS:
+        raise ValueError(f"unknown chain stub flavour {flavor!r}")
+    test = budget_test or f"{budget_expr} >= budget"
+    lines = [
+        f"if state.pc != {next_pc} or {test} "
+        "or state.halted or _irq or _gen[0] != _g0:",
+    ]
+    lines.extend("    " + text for text in on_break)
+    lines.append("    break")
+    return lines
+
+
+def chain_call_stub(index: int, pc: int, length: int) -> List[str]:
+    """Call lines for constituent ``index`` of a megablock.
+
+    Tail-dispatches straight into the compiled fragment (``_chainN`` in
+    the megablock environment) and keeps the dispatch loop's accounting
+    invariants: ``state.icount`` advances per retired fragment (guest
+    ``RDINSTR`` mid-chain must read the same counter the fused tier
+    shows it) and ``d`` counts completed fragment dispatches.  On a
+    guest fault the stub restores the faulting PC from the fragment's
+    own ``block_progress`` (the head-relative reconstruction the loop
+    would do is wrong for interior fragments), folds the chain's prior
+    progress into ``block_progress`` and backs its ``icount`` out so
+    the loop's uniform fault accounting lands on exactly the numbers
+    the fused tier produces, then re-raises for normal delivery.
+    """
+    return [
+        "try:",
+        f"    x = _chain{index}(state, budget)",
+        "except GuestFault as _f:",
+        f"    state.pc = {pc} + ((state.block_progress % {length}) * 4)",
+        "    state.block_progress = n + state.block_progress",
+        "    state.icount -= n",
+        "    VS.block_dispatches += d",
+        "    raise _f",
+        "n += x",
+        "d += 1",
+        "state.icount += x",
+    ]

@@ -35,6 +35,32 @@ class TranslatedBlock:
         return f"<block pc=0x{self.pc:x} len={self.length}>"
 
 
+class ChainedBlock(TranslatedBlock):
+    """A megablock: a chain of fused superblocks with threaded exits.
+
+    ``pc``/``fn`` follow the :class:`TranslatedBlock` contract (the
+    dispatch loop calls ``fn(state, budget)`` exactly like any other
+    entry); ``length`` is the summed instruction count of the chain and
+    ``pages`` the union of every constituent's pages.  ``chain`` holds
+    the constituent ``(pc, length)`` pairs in dispatch order — the
+    link-set fingerprint used for precise unlinking — and ``chained``
+    marks the entry so fault delivery trusts the PC the chain's own
+    exit stubs restored instead of reconstructing it from the head.
+    """
+
+    __slots__ = ("chain", "chained")
+
+    def __init__(self, pc: int, fn: Callable, length: int,
+                 pages: Set[int], chain):
+        super().__init__(pc, fn, length, pages)
+        self.chain = tuple(chain)
+        self.chained = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        pcs = ",".join(f"0x{pc:x}" for pc, _len in self.chain)
+        return f"<megablock head=0x{self.pc:x} chain=[{pcs}]>"
+
+
 class CodeCache:
     """Capacity-bounded store of :class:`TranslatedBlock` objects."""
 
@@ -98,6 +124,19 @@ class CodeCache:
         self._blocks[block.pc] = block
         for vpn in block.pages:
             self._page_index.setdefault(vpn, set()).add(block.pc)
+
+    def discard(self, pc: int) -> bool:
+        """Silently drop a block without counting an invalidation.
+
+        Used when a block changes tier (its megablock takes over the
+        head PC): the translation is not being thrown away for an
+        architectural reason, so it must not perturb the CPU signal.
+        Returns whether a block was resident.
+        """
+        if pc not in self._blocks:
+            return False
+        self._remove(pc)
+        return True
 
     def _remove(self, pc: int) -> None:
         block = self._blocks.pop(pc)

@@ -28,6 +28,7 @@ from repro.mem import (MMU, PageTable, PhysicalMemory)
 from repro.mem.faults import (AlignmentFault, BreakpointTrap, GuestFault,
                               IllegalInstruction, PageFault, SyscallTrap)
 
+from .chain import ChainLinker
 from .code_cache import CodeCache
 from .events import InstructionSink
 from .interpreter import Interpreter
@@ -56,6 +57,18 @@ def slow_path_requested() -> bool:
     """
     return os.environ.get("REPRO_SLOW_PATH", "").strip().lower() \
         in ("1", "true", "yes")
+
+
+def megablocks_enabled() -> bool:
+    """True unless ``REPRO_MEGABLOCKS=0`` disables the megablock tier.
+
+    The escape hatch above the fused tier: with megablocks off, event
+    mode dispatches fused superblocks one by one exactly as before the
+    tier existed.  Results are bit-identical either way (the chain code
+    reproduces the dispatch loop's accounting); only wall-clock moves.
+    """
+    return os.environ.get("REPRO_MEGABLOCKS", "1").strip().lower() \
+        not in ("0", "false", "no", "off")
 
 
 class Machine:
@@ -118,6 +131,17 @@ class Machine:
         #: fused-flavour bindings:
         #: id(sink) -> (sink, codegen, CodeCache, promotion counts)
         self._fast_bindings: Dict[int, tuple] = {}
+        #: megablock tier enabled (REPRO_MEGABLOCKS=0 disables); chains
+        #: are bit-identical to fused dispatch, so flipping this can
+        #: only change wall-clock, never results
+        self.megablocks = megablocks_enabled()
+        #: successor observations a promoted (fused) superblock must
+        #: accumulate before its megablock chain is built; 0 builds on
+        #: the first observed exit (useful in tests)
+        self.mega_promote_threshold = 16
+        #: megablock linkers, parallel to _fast_bindings:
+        #: id(sink) -> ChainLinker (link tables, chains, generation)
+        self._chain_linkers: Dict[int, ChainLinker] = {}
         # The interpreter shares the translator's superblock cap so its
         # run dispatches line up one-to-one with translated blocks —
         # required for bit-identical block_dispatches between the fast
@@ -160,6 +184,7 @@ class Machine:
         cache = CodeCache(max(4096, self._code_cache_capacity),
                           policy=self._code_cache_policy)
         self._fast_bindings[id(sink)] = (sink, codegen, cache, {})
+        self._chain_linkers[id(sink)] = ChainLinker(self, cache, codegen)
 
     def _on_code_write(self, vpn: int, addr: int) -> None:
         """Self-modifying code: drop the translations that ``addr`` hits.
@@ -173,6 +198,13 @@ class Machine:
         for _sink, _codegen, cache, _counts in \
                 self._fast_bindings.values():
             dropped += cache.invalidate_address(vpn, addr)
+        # Unlink every megablock chain that enters the written range
+        # (and bump its generation so a chain executing right now
+        # breaks at its next exit stub).  Chain drops never count
+        # toward ``dropped``: chains are host tiering state, invisible
+        # to vmstats and to the interpreter's decode caches.
+        for linker in self._chain_linkers.values():
+            linker.invalidate_address(vpn, addr)
         if dropped:
             self.interpreter.flush_decode_cache()
         else:
@@ -193,6 +225,8 @@ class Machine:
         for _sink, _codegen, cache, _counts in \
                 self._fast_bindings.values():
             cache.invalidate_page(vpn)
+        for linker in self._chain_linkers.values():
+            linker.invalidate_page(vpn)
         self.interpreter.flush_decode_cache()
 
     def flush_code_caches(self) -> None:
@@ -210,6 +244,11 @@ class Machine:
                 self._fast_bindings.values():
             cache.flush()
             counts.clear()
+        # Megablock link tables and chain-entry counters are tiering
+        # state tied to the flushed translations, exactly like the
+        # promotion counts above: a restored machine re-records cold.
+        for linker in self._chain_linkers.values():
+            linker.flush()
         self.interpreter.flush_decode_cache()
 
     def snapshot_code_cache(self) -> List[int]:
@@ -318,14 +357,30 @@ class Machine:
         remaining = max_instructions
         total = 0
         profile_counts = self.profile_counts
+        # Megablock tier (event mode with a fused binding only): chains
+        # dispatch ahead of the per-block cache.  Never under ``exact``
+        # — chains follow the loop's bounded-overshoot rule, and the
+        # exact tail belongs to the interpreter.
+        linker = None
+        if codegen is not None and self.megablocks and not exact:
+            linker = self._chain_linkers.get(id(sink))
+        mega_get = linker.mega.get if linker is not None else None
+        link_prev = -1
 
         while remaining > 0 and not state.halted:
             if self._pending_irqs:
                 self._deliver_interrupt()
                 if state.halted:
                     break
+                link_prev = -1
             pc = state.pc
             entry = get_block(pc)
+            if entry is None and mega_get is not None:
+                # Chained heads are evicted from the per-block cache when
+                # the chain is built, so the common (unchained) dispatch
+                # pays a single lookup and only cache misses consult the
+                # megablock table.
+                entry = mega_get(pc)
             state.block_progress = 0
             try:
                 if entry is None:
@@ -356,6 +411,15 @@ class Machine:
                             stats.translations += 1
                         for vpn in entry.pages:
                             self.mmu.register_code_page(vpn)
+                        if linker is not None and codegen is not None:
+                            # A fused translation is the promotion
+                            # moment: start recording this head's
+                            # observed successors for chaining.  The
+                            # previous-dispatch marker may be stale from
+                            # before the recording window opened, so
+                            # reset it rather than risk a bogus edge.
+                            linker.watch(pc)
+                            link_prev = -1
                 if exact and entry.length > remaining:
                     # The tail interpreter maintains icount itself.
                     executed = self._run_exact_tail(
@@ -364,6 +428,10 @@ class Machine:
                     executed = entry.fn(state, remaining)
                     stats.block_dispatches += 1
                     state.icount += executed
+                    if linker is not None and linker.pending:
+                        if link_prev in linker.pending:
+                            linker.observe(link_prev, state.pc)
+                        link_prev = pc
                 if profile and executed:
                     profile_counts[pc] = \
                         profile_counts.get(pc, 0) + executed
@@ -376,6 +444,7 @@ class Machine:
                 extra = self._deliver_fault(fault, entry)
                 state.icount += extra
                 executed += extra
+                link_prev = -1
             total += executed
             remaining -= executed
 
@@ -440,6 +509,11 @@ class Machine:
 
     def _restore_fault_pc(self, entry) -> None:
         """Point ``state.pc`` at the faulting instruction of ``entry``."""
+        if entry is not None and getattr(entry, "chained", False):
+            # A megablock's fault stub already restored the faulting
+            # fragment's PC; reconstructing from the chain head here
+            # would point into the wrong fragment.
+            return
         if entry is not None and entry.length:
             index = self.state.block_progress % entry.length
             self.state.pc = entry.pc + index * 4

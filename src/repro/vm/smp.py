@@ -161,6 +161,25 @@ class SmpMachine:
         for core in self.cores:
             core.flush_code_caches()
 
+    @property
+    def megablocks(self) -> bool:
+        """Megablock tier enabled (uniform across harts)."""
+        return self.cores[0].megablocks
+
+    @megablocks.setter
+    def megablocks(self, value: bool) -> None:
+        for core in self.cores:
+            core.megablocks = value
+
+    @property
+    def mega_promote_threshold(self) -> int:
+        return self.cores[0].mega_promote_threshold
+
+    @mega_promote_threshold.setter
+    def mega_promote_threshold(self, value: int) -> None:
+        for core in self.cores:
+            core.mega_promote_threshold = value
+
     # ------------------------------------------------------------------
     # execution
 

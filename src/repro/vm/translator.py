@@ -656,3 +656,228 @@ class Translator:
         for text in block.instr(pc, instr):
             emit(ind + text)
         emit(f"{ind}state.pc = {fall}")
+
+    # ------------------------------------------------------------------
+    # megablock chains (tier 3 — see repro.vm.chain)
+
+    def generate_chain(self, frags, loop_back: bool, codegen) -> str:
+        """Inline-fuse a chain of fused blocks into one megablock.
+
+        ``frags`` is the ordered list of ``(pc, instrs)`` constituents.
+        Instead of tail-calling the fragments' compiled closures, the
+        chain re-emits their fused bodies into a single function that
+        shares ONE timing-model prologue and ONE epilogue: the heavy
+        spill of core micro-state (bandwidth rings, queue pointers,
+        unit busy times, branch state) into locals happens once per
+        chain entry rather than once per block, and between fragments
+        only a few locals-space glue lines run — the ring-name
+        rotations and pointer advances that the back-to-back
+        epilogue/prologue pair would have produced.  With ``loop_back``
+        the chain closes into a ``while`` loop and a hot guest loop
+        iterates entirely inside this one frame.
+
+        Equivalence with per-block fused dispatch is kept by the same
+        bookkeeping the dispatch loop does: ``_base`` accumulates
+        completed fragments, every exit stub re-checks the loop's
+        continue conditions, and fault paths fold fragment-local
+        ``block_progress``/``_n`` into chain totals before the shared
+        epilogue writes the model state back (``retire`` expression
+        ``_base + _n``) and the fault re-raises.
+
+        Raises ``ValueError`` for fragments the glue cannot bridge
+        (dynamic ring addressing); the caller falls back to the
+        call-threaded chain form.
+        """
+        emitters = [codegen.begin(pc, instrs) for pc, instrs in frags]
+        timed = emitters[0].timed
+        if timed:
+            for emitter in emitters:
+                if not (emitter.fq_static and emitter.rob_static
+                        and emitter.ld_static and emitter.st_static):
+                    raise ValueError("fragment uses dynamic ring "
+                                     "addressing; cannot inline-fuse")
+        has_load = any(e.has_load for e in emitters)
+        has_store = any(e.has_store for e in emitters)
+        # Union-flag prototype emitters over the head block: one carries
+        # the prologue (loads everything any fragment touches), one the
+        # epilogue (ld/st pointer write-back is chain-managed, so those
+        # flags stay off and the lines are emitted below).
+        pro = codegen.begin(frags[0][0], frags[0][1])
+        epi = codegen.begin(frags[0][0], frags[0][1])
+        for proto in (pro, epi):
+            proto.has_branch = any(e.has_branch for e in emitters)
+            proto.has_jump = any(e.has_jump for e in emitters)
+            proto.fu_groups = set().union(
+                *(e.fu_groups for e in emitters))
+            proto.faultable = True      # epilogue paths must take the
+            proto.length = 0            # dynamic-``_n`` form throughout
+        pro.has_load, pro.has_store = has_load, has_store
+        epi.has_load = epi.has_store = False
+
+        from repro.timing.codegen import chain_exit_stub
+
+        # ``state.icount`` is only observable inside the chain through a
+        # guest RDINSTR; without one the per-fragment bump and the final
+        # back-out cancel exactly, so both are skipped.
+        track_icount = any(instr.op == Op.RDINSTR
+                           for _pc, instrs in frags for instr in instrs)
+
+        single_loop = loop_back and len(frags) == 1
+        lines: List[str] = ["def _block(state, budget):",
+                            "    r = state.regs",
+                            "    f = state.fregs",
+                            "    _irq = IRQ",
+                            "    _gen = GEN",
+                            "    _g0 = _gen[0]",
+                            "    _base = 0"]
+        if not single_loop:
+            lines.append("    _d = 0")
+        # hoisted budget limits: the guard ``_base + L >= budget``
+        # becomes ``_base >= _lim{L}``, one add less per iteration
+        for limit in sorted({e.length for e in emitters}):
+            lines.append(f"    _lim{limit} = budget - {limit}")
+        if has_load:
+            lines.append("    _ldadv = 0")
+        if has_store:
+            lines.append("    _stadv = 0")
+        for text in pro.prologue(emitters[0].length):
+            lines.append("    " + text)
+        lines.append("    while 1:")
+        ind = "        "
+        bind = "            "
+        flavor = codegen.flavor
+        # A single-fragment loop chain (by far the common shape: a hot
+        # guest loop whose body is one superblock) needs no per-
+        # iteration dispatch counter — every completed iteration is one
+        # dispatch, so ``_base // length`` reconstructs the count on
+        # exit and the hot path drops the increment.
+        for k, (emitter, (pc0, instrs)) in enumerate(zip(emitters,
+                                                         frags)):
+            length = emitter.length
+            # partial buffer advance for a breaking fragment (indexed
+            # by its retired count, like the fused epilogue); only the
+            # break paths need it, so the lines live in the except
+            # handlers and the guard's miss path — never on the
+            # fall-through path
+            fault_adv = []
+            if has_load:
+                fault_adv.append(
+                    f"_ldadv = {tuple(emitter.pre_ld)}[_n]"
+                    if emitter.has_load else "_ldadv = 0")
+            if has_store:
+                fault_adv.append(
+                    f"_stadv = {tuple(emitter.pre_st)}[_n]"
+                    if emitter.has_store else "_stadv = 0")
+            lines.append(f"{ind}try:")
+            for index, instr in enumerate(instrs[:-1]):
+                self._gen_body(lines, bind, instr, pc0 + index * 4,
+                               index, "{i}", False)
+                for text in emitter.instr(pc0 + index * 4, instr):
+                    lines.append(bind + text)
+            self._gen_fused_terminator(lines, bind, instrs[-1],
+                                       pc0 + (length - 1) * 4,
+                                       length - 1, emitter)
+            lines.append(f"{ind}except (SyscallTrap, BreakpointTrap) "
+                         "as _e2:")
+            lines.append(f"{ind}    _n = state.block_progress + 1")
+            lines.append(f"{ind}    _flt = _e2")
+            lines.extend(f"{ind}    {text}" for text in fault_adv)
+            lines.append(f"{ind}    break")
+            lines.append(f"{ind}except GuestFault as _e2:")
+            lines.append(f"{ind}    _n = state.block_progress")
+            lines.append(f"{ind}    _flt = _e2")
+            # restore the faulting pc here: the machine's head-relative
+            # reconstruction is wrong for interior fragments, so it
+            # skips chained entries (state.pc still holds this
+            # fragment's entry pc — the preceding guard checked it)
+            lines.append(f"{ind}    state.pc = {pc0} + "
+                         f"((_n % {length}) * 4)")
+            lines.extend(f"{ind}    {text}" for text in fault_adv)
+            lines.append(f"{ind}    break")
+            if not single_loop:
+                lines.append(f"{ind}_d = _d + 1")
+            # clean-exit bookkeeping also rides the guard's miss path:
+            # ``_n`` is only read after a break, so the fall-through
+            # path never touches it
+            clean_exit = [f"_n = {length}"]
+            if has_load:
+                clean_exit.append(f"_ldadv = {emitter.pre_ld[-1]}")
+            if has_store:
+                clean_exit.append(f"_stadv = {emitter.pre_st[-1]}")
+            if k + 1 < len(frags):
+                succ = frags[k + 1][0]
+            elif loop_back:
+                succ = frags[0][0]
+            else:
+                lines.extend(ind + text for text in clean_exit)
+                lines.append(f"{ind}break")
+                continue
+            for text in chain_exit_stub(
+                    flavor, succ, on_break=clean_exit,
+                    budget_test=f"_base >= _lim{length}"):
+                lines.append(ind + text)
+            lines.append(f"{ind}_base = _base + {length}")
+            if track_icount:
+                lines.append(f"{ind}state.icount = "
+                             f"state.icount + {length}")
+            if timed:
+                # locals-space glue: what this fragment's epilogue +
+                # the successor's prologue would have done, minus every
+                # store/load pair that round-trips through CORE
+                lines.append(f"{ind}_fqp = _fqp + {length}")
+                lines.append(f"{ind}if _fqp >= {emitter.fqn}:")
+                lines.append(f"{ind}    _fqp = _fqp - {emitter.fqn}")
+                lines.append(f"{ind}_robp = _robp + {length}")
+                lines.append(f"{ind}if _robp >= {emitter.robn}:")
+                lines.append(f"{ind}    _robp = _robp - {emitter.robn}")
+                if emitter.has_load:
+                    step = emitter.pre_ld[-1]
+                    lines.append(f"{ind}_ldp = _ldp + {step}")
+                    lines.append(f"{ind}if _ldp >= {emitter.ldn}:")
+                    lines.append(f"{ind}    _ldp = _ldp - {emitter.ldn}")
+                if emitter.has_store:
+                    step = emitter.pre_st[-1]
+                    lines.append(f"{ind}_stp = _stp + {step}")
+                    lines.append(f"{ind}if _stp >= {emitter.stn}:")
+                    lines.append(f"{ind}    _stp = _stp - {emitter.stn}")
+                for ring in (emitter.fring, emitter.dring,
+                             emitter.rring):
+                    count = length % ring.width
+                    if count:
+                        lines.append(ind + ", ".join(ring.names)
+                                     + " = "
+                                     + ", ".join(ring.perm(count)))
+        if track_icount:
+            lines.append("    state.icount = state.icount - _base")
+        for text in epi.epilogue(retire="_base + _n"):
+            lines.append("    " + text)
+        if timed and has_load:
+            ldn = emitters[0].ldn
+            lines += ["    _ldp = _ldp + _ldadv",
+                      f"    if _ldp >= {ldn}:",
+                      f"        _ldp = _ldp - {ldn}",
+                      "    CORE._ld_pos = _ldp"]
+        if timed and has_store:
+            stn = emitters[0].stn
+            lines += ["    _stp = _stp + _stadv",
+                      f"    if _stp >= {stn}:",
+                      f"        _stp = _stp - {stn}",
+                      "    CORE._st_pos = _stp"]
+        # completed-fragment dispatches, reconciled with the loop's
+        # uniform accounting (+1 clean / +0 fault on the machine side);
+        # single-fragment loops reconstruct the count from ``_base``
+        # (clean: _base/L full iterations + the breaking one - 1;
+        # fault: _base/L — the same expression either way)
+        fault_d = f"_base // {emitters[0].length}" if single_loop \
+            else "_d"
+        clean_d = fault_d if single_loop else "_d - 1"
+        lines += ["    if _flt is not None:",
+                  "        state.block_progress = "
+                  "_base + state.block_progress",
+                  "        VS.block_dispatches = "
+                  f"VS.block_dispatches + {fault_d}",
+                  "        raise _flt",
+                  "    VS.block_dispatches = "
+                  f"VS.block_dispatches + {clean_d}",
+                  "    return _base + _n"]
+        return "\n".join(lines) + "\n"

@@ -89,5 +89,6 @@ def test_profile_json_reports_tier_promotion(cache_root, capsys):
     assert payload["summary"]["blocks"] > 0
     assert payload["top_blocks"]
     tiers = {record["tier"] for record in payload["top_blocks"]}
-    assert tiers <= {"fast", "event", "fused-timed", "fused-warm"}
+    assert tiers <= {"fast", "event", "fused-timed", "fused-warm",
+                     "megablock"}
     assert payload["promoted_pcs"], "no tier promotions attributed"

@@ -52,9 +52,14 @@ def test_hot_blocks_promote_past_threshold():
     system, machine, core = fused_machine(threshold=4)
     system.run(2000, mode=MODE_EVENT, sink=core)
     _sink, _codegen, cache, counts = machine._fast_bindings[id(core)]
-    assert len(cache) > 0  # the hot loop block was promoted
-    # promoted blocks no longer carry a pending count
+    linker = machine._chain_linkers[id(core)]
+    # the hot loop block was promoted — and once its successors
+    # stabilized, handed over to the megablock tier, which evicts the
+    # head's fused entry (single-lookup dispatch)
+    assert len(cache) > 0 or linker.mega
+    # promoted/chained blocks no longer carry a pending count
     assert all(pc not in counts for pc in cache._blocks)
+    assert all(pc not in counts for pc in linker.mega)
 
 
 def test_threshold_zero_promotes_immediately():
@@ -148,3 +153,26 @@ def test_flush_code_caches_resets_pending_promotion_counts():
     assert not counts
     assert len(cache) == 0
     assert len(machine.event_cache) == 0
+
+
+def test_flush_code_caches_clears_megablock_link_state():
+    # same invariant one tier up: flush must also drop the chain-entry
+    # counters (pending observations), the finalized link tables and
+    # the chains themselves, so a restored machine re-records from
+    # scratch instead of chaining on stale successor credit
+    system, machine, core = fused_machine(threshold=2)
+    machine.mega_promote_threshold = 4
+    system.run(2000, mode=MODE_EVENT, sink=core)
+    linker = machine._chain_linkers[id(core)]
+    assert linker.mega  # the hot loop chained
+    generation = linker.generation[0]
+    # park fresh observation credit to prove pending is cleared too
+    linker.watch(0x9999)
+    linker.observe(0x9999, 0x1234)
+    assert linker.pending
+    machine.flush_code_caches()
+    assert not linker.pending   # chain-entry counters
+    assert not linker.links     # finalized link tables
+    assert not linker.mega      # chains
+    assert not linker.page_index
+    assert linker.generation[0] > generation  # running chains break
