@@ -23,7 +23,7 @@ from typing import Dict, List, Sequence, Tuple
 from .lintmodel import Finding
 
 __all__ = ["Baseline", "BaselineEntry", "load_baseline",
-           "write_baseline"]
+           "merge_entries", "write_baseline"]
 
 BASELINE_VERSION = 1
 
@@ -87,6 +87,23 @@ def from_findings(findings: Sequence[Finding]) -> Baseline:
                      in sorted(counts.items())])
 
 
+def merge_entries(entries: Sequence[BaselineEntry]
+                  ) -> List[BaselineEntry]:
+    """Collapse duplicate ``(rule, path, context)`` entries into one
+    entry whose count is the sum — hand-edited or merge-conflicted
+    baselines sometimes carry the same line twice, and two half-counts
+    must behave exactly like one full count."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    order: List[Tuple[str, str, str]] = []
+    for entry in entries:
+        if entry.key not in counts:
+            order.append(entry.key)
+        counts[entry.key] = counts.get(entry.key, 0) + entry.count
+    return [BaselineEntry(rule, path, context, counts[(rule, path,
+                                                       context)])
+            for rule, path, context in order]
+
+
 def load_baseline(path: Path) -> Baseline:
     """Load a baseline file; a missing file is an empty baseline."""
     try:
@@ -101,7 +118,7 @@ def load_baseline(path: Path) -> Baseline:
             rule=str(item["rule"]), path=str(item["path"]),
             context=str(item["context"]),
             count=int(item.get("count", 1))))
-    return Baseline(entries)
+    return Baseline(merge_entries(entries))
 
 
 def write_baseline(findings: Sequence[Finding], path: Path) -> Baseline:

@@ -25,8 +25,9 @@ from .baseline import Baseline, BaselineEntry, load_baseline, write_baseline
 from .lintmodel import Finding, SourceFile
 from .rules import ALL_RULES, Rule
 
-__all__ = ["LintReport", "default_root", "default_baseline_path",
-           "iter_source_files", "run_rules", "lint_tree", "main"]
+__all__ = ["LintReport", "audit_annotations", "default_root",
+           "default_baseline_path", "iter_source_files", "run_rules",
+           "lint_tree", "main"]
 
 
 def default_root() -> Path:
@@ -96,6 +97,55 @@ def lint_tree(root: Optional[Path] = None,
     return report
 
 
+def audit_annotations(root: Optional[Path] = None) -> List[dict]:
+    """Every ``# repro: <directive>`` escape hatch under ``root``.
+
+    Returns one row per annotation — path, line, directive,
+    justification — so the audit can hold the escape-hatch population
+    visible (and justified) rather than letting suppressions accrete
+    silently.
+    """
+    root = Path(root) if root is not None else default_root()
+    rows: List[dict] = []
+    for source in iter_source_files(root):
+        for line, (directive, reason) in sorted(source.directives.items()):
+            rows.append({"path": source.rel, "line": line,
+                         "directive": directive,
+                         "justification": reason})
+    return rows
+
+
+def _cmd_annotations(root: Path, args, out: TextIO) -> int:
+    rows = audit_annotations(root)
+    unjustified = [row for row in rows if not row["justification"]]
+    if args.json:
+        payload = {"root": str(root), "annotations": rows,
+                   "by_directive": _directive_counts(rows),
+                   "unjustified": len(unjustified),
+                   "ok": not unjustified}
+        print(json.dumps(payload, indent=2), file=out)
+        return 0 if not unjustified else 1
+    prefix = _display_prefix(root)
+    for row in rows:
+        reason = row["justification"] or "MISSING JUSTIFICATION"
+        print(f"{prefix}{row['path']}:{row['line']}: "
+              f"{row['directive']} — {reason}", file=out)
+    counts = _directive_counts(rows)
+    summary = ", ".join(f"{directive} x{count}"
+                        for directive, count in sorted(counts.items()))
+    print(f"annotations: {len(rows)} escape hatch(es) "
+          f"({summary or 'none'}), {len(unjustified)} unjustified",
+          file=out)
+    return 0 if not unjustified else 1
+
+
+def _directive_counts(rows: List[dict]) -> dict:
+    counts: dict = {}
+    for row in rows:
+        counts[row["directive"]] = counts.get(row["directive"], 0) + 1
+    return counts
+
+
 def _display_prefix(root: Path) -> str:
     """Path prefix that makes findings clickable from the repo root."""
     try:
@@ -120,6 +170,10 @@ def main(argv: Optional[Sequence[str]] = None,
     parser.add_argument("--fix-baseline", action="store_true",
                         help="regenerate the baseline from the current "
                              "tree and exit 0")
+    parser.add_argument("--annotations", action="store_true",
+                        help="audit every '# repro:' escape hatch "
+                             "(file:line, directive, justification); "
+                             "exit 1 if any lacks a justification")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable report on stdout")
     parser.add_argument("--out", default="",
@@ -128,6 +182,8 @@ def main(argv: Optional[Sequence[str]] = None,
     out = stdout if stdout is not None else sys.stdout
 
     root = Path(args.root) if args.root else default_root()
+    if args.annotations:
+        return _cmd_annotations(root, args, out)
     baseline_path = (Path(args.baseline) if args.baseline
                      else default_baseline_path(root))
     baseline = Baseline()
@@ -141,9 +197,22 @@ def main(argv: Optional[Sequence[str]] = None,
     report = lint_tree(root, baseline)
 
     if args.fix_baseline:
+        # surface what the regeneration is about to drop: entries the
+        # current tree no longer needs would otherwise vanish silently
+        try:
+            previous = load_baseline(baseline_path)
+        except ValueError:
+            previous = Baseline()
+        _, dropped = previous.match(report.findings)
+        for entry in dropped:
+            print(f"warning: dropping stale baseline entry "
+                  f"({entry.rule} {entry.path} x{entry.count}): "
+                  f"{entry.context!r}", file=out)
         write_baseline(report.findings, baseline_path)
         print(f"baseline regenerated: {baseline_path} "
-              f"({len(report.findings)} finding(s) recorded)", file=out)
+              f"({len(report.findings)} finding(s) recorded"
+              + (f", {len(dropped)} stale entr(y/ies) dropped"
+                 if dropped else "") + ")", file=out)
         return 0
 
     if args.out:

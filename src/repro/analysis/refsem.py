@@ -1,0 +1,419 @@
+"""Reference semantics for the symbolic codegen verifier.
+
+This module answers "what should executing instruction ``i`` *mean*?"
+directly from the decoded instruction (:mod:`repro.isa`) and the ISA
+arithmetic helpers (:mod:`repro.vm.semantics`), without looking at the
+translator's templates.  :mod:`.symexec` abstractly interprets the
+*generated* superblock source and compares the resulting symbolic
+state-update summaries against the ones produced here — two
+independent derivations that must agree exactly.
+
+The semantics are expressed over the same term language
+(:mod:`.symstate`), built with the same canonicalizing constructors,
+so an equivalent computation reaches a structurally identical term on
+both sides (``(a + b) & M`` and the reference's masked addition fold
+to the same ``mask64``/``lin`` node).  Event tuples — the 8-field
+``sink`` payload of ``FLAVOR_EVENT`` — are likewise re-derived from
+:data:`repro.isa.OP_INFO` (format, opclass, fp-operand flag), not from
+the translator's ``event_fields``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import Format, Instr, OP_INFO, Op, OpClass
+
+from .symstate import (MASK64, SymState, Term, t_add, t_band, t_bor,
+                       t_bxor, t_call, t_cmp, t_ifexp, t_lshift,
+                       t_mask64, t_mul, t_neg, t_rshift, t_sub)
+
+__all__ = ["Faults", "apply_body", "branch_cond", "branch_target",
+           "is_loop_form", "ref_event_fields", "terminator_exits"]
+
+#: fault forks produced while interpreting: ``(state-at-fault, exc)``
+Faults = List[Tuple[SymState, Term]]
+
+_INT_ALU_CLASSES = frozenset((OpClass.INT_ALU, OpClass.INT_MUL,
+                              OpClass.INT_DIV))
+_FP_CLASSES = frozenset((OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV,
+                         OpClass.FP_CVT))
+
+#: loads: op -> (sign/zero-extension helper or None, access size)
+_LOAD_OPS: Dict[Op, Tuple[Optional[str], int]] = {
+    Op.LB: ("sx8", 1), Op.LBU: (None, 1),
+    Op.LH: ("sx16", 2), Op.LHU: (None, 2),
+    Op.LW: ("sx32", 4), Op.LWU: (None, 4),
+    Op.LD: (None, 8),
+}
+
+#: stores: op -> (access size, value mask or None)
+_STORE_OPS: Dict[Op, Tuple[int, Optional[int]]] = {
+    Op.SB: (1, 0xFF), Op.SH: (2, 0xFFFF),
+    Op.SW: (4, 0xFFFFFFFF), Op.SD: (8, None),
+}
+
+_BRANCH_OPS = frozenset((Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU,
+                         Op.BGEU))
+_FP_BIN = frozenset((Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FMIN,
+                     Op.FMAX))
+_FP_UN = frozenset((Op.FSQRT, Op.FNEG, Op.FABS))
+_FP_CMPS = frozenset((Op.FEQ, Op.FLT, Op.FLE))
+
+
+def _u(index: int) -> int:
+    return -1 if index == 0 else index
+
+
+def ref_event_fields(instr: Instr) -> Tuple[int, int, int, int]:
+    """``(cls, dst, src1, src2)`` re-derived from the opcode table.
+
+    Unified register indices: integer register ``i`` is ``i`` (``x0``
+    is ``-1``, it carries no dependency), float register ``i`` is
+    ``16 + i``.  Which operands are float follows from the opcode's
+    class and the per-op float-operand conventions of the ISA spec.
+    """
+    op = instr.op
+    info = OP_INFO[op]
+    cls = int(info.opclass)
+    rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+    opclass = info.opclass
+    if opclass == OpClass.BRANCH:
+        return cls, -1, _u(rs1), _u(rs2)
+    if opclass == OpClass.JUMP:
+        if info.fmt == Format.J:
+            return cls, _u(rd), -1, -1
+        return cls, _u(rd), _u(rs1), -1          # JALR
+    if opclass == OpClass.SYSTEM:
+        if info.fmt == Format.N:
+            return cls, -1, -1, -1
+        return cls, _u(rd), -1, -1               # RDCYCLE / RDINSTR
+    if opclass == OpClass.LOAD:
+        if info.fp_operands:                     # FLD: fp dest, int base
+            return cls, 16 + rd, _u(rs1), -1
+        return cls, _u(rd), _u(rs1), -1
+    if opclass == OpClass.STORE:
+        if info.fp_operands:                     # FSD: fp source
+            return cls, -1, _u(rs1), 16 + rs2
+        return cls, -1, _u(rs1), _u(rs2)
+    if opclass in _FP_CLASSES:
+        if op in _FP_CMPS:                       # int result, fp sources
+            return cls, _u(rd), 16 + rs1, 16 + rs2
+        if op == Op.FCVTIF:                      # int -> float
+            return cls, 16 + rd, _u(rs1), -1
+        if op == Op.FCVTFI:                      # float -> int
+            return cls, _u(rd), 16 + rs1, -1
+        if op in _FP_UN:
+            return cls, 16 + rd, 16 + rs1, -1
+        return cls, 16 + rd, 16 + rs1, 16 + rs2
+    # integer ALU: R-format reads two registers, I-format one + imm
+    if info.fmt == Format.R:
+        return cls, _u(rd), _u(rs1), _u(rs2)
+    return cls, _u(rd), _u(rs1), -1
+
+
+def _event(st: SymState, pc: int, instr: Instr, addr: Term = 0,
+           taken: int = 0, target: Term = 0) -> None:
+    cls, dst, s1, s2 = ref_event_fields(instr)
+    st.events.append((pc, cls, dst, s1, s2, addr, taken, target))
+
+
+# ----------------------------------------------------------------------
+# value semantics
+
+def _alu_rr(op: Op, a: Term, b: Term) -> Term:
+    if op == Op.ADD:
+        return t_mask64(t_add(a, b))
+    if op == Op.SUB:
+        return t_mask64(t_sub(a, b))
+    if op == Op.MUL:
+        return t_mask64(t_mul(a, b))
+    if op == Op.MULH:
+        return t_mask64(t_rshift(
+            t_mul(t_call("s64", [a]), t_call("s64", [b])), 64))
+    if op == Op.DIV:
+        return t_call("idiv", [a, b])
+    if op == Op.REM:
+        return t_call("irem", [a, b])
+    if op == Op.AND:
+        return t_band(a, b)
+    if op == Op.OR:
+        return t_bor(a, b)
+    if op == Op.XOR:
+        return t_bxor(a, b)
+    if op == Op.SLL:
+        return t_mask64(t_lshift(a, t_band(b, 63)))
+    if op == Op.SRL:
+        return t_rshift(a, t_band(b, 63))
+    if op == Op.SRA:
+        return t_mask64(t_rshift(t_call("s64", [a]), t_band(b, 63)))
+    if op == Op.SLT:
+        return t_ifexp(
+            t_cmp("lt", t_call("s64", [a]), t_call("s64", [b])), 1, 0)
+    if op == Op.SLTU:
+        return t_ifexp(t_cmp("lt", a, b), 1, 0)
+    raise AssertionError(f"not an RR ALU op: {op!r}")
+
+
+def _alu_ri(op: Op, a: Term, imm: int) -> Term:
+    if op == Op.ADDI:
+        return t_mask64(t_add(a, imm))
+    if op == Op.ANDI:
+        return t_band(a, imm & MASK64)
+    if op == Op.ORI:
+        return t_bor(a, imm & MASK64)
+    if op == Op.XORI:
+        return t_bxor(a, imm & MASK64)
+    if op == Op.SLLI:
+        return t_mask64(t_lshift(a, imm & 63))
+    if op == Op.SRLI:
+        return t_rshift(a, imm & 63)
+    if op == Op.SRAI:
+        return t_mask64(t_rshift(t_call("s64", [a]), imm & 63))
+    if op == Op.SLTI:
+        return t_ifexp(t_cmp("lt", t_call("s64", [a]), imm), 1, 0)
+    if op == Op.LDI:
+        return imm & MASK64
+    if op == Op.ORIS:
+        return t_mask64(t_bor(t_lshift(a, 16), imm & 0xFFFF))
+    raise AssertionError(f"not an RI ALU op: {op!r}")
+
+
+def _effective_address(st: SymState, instr: Instr) -> Term:
+    if instr.rs1:
+        return t_mask64(t_add(st.read_reg(instr.rs1), instr.imm))
+    return instr.imm & MASK64
+
+
+def branch_cond(st: SymState, instr: Instr) -> Term:
+    """The taken-condition of a conditional branch."""
+    a = st.read_reg(instr.rs1)
+    b = st.read_reg(instr.rs2)
+    op = instr.op
+    if op == Op.BEQ:
+        return t_cmp("eq", a, b)
+    if op == Op.BNE:
+        return t_cmp("ne", a, b)
+    if op == Op.BLT:
+        return t_cmp("lt", t_call("s64", [a]), t_call("s64", [b]))
+    if op == Op.BGE:
+        return t_cmp("ge", t_call("s64", [a]), t_call("s64", [b]))
+    if op == Op.BLTU:
+        return t_cmp("lt", a, b)
+    if op == Op.BGEU:
+        return t_cmp("ge", a, b)
+    raise AssertionError(f"not a branch op: {op!r}")
+
+
+def branch_target(pc: int, instr: Instr) -> int:
+    """Branch/JAL displacement: instruction words relative to ``pc``."""
+    return (pc + instr.imm * 4) & MASK64
+
+
+def is_loop_form(pc0: int, instrs: List[Instr], event: bool) -> bool:
+    """Whether the fast flavour compiles this block as an internal loop
+    (conditional branch whose taken target is the block's own start)."""
+    if event or not instrs:
+        return False
+    last = instrs[-1]
+    if last.op not in _BRANCH_OPS:
+        return False
+    last_pc = pc0 + (len(instrs) - 1) * 4
+    return branch_target(last_pc, last) == pc0
+
+
+# ----------------------------------------------------------------------
+# per-instruction interpretation
+
+def apply_body(st: SymState, instr: Instr, pc: int, index: int,
+               progress: Term, event: bool, faults: Faults) -> None:
+    """Apply one non-control-flow instruction's reference effect.
+
+    ``progress`` is the ``block_progress`` value the machine needs
+    before a faulting operation (the fragment-local retired count); a
+    potential fault forks the state and appends to ``faults``.
+    """
+    op = instr.op
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    info = OP_INFO[op]
+    opclass = info.opclass
+
+    if opclass in _INT_ALU_CLASSES:
+        if info.fmt == Format.R:
+            value = _alu_rr(op, st.read_reg(rs1), st.read_reg(rs2))
+        else:
+            value = _alu_ri(op, st.read_reg(rs1), imm)
+        if rd:
+            st.write_reg(rd, value)
+        if event:
+            _event(st, pc, instr)
+        return
+    if opclass == OpClass.LOAD:
+        st.write_attr("block_progress", progress)
+        ea = _effective_address(st, instr)
+        if op == Op.FLD:
+            value, fork = st.mem_read("f", ea)
+            faults.append(fork)
+            st.write_freg(rd, value)
+        else:
+            extend, size = _LOAD_OPS[op]
+            value, fork = st.mem_read(size, ea)
+            faults.append(fork)
+            if extend is not None:
+                value = t_call(extend, [value])
+            if rd:
+                st.write_reg(rd, value)
+        if event:
+            _event(st, pc, instr, addr=ea)
+        return
+    if opclass == OpClass.STORE:
+        st.write_attr("block_progress", progress)
+        ea = _effective_address(st, instr)
+        if op == Op.FSD:
+            faults.append(st.mem_write("f", ea, st.read_freg(rs2)))
+        else:
+            size, mask = _STORE_OPS[op]
+            value = st.read_reg(rs2)
+            if mask is not None:
+                value = t_band(value, mask)
+            faults.append(st.mem_write(size, ea, value))
+        if event:
+            _event(st, pc, instr, addr=ea)
+        return
+    if opclass in _FP_CLASSES:
+        if op in _FP_BIN:
+            fa, fb = st.read_freg(rs1), st.read_freg(rs2)
+            if op == Op.FADD:
+                value = t_add(fa, fb)
+            elif op == Op.FSUB:
+                value = t_sub(fa, fb)
+            elif op == Op.FMUL:
+                value = t_mul(fa, fb)
+            elif op == Op.FDIV:
+                value = t_call("fdiv", [fa, fb])
+            elif op == Op.FMIN:
+                value = t_call("fmin2", [fa, fb])
+            else:
+                value = t_call("fmax2", [fa, fb])
+            st.write_freg(rd, value)
+        elif op in _FP_UN:
+            fa = st.read_freg(rs1)
+            if op == Op.FSQRT:
+                value = t_call("fsqrt", [fa])
+            elif op == Op.FNEG:
+                value = t_neg(fa)
+            else:
+                value = t_call("abs", [fa])
+            st.write_freg(rd, value)
+        elif op in _FP_CMPS:
+            fa, fb = st.read_freg(rs1), st.read_freg(rs2)
+            if op == Op.FEQ:
+                cond = t_cmp("eq", fa, fb)
+            elif op == Op.FLT:
+                cond = t_cmp("lt", fa, fb)
+            else:
+                cond = t_cmp("le", fa, fb)
+            if rd:
+                st.write_reg(rd, t_ifexp(cond, 1, 0))
+        elif op == Op.FCVTIF:
+            st.write_freg(rd, t_call(
+                "float", [t_call("s64", [st.read_reg(rs1)])]))
+        elif op == Op.FCVTFI:
+            if rd:
+                st.write_reg(rd, t_call("f2i", [st.read_freg(rs1)]))
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled fp opcode {op!r}")
+        if event:
+            _event(st, pc, instr)
+        return
+    raise AssertionError(  # pragma: no cover
+        f"control-flow opcode {op!r} reached apply_body")
+
+
+def terminator_exits(st: SymState, instr: Instr, pc: int, index: int,
+                     length: int, progress: Term, event: bool,
+                     faults: Faults) -> List[Tuple[SymState,
+                                                   Optional[Term]]]:
+    """Apply the block terminator; returns ``(state, exc)`` exits.
+
+    ``exc`` is ``None`` for a fall-through/taken exit (``state.pc`` set
+    to the next guest pc, ``halted`` set for HALT) and a trap term for
+    ECALL/EBREAK.  A conditional branch whose condition stays symbolic
+    forks into two exits with ``(cond, True)``/``(cond, False)``
+    recorded, mirroring the abstract interpreter's fork.  The internal
+    loop form of the fast flavour is NOT handled here — the caller
+    detects it with :func:`is_loop_form` and drives :func:`branch_cond`
+    itself.
+    """
+    op = instr.op
+    rd, rs1, imm = instr.rd, instr.rs1, instr.imm
+    fall = (pc + 4) & MASK64
+
+    if op in _BRANCH_OPS:
+        cond = branch_cond(st, instr)
+        target = branch_target(pc, instr)
+        if not isinstance(cond, tuple):
+            taken = bool(cond)
+            if event:
+                _event(st, pc, instr, taken=int(taken),
+                       target=target if taken else fall)
+            st.write_attr("pc", target if taken else fall)
+            return [(st, None)]
+        taken_st = st.clone()
+        taken_st.conds.append((cond, True))
+        st.conds.append((cond, False))
+        if event:
+            _event(taken_st, pc, instr, taken=1, target=target)
+            _event(st, pc, instr, taken=0, target=fall)
+        taken_st.write_attr("pc", target)
+        st.write_attr("pc", fall)
+        return [(taken_st, None), (st, None)]
+    if op == Op.JAL:
+        target = branch_target(pc, instr)
+        if rd:
+            st.write_reg(rd, fall)
+        if event:
+            _event(st, pc, instr, taken=1, target=target)
+        st.write_attr("pc", target)
+        return [(st, None)]
+    if op == Op.JALR:
+        target = t_band(t_mask64(t_add(st.read_reg(rs1), imm)), -4)
+        if rd:
+            st.write_reg(rd, fall)
+        if event:
+            _event(st, pc, instr, taken=1, target=target)
+        st.write_attr("pc", target)
+        return [(st, None)]
+    if op in (Op.ECALL, Op.EBREAK):
+        name = "SyscallTrap" if op == Op.ECALL else "BreakpointTrap"
+        st.write_attr("pc", pc)
+        st.write_attr("block_progress", progress)
+        if event:
+            _event(st, pc, instr, taken=0, target=fall)
+        return [(st, ("trap", name, pc))]
+    if op == Op.HALT:
+        st.write_attr("pc", pc)
+        st.write_attr("halted", True)
+        if event:
+            _event(st, pc, instr, taken=0, target=pc)
+        return [(st, None)]
+    if op == Op.RDCYCLE:
+        if rd:
+            st.write_reg(rd, t_mask64(st.read_attr("cycles")))
+        if event:
+            _event(st, pc, instr)
+        st.write_attr("pc", fall)
+        return [(st, None)]
+    if op == Op.RDINSTR:
+        if rd:
+            st.write_reg(rd, t_mask64(t_add(st.read_attr("icount"),
+                                            index)))
+        if event:
+            _event(st, pc, instr)
+        st.write_attr("pc", fall)
+        return [(st, None)]
+    # not a control-flow class: the block ended at MAX_BLOCK or a page
+    # edge and falls through
+    apply_body(st, instr, pc, index, progress, event, faults)
+    st.write_attr("pc", fall)
+    return [(st, None)]

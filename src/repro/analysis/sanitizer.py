@@ -44,7 +44,8 @@ import re
 from typing import Collection, FrozenSet, List, Set
 
 __all__ = ["SanitizerError", "sanitize_block_source",
-           "sanitizer_enabled", "stats", "reset_stats"]
+           "sanitizer_enabled", "stats", "reset_stats",
+           "mirror_check_metrics"]
 
 #: builtins generated code may call (value producers only, no I/O)
 ALLOWED_BUILTINS: FrozenSet[str] = frozenset(
@@ -285,16 +286,19 @@ def sanitize_block_source(source: str,
             reasons.extend(checker.reasons)
     if reasons:
         _REJECTED += 1
-        _mirror_metrics(rejected=True)
+        mirror_check_metrics("sanitizer", rejected=True)
         raise SanitizerError(reasons, source)
-    _mirror_metrics(rejected=False)
+    mirror_check_metrics("sanitizer", rejected=False)
 
 
-def _mirror_metrics(rejected: bool) -> None:
-    """Mirror the module counters into the obs registry (no-op unless
-    metrics are enabled — see :mod:`repro.obs.registry`)."""
+def mirror_check_metrics(prefix: str, rejected: bool) -> None:
+    """Mirror one accept/reject decision into the obs registry as
+    ``{prefix}.checked`` / ``{prefix}.rejected`` (no-op unless metrics
+    are enabled — see :mod:`repro.obs.registry`).  Shared by this
+    sanitizer and the symbolic verifier (:mod:`.symexec`) so both
+    gates report under the same counter conventions."""
     from repro.obs import get_registry  # lazy: keep import cost off
     registry = get_registry()           # the non-instrumented path
-    registry.counter("sanitizer.checked").inc()
+    registry.counter(f"{prefix}.checked").inc()
     if rejected:
-        registry.counter("sanitizer.rejected").inc()
+        registry.counter(f"{prefix}.rejected").inc()

@@ -86,12 +86,21 @@ Commands
     Assemble a Z64 source file, run it on the VM, print its console
     output and exit code.
 ``lint [--root DIR] [--baseline FILE] [--no-baseline]
-[--fix-baseline] [--json] [--out FILE]``
+[--fix-baseline] [--annotations] [--json] [--out FILE]``
     Determinism & safety analyzer (rules REPRO001-004): custom AST
     lint over the ``repro`` tree, gated by the committed
     ``lint-baseline.json``.  Exit 1 on new findings;
     ``--fix-baseline`` regenerates the baseline from the current
-    tree.
+    tree.  ``--annotations`` audits every ``# repro:`` escape hatch
+    instead (file:line, kind, justification).
+``verify-codegen [--corpus tiny|small] [--benchmarks a,b] [--json]
+[--out FILE]``
+    Symbolic codegen verifier: run the megablock corpus with the
+    translator capture seam open and prove every generated
+    superblock and megablock (all six tiers) equivalent to the ISA
+    semantics of its instructions.  Exit 1 on any semantic
+    divergence; ``--json`` prints per-tier counts and findings with
+    minimized exit-diff traces.
 """
 
 from __future__ import annotations
@@ -690,6 +699,28 @@ def _cmd_exec(args) -> int:
     return system.exit_code & 0x7F
 
 
+def _cmd_verify_codegen(args) -> int:
+    from repro.analysis import verifyreport
+    benchmarks = (args.benchmarks.split(",") if args.benchmarks
+                  else None)
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    report = verifyreport.run_corpus(corpus=args.corpus,
+                                     benchmarks=benchmarks,
+                                     progress=progress)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -829,6 +860,21 @@ def main(argv=None) -> int:
     bench_parser.add_argument("--json", action="store_true",
                               help="machine-readable output")
 
+    verify_parser = sub.add_parser(
+        "verify-codegen",
+        help="symbolically prove generated code against the ISA")
+    verify_parser.add_argument("--corpus", default="tiny",
+                               choices=("tiny", "small"),
+                               help="benchmark windows to run "
+                                    "(default tiny)")
+    verify_parser.add_argument("--benchmarks", default="",
+                               help="comma-separated benchmark subset "
+                                    "(default: the megablock suite)")
+    verify_parser.add_argument("--json", action="store_true",
+                               help="machine-readable findings")
+    verify_parser.add_argument("--out", default="",
+                               help="also write the JSON report here")
+
     from repro.obs.telemetry import STALE_AFTER
     status_parser = sub.add_parser("status", help="live job table "
                                                   "for a telemetry "
@@ -878,7 +924,8 @@ def main(argv=None) -> int:
                 "trace": _cmd_trace, "figure": _cmd_figure,
                 "exec": _cmd_exec, "bench": _cmd_bench,
                 "status": _cmd_status, "report": _cmd_report,
-                "profile": _cmd_profile}
+                "profile": _cmd_profile,
+                "verify-codegen": _cmd_verify_codegen}
     return handlers[args.command](args)
 
 

@@ -132,7 +132,7 @@ class BlockProfiler:
                 executed = fn(state, budget)
             finally:
                 rec.dispatches += 1
-                rec.self_seconds += clock() - start  # repro: volatile
+                rec.self_seconds += clock() - start  # repro: volatile self-time
             rec.instructions += executed
             return executed
 

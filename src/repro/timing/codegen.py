@@ -51,11 +51,19 @@ available in production.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence,
+                    Tuple)
 
 from repro.isa import OpClass, registers
 
 from .blockplan import BlockPlan, plan_block
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.isa import Instr
+
+    from .core import OutOfOrderCore
+    from .warming import FunctionalWarmingSink
 
 _LOAD = int(OpClass.LOAD)
 _STORE = int(OpClass.STORE)
@@ -66,7 +74,8 @@ _FP = frozenset((int(OpClass.FP_ADD), int(OpClass.FP_MUL),
                  int(OpClass.FP_DIV), int(OpClass.FP_CVT)))
 _RA = registers.RA
 
-__all__ = ["TimedBlockCodegen", "WarmingBlockCodegen"]
+__all__ = ["BlockSemantics", "TimedBlockCodegen",
+           "WarmingBlockCodegen"]
 
 
 class _Ring:
@@ -77,7 +86,7 @@ class _Ring:
     into the oldest name advances the ring without moving any values.
     """
 
-    def __init__(self, prefix: str, width: int):
+    def __init__(self, prefix: str, width: int) -> None:
         self.width = width
         self.names = [f"{prefix}{i}" for i in range(width)]
 
@@ -96,7 +105,7 @@ class _Ring:
 class _ModelConsts:
     """Constants folded into generated source, shared by both flavours."""
 
-    def __init__(self, core):
+    def __init__(self, core: "OutOfOrderCore") -> None:
         cfg = core.config
         h = core.hierarchy
         self.core = core
@@ -133,13 +142,13 @@ class _ModelConsts:
         l2_hit = cfg.l2.hit_latency
         l2_miss = cfg.l2.hit_latency + cfg.memory_latency
 
-        def _tlb2(addr):
+        def _tlb2(addr: int) -> int:
             # second-level TLB path of MemoryHierarchy._tlb_latency
             if l2tlb_access(addr):
                 return l2tlb_hit
             return l2tlb_miss
 
-        def _l2c(addr):
+        def _l2c(addr: int) -> int:
             # unified-L2 path shared by fetch_latency/load_latency
             if l2_access(addr):
                 return l2_hit
@@ -160,8 +169,8 @@ class _ModelConsts:
 class _BlockEmitter:
     """Emits the fused timing source for one decoded block."""
 
-    def __init__(self, consts: _ModelConsts, pc0: int, instrs,
-                 timed: bool):
+    def __init__(self, consts: _ModelConsts, pc0: int,
+                 instrs: Sequence["Instr"], timed: bool) -> None:
         self.c = consts
         self.pc0 = pc0
         self.timed = timed
@@ -175,7 +184,7 @@ class _BlockEmitter:
         # only memory semantics can fault after the block entered: every
         # other exit (traps included) retires a statically known count
         self.faultable = self.has_load or self.has_store
-        self.fu_groups = set()
+        self.fu_groups: set = set()
         for value in cls:
             if value in (_LOAD, _STORE):
                 self.fu_groups.add("m")
@@ -364,7 +373,7 @@ class _BlockEmitter:
                 "    if _t1 > _sc:",
                 "        _sc = _t1"]
 
-    def branch_arm(self, pc: int, instr, taken: bool,
+    def branch_arm(self, pc: int, instr: "Instr", taken: bool,
                    target: str) -> List[str]:
         """Inline ``BranchUnit.predict_branch`` with the outcome folded."""
         c = self.c
@@ -394,7 +403,8 @@ class _BlockEmitter:
                     else ["    _brm = _brm + 1"])
         return out
 
-    def _jump_predict(self, pc: int, instr, target: str) -> List[str]:
+    def _jump_predict(self, pc: int, instr: "Instr",
+                      target: str) -> List[str]:
         """Inline ``BranchUnit.predict_jump``; call/return are static."""
         c = self.c
         idx = self._idx(pc)
@@ -441,7 +451,7 @@ class _BlockEmitter:
     # ------------------------------------------------------------------
     # functional-unit selection (leftmost-free-unit tournament)
 
-    def _unit_names(self, cls: int):
+    def _unit_names(self, cls: int) -> List[str]:
         if cls in (_LOAD, _STORE):
             return [f"_um{i}" for i in range(self.mun)]
         if cls in _FP:
@@ -666,7 +676,7 @@ class _BlockEmitter:
         out = [", ".join(alias for _, _, _, alias in rings) + " = "
                + ", ".join(f"CORE.{attr}" for _, attr, _, _ in rings)]
 
-        def assign(group, count) -> str:
+        def assign(group: list, count: int) -> str:
             targets, values = [], []
             for ring, _attr, _pos, alias in group:
                 perm = ring.perm(count)
@@ -705,7 +715,8 @@ class _BlockEmitter:
         return out
 
     def _advance(self, name: str, size: int, static_flag: bool,
-                 total: int, prefix) -> List[str]:
+                 total: int,
+                 prefix: Optional[Sequence[int]]) -> List[str]:
         """Epilogue pointer advance for a statically-addressed ring."""
         if not static_flag:
             return []          # the stage code moved the pointer itself
@@ -773,7 +784,7 @@ class _BlockEmitter:
             out.append("RAS.top, RAS.depth = _rtop, _rdep")
         return out
 
-    def instr(self, pc: int, instr) -> List[str]:
+    def instr(self, pc: int, instr: "Instr") -> List[str]:
         """Timing for one non-control-flow body instruction."""
         idx = self._idx(pc)
         if self.timed:
@@ -783,19 +794,21 @@ class _BlockEmitter:
             out += self._daccess(want_lat=False)
         return out
 
-    def branch_stages(self, pc: int, instr) -> List[str]:
+    def branch_stages(self, pc: int,
+                      instr: "Instr") -> List[str]:
         """Outcome-independent part of a conditional branch."""
         idx = self._idx(pc)
         if self.timed:
             return self._stages(idx)
         return self._line_code(idx)
 
-    def jump(self, pc: int, instr, target: str) -> List[str]:
+    def jump(self, pc: int, instr: "Instr",
+             target: str) -> List[str]:
         idx = self._idx(pc)
         out = self._stages(idx) if self.timed else self._line_code(idx)
         return out + self._jump_predict(pc, instr, target)
 
-    def system(self, pc: int, instr) -> List[str]:
+    def system(self, pc: int, instr: "Instr") -> List[str]:
         idx = self._idx(pc)
         if self.timed:
             # syscalls serialize the pipeline (stream follows retire)
@@ -805,6 +818,57 @@ class _BlockEmitter:
         return self._line_code(idx)
 
 
+@dataclass(frozen=True)
+class BlockSemantics:
+    """Per-block semantic metadata emitted alongside fused code.
+
+    The symbolic codegen verifier (:mod:`repro.analysis.symexec`)
+    consumes this record at the translator seam: ``flavor`` selects the
+    reference semantics the generated source is proven against, and the
+    structural facts (``faultable``, the per-class presence bits) state
+    what the emitter believed about the block — so a disagreement
+    between the emitter's plan and the decoded instruction stream shows
+    up as a metadata mismatch rather than only as a downstream exit
+    diff.
+    """
+
+    pc0: int
+    length: int
+    flavor: str
+    #: whether any constituent can raise a :class:`GuestFault` after
+    #: the block has started retiring (loads/stores only — every other
+    #: exit retires a statically known count)
+    faultable: bool
+    has_load: bool
+    has_store: bool
+    has_branch: bool
+    has_jump: bool
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        present = []
+        for name, bit in (("load", self.has_load),
+                          ("store", self.has_store),
+                          ("branch", self.has_branch),
+                          ("jump", self.has_jump)):
+            if bit:
+                present.append(name)
+        return tuple(present)
+
+
+def _describe_block(consts: _ModelConsts, pc0: int,
+                    instrs: Sequence["Instr"],
+                    flavor: str) -> BlockSemantics:
+    cls = plan_block(pc0, instrs, consts.config).cls
+    has_load = _LOAD in cls
+    has_store = _STORE in cls
+    return BlockSemantics(
+        pc0=pc0, length=len(cls), flavor=flavor,
+        faultable=has_load or has_store,
+        has_load=has_load, has_store=has_store,
+        has_branch=_BRANCH in cls, has_jump=_JUMP in cls)
+
+
 class TimedBlockCodegen:
     """Fused detailed-timing flavour for one :class:`OutOfOrderCore`."""
 
@@ -812,7 +876,7 @@ class TimedBlockCodegen:
     #: compiled through this codegen with the ``fused-timed`` tier
     flavor = "timed"
 
-    def __init__(self, core):
+    def __init__(self, core: "OutOfOrderCore") -> None:
         self.core = core
         self.consts = _ModelConsts(core)
         #: host code-cache key component: the emitted source depends on
@@ -832,8 +896,14 @@ class TimedBlockCodegen:
         })
         self._env = env
 
-    def begin(self, pc0: int, instrs) -> _BlockEmitter:
+    def begin(self, pc0: int,
+              instrs: Sequence["Instr"]) -> _BlockEmitter:
         return _BlockEmitter(self.consts, pc0, instrs, timed=True)
+
+    def describe_block(self, pc0: int,
+                       instrs: Sequence["Instr"]) -> BlockSemantics:
+        """Semantic metadata for one block (verifier input)."""
+        return _describe_block(self.consts, pc0, instrs, self.flavor)
 
     def env(self) -> dict:
         return self._env
@@ -846,7 +916,7 @@ class WarmingBlockCodegen:
     #: compiled through this codegen with the ``fused-warm`` tier
     flavor = "warm"
 
-    def __init__(self, sink):
+    def __init__(self, sink: "FunctionalWarmingSink") -> None:
         self.sink = sink
         self.consts = _ModelConsts(sink.core)
         #: host code-cache key component (see TimedBlockCodegen)
@@ -855,8 +925,15 @@ class WarmingBlockCodegen:
         env["WS"] = sink
         self._env = env
 
-    def begin(self, pc0: int, instrs) -> _BlockEmitter:
-        return _BlockEmitter(self.consts, pc0, instrs, timed=False)
+    def begin(self, pc0: int,
+              instrs: Sequence["Instr"]) -> _BlockEmitter:
+        return _BlockEmitter(self.consts, pc0, instrs,
+                             timed=False)
+
+    def describe_block(self, pc0: int,
+                       instrs: Sequence["Instr"]) -> BlockSemantics:
+        """Semantic metadata for one block (verifier input)."""
+        return _describe_block(self.consts, pc0, instrs, self.flavor)
 
     def env(self) -> dict:
         return self._env

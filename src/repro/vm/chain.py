@@ -55,12 +55,22 @@ bit-identical either way, only wall-clock changes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.mem.faults import GuestFault
 
 from . import translator as _translator
 from .code_cache import ChainedBlock, block_pages
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.timing.codegen import (TimedBlockCodegen,
+                                      WarmingBlockCodegen)
+
+    from .code_cache import CodeCache, TranslatedBlock
+    from .machine import Machine
+
+    BlockCodegen = TimedBlockCodegen | WarmingBlockCodegen
 
 __all__ = ["ChainLinker", "MAX_CHAIN", "DEFAULT_OBSERVATIONS",
            "emit_chain_source"]
@@ -81,7 +91,8 @@ DEFAULT_OBSERVATIONS = 16
 MIN_SUCCESSOR_SHARE = 0.6
 
 
-def emit_chain_source(chain, loop_back: bool, flavor: str) -> str:
+def emit_chain_source(chain: Sequence[Tuple[int, int]],
+                      loop_back: bool, flavor: str) -> str:
     """Python source for one megablock over ``chain`` fragments.
 
     ``chain`` is the ordered list of constituent ``(pc, length)``
@@ -136,8 +147,9 @@ class ChainLinker:
     index / generation counter the SMC path unlinks through.
     """
 
-    def __init__(self, machine, cache, codegen,
-                 max_chain: int = MAX_CHAIN):
+    def __init__(self, machine: "Machine", cache: "CodeCache",
+                 codegen: "BlockCodegen",
+                 max_chain: int = MAX_CHAIN) -> None:
         self.machine = machine
         self.cache = cache          # the binding's fused CodeCache
         self.codegen = codegen
@@ -195,7 +207,7 @@ class ChainLinker:
 
     def _build(self, head: int) -> Optional[ChainedBlock]:
         """Thread the dominant-successor chain starting at ``head``."""
-        fragments = []
+        fragments: List["TranslatedBlock"] = []
         seen: Set[int] = set()
         loop_back = False
         current = head
@@ -230,8 +242,9 @@ class ChainLinker:
         self.chains_built += 1
         return entry
 
-    def _compile(self, head: int, fragments, loop_back: bool
-                 ) -> ChainedBlock:
+    def _compile(self, head: int,
+                 fragments: Sequence["TranslatedBlock"],
+                 loop_back: bool) -> ChainedBlock:
         """Emit, sanitize and compile one megablock (sanctioned JIT
         site — rule REPRO004 lists this module beside the translator).
 
@@ -256,8 +269,9 @@ class ChainLinker:
                "VS": self.machine.stats,
                "IRQ": self.machine._pending_irqs,
                "GEN": self.generation}
-        key = None
-        source_fn = None
+        key: Optional[tuple] = None
+        source_fn: Optional[Callable[[], str]] = None
+        inline_frags = None
         try:
             frags = [(block.pc, translator._decode_block(block.pc))
                      for block in fragments]
@@ -276,11 +290,13 @@ class ChainLinker:
                 inline_source = translator.generate_chain(
                     frags, loop_back, self.codegen)
                 source_fn = lambda: inline_source  # noqa: E731
+                inline_frags = frags
             env.update(translator._env_base)
             env.update(self.codegen.env())
             env["VS"] = self.machine.stats     # keep ours over any alias
         except ValueError:
             key = None
+            inline_frags = None
         if key is None:
             # call-threaded fallback: the compiled fragment closures
             # become the chain environment (_chain0.._chainN)
@@ -301,6 +317,15 @@ class ChainLinker:
             started = profiler.now() if profiling else 0.0
             source = source_fn()
             _translator._sanitize(source, set(env), "mega")
+            verifier = _translator._verifier()
+            if verifier.verifier_active():
+                # symbolic deep-check seam (see translator._verify_block)
+                if inline_frags is not None:
+                    verifier.hook_inline_chain(source, inline_frags,
+                                               loop_back, flavor)
+                else:
+                    verifier.hook_threaded_chain(source, chain,
+                                                 loop_back, flavor)
             code = compile(source, f"<megablock 0x{head:x} {flavor}>",
                            "exec")
             if profiling:

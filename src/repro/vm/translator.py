@@ -230,6 +230,33 @@ def _sanitize(source: str, env_names, flavor: str) -> None:
         _SANITIZER.sanitize_block_source(source, env_names, flavor)
 
 
+#: lazily bound repro.analysis.symexec module (the symbolic verifier);
+#: same deferral rationale as the sanitizer — and doubly so here, the
+#: deep check costs a full abstract interpretation per translation
+_VERIFIER = None
+
+
+def _verifier():
+    global _VERIFIER
+    if _VERIFIER is None:
+        from repro.analysis import symexec as _symexec_module
+        _VERIFIER = _symexec_module
+    return _VERIFIER
+
+
+def _verify_block(source: str, pc: int, instrs, flavor: str) -> None:
+    """Symbolic deep-check seam, layered above the sanitizer.
+
+    Inactive (one flag check) unless ``REPRO_VERIFY=1`` or a
+    :func:`repro.analysis.symexec.capture` collector is open; when
+    verifying, a semantic diff raises ``VerifyError`` before the
+    source is ever compiled.
+    """
+    verifier = _verifier()
+    if verifier.verifier_active():
+        verifier.hook_block(source, pc, instrs, flavor)
+
+
 def _block_key(pc: int, instrs, flavor: str, codegen) -> tuple:
     return (flavor, pc,
             None if codegen is None else codegen.cache_key,
@@ -289,6 +316,8 @@ class Translator:
             if codegen is not None:
                 env_names.update(codegen.env())
             _sanitize(source, env_names, flavor)
+            _verify_block(source, pc, instrs,
+                          flavor if codegen is None else codegen.flavor)
             code = compile(source, f"<block 0x{pc:x} {flavor}>", "exec")
             if profiling:
                 profiler.record_translation(

@@ -1,0 +1,124 @@
+"""Mutation self-check: seeded codegen bugs the verifier must catch.
+
+Each mutant takes a real generated source (a loop-form fast block with
+symbolic registers, or a direct-threaded megablock chain) and seeds one
+semantic bug on a live path — a dropped register write, an off-by-one
+in the instruction accounting, a missing exit-stub guard.  The verifier
+must flag every one with at least one diff; a mutant that verifies
+clean would mean the proof has a blind spot.
+
+Mutations must live on *live* paths: in straight-line blocks whose
+registers are concrete after ``li``, branch conditions fold and the
+untaken arm is dead code — a bug there is genuinely unreachable and
+verifying it clean is correct, not a miss.
+"""
+
+import pytest
+
+from repro.analysis.symexec import (verify_block_source,
+                                    verify_threaded_chain)
+from repro.isa import assemble
+from repro.kernel import boot
+from repro.vm.chain import emit_chain_source
+
+LOOP = """
+_start:
+    li s0, 0
+    li s1, 2000
+loop:
+    addi s0, s0, 1
+    addi s2, s2, 2
+    blt s0, s1, loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def loop_block():
+    system = boot(assemble(LOOP))
+    tr = system.machine.translator
+    pc = system.machine.state.pc + 8  # the loop: block, past the li's
+    instrs = tr._decode_block(pc)
+    source = tr._generate(pc, instrs, "fast")
+    return pc, instrs, source
+
+
+@pytest.fixture(scope="module")
+def threaded_chain(loop_block):
+    pc, instrs, _ = loop_block
+    chain = [(pc, len(instrs))]
+    return chain, emit_chain_source(chain, True, "event")
+
+
+def mutate(source, old, new):
+    assert old in source, f"mutation anchor {old!r} not in source"
+    return source.replace(old, new, 1)
+
+
+BLOCK_MUTANTS = {
+    "dropped-register-write": ("r[11] = (r[11] + 2) & M",
+                               "pass"),
+    "wrong-register-value": ("r[11] = (r[11] + 2) & M",
+                             "r[11] = (r[11] + 3) & M"),
+    "icount-off-by-one": ("n += 3", "n += 2"),
+    "wrong-exit-pc": ("state.pc = 4116", "state.pc = 4120"),
+    "condition-flipped": ("if s64(r[9]) < s64(r[10]):",
+                          "if s64(r[9]) >= s64(r[10]):"),
+    "signedness-dropped": ("if s64(r[9]) < s64(r[10]):",
+                           "if r[9] < r[10]:"),
+    "budget-off-by-one": ("if n + 3 <= budget:", "if n + 3 < budget:"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BLOCK_MUTANTS))
+def test_block_mutant_caught(loop_block, name):
+    pc, instrs, source = loop_block
+    old, new = BLOCK_MUTANTS[name]
+    diffs = verify_block_source(mutate(source, old, new), pc, instrs,
+                                "fast")
+    assert diffs, f"verifier missed seeded bug {name}"
+
+
+def test_pristine_block_still_clean(loop_block):
+    pc, instrs, source = loop_block
+    assert verify_block_source(source, pc, instrs, "fast") == []
+
+
+CHAIN_MUTANTS = {
+    "missing-halt-guard": (" or state.halted", ""),
+    "missing-generation-guard": (" or _gen[0] != _g0", ""),
+    "missing-irq-guard": (" or _irq", ""),
+    "missing-successor-guard": ("state.pc != 4104 or ", ""),
+    "budget-guard-flipped": ("n >= budget", "n > budget"),
+    "icount-not-rewound": ("    state.icount -= n\n    VS",
+                           "    VS"),
+    "dispatch-count-off": ("VS.block_dispatches += d - 1",
+                           "VS.block_dispatches += d"),
+    "fault-pc-not-restored": (
+        "state.pc = 4104 + ((state.block_progress % 3) * 4)",
+        "pass"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CHAIN_MUTANTS))
+def test_chain_mutant_caught(threaded_chain, name):
+    chain, source = threaded_chain
+    old, new = CHAIN_MUTANTS[name]
+    diffs = verify_threaded_chain(mutate(source, old, new), chain, True)
+    assert diffs, f"verifier missed seeded bug {name}"
+
+
+def test_pristine_chain_still_clean(threaded_chain):
+    chain, source = threaded_chain
+    assert verify_threaded_chain(source, chain, True) == []
+
+
+def test_diff_carries_minimized_trace(loop_block):
+    """A diff names the diverging field and points at source lines."""
+    pc, instrs, source = loop_block
+    old, new = BLOCK_MUTANTS["wrong-exit-pc"]
+    diffs = verify_block_source(mutate(source, old, new), pc, instrs,
+                                "fast")
+    text = "\n".join(d.format() for d in diffs)
+    assert "pc" in text
+    assert "state.pc = 4120" in text  # the seeded line, in the trace

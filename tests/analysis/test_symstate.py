@@ -1,0 +1,130 @@
+"""The symbolic abstract domain backing the codegen verifier."""
+
+from repro.analysis.symstate import (MASK64, ExitDiff, compare_exits,
+                                     entry_state, fresh_opaque,
+                                     is_concrete, render, strip_ids,
+                                     summarize, t_add, t_and, t_cmp,
+                                     t_mask64, t_mul, t_not, t_or,
+                                     t_sub)
+
+
+# ----------------------------------------------------------------------
+# term algebra
+
+
+def test_concrete_arithmetic_folds():
+    assert t_add(2, 3) == 5
+    assert t_sub(10, 4) == 6
+    assert t_mul(6, 7) == 42
+
+
+def test_linear_normalization_cancels():
+    n = ("sym", "n")
+    # (n + 3) - n == 3 regardless of construction order
+    assert t_sub(t_add(n, 3), n) == 3
+    # n + n == 2*n == n*2 under the same normal form
+    assert strip_ids(t_add(n, n)) == strip_ids(t_mul(2, n))
+
+
+def test_mask64_idempotent_and_concrete():
+    assert t_mask64(-1) == MASK64
+    n = ("sym", "n")
+    assert t_mask64(t_mask64(n)) == t_mask64(n)
+
+
+def test_cmp_folds_concrete():
+    assert t_cmp("lt", 1, 2) is True
+    assert t_cmp("ge", 1, 2) is False
+    assert not is_concrete(t_cmp("lt", ("sym", "n"), 2))
+
+
+def test_bool_connectives_short_circuit():
+    sym = t_cmp("eq", ("sym", "n"), 0)
+    assert t_or([True, sym]) is True
+    assert t_or([False, sym]) == sym
+    assert t_and([True, sym]) == sym
+    assert t_and([False, sym]) is False
+    assert t_not(True) is False
+
+
+def test_fresh_opaque_terms_distinct_until_stripped():
+    a = fresh_opaque("x")
+    b = fresh_opaque("x")
+    assert a != b
+    assert strip_ids(a) == strip_ids(b)
+
+
+def test_render_handles_nested_and_empty_tuples():
+    assert "n" in render(t_add(("sym", "n"), 1))
+    # value-tuples (including empty ones) must not crash the
+    # pretty-printer — they appear in diff payloads
+    diff = ExitDiff("field regs: () vs (1,)")
+    assert "regs" in diff.format()
+
+
+# ----------------------------------------------------------------------
+# machine state
+
+
+def test_entry_state_and_register_defaults():
+    st = entry_state(0x1000)
+    assert st.read_attr("pc") == 0x1000
+    assert st.read_reg(0) == 0
+    r5 = st.read_reg(5)
+    assert r5 == st.read_reg(5)
+    st.write_reg(5, 42)
+    assert st.read_reg(5) == 42
+    # x0 writes are discarded by the ISA; the domain models the read
+    st.write_reg(0, 7)
+    assert st.read_reg(0) == 0 or st.regs.get(0) == 7
+
+
+def test_havoc_bumps_epoch():
+    st = entry_state(0x1000)
+    st.write_reg(5, 42)
+    before = st.read_reg(6)
+    st.havoc_registers()
+    assert st.read_reg(5) != 42
+    assert st.read_reg(6) != before
+
+
+def test_memory_read_write_fork_faults():
+    st = entry_state(0x1000)
+    value, fault = st.mem_read(8, ("sym", "addr"))
+    fork, exc = fault
+    assert fork is not st
+    assert exc[0] == "fault"
+    assert value[0] == "ld"
+    fork2, exc2 = st.mem_write(8, ("sym", "addr"), 1)
+    assert exc2[0] == "fault"
+    # the fault fork snapshots the pre-store state; the live state
+    # records the store
+    assert st.stores and not fork2.stores
+
+
+# ----------------------------------------------------------------------
+# exit summaries and diffing
+
+
+def _exit(pc):
+    st = entry_state(0x1000)
+    st.write_attr("pc", pc)
+    return summarize(st, "return", executed=3)
+
+
+def test_compare_exits_equal_cancel():
+    assert compare_exits([(_exit(0x2000), ())], [_exit(0x2000)]) == []
+
+
+def test_compare_exits_reports_field_delta():
+    diffs = compare_exits([(_exit(0x2000), ())], [_exit(0x3000)])
+    assert diffs
+    assert any("pc" in d.message for d in diffs)
+
+
+def test_compare_exits_reports_missing_and_extra():
+    diffs = compare_exits([], [_exit(0x2000)])
+    assert any("missing exit" in d.message for d in diffs)
+    diffs = compare_exits([(_exit(0x2000), ()), (_exit(0x4000), ())],
+                          [_exit(0x2000)])
+    assert any("extra generated exit" in d.message for d in diffs)

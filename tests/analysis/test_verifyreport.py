@@ -1,0 +1,62 @@
+"""The verify-codegen corpus driver: coverage, report shape, gating."""
+
+import json
+
+import pytest
+
+from repro.analysis import verifyreport
+from repro.analysis.verifyreport import TIER_ORDER, Finding, VerifyReport
+
+
+@pytest.fixture(scope="module")
+def mcf_report():
+    return verifyreport.run_corpus(corpus="tiny", benchmarks=["mcf"])
+
+
+def test_single_benchmark_covers_every_tier(mcf_report):
+    assert mcf_report.ok
+    for tier in TIER_ORDER:
+        assert mcf_report.verified[tier] > 0, f"tier {tier} not covered"
+    assert mcf_report.total == sum(mcf_report.verified.values())
+
+
+def test_report_json_round_trips(mcf_report):
+    payload = json.loads(mcf_report.to_json())
+    assert payload["ok"] is True
+    assert payload["corpus"] == "tiny"
+    assert payload["findings"] == []
+    assert payload["total"] == mcf_report.total
+    assert set(payload["verified"]) == set(TIER_ORDER)
+
+
+def test_report_render_lists_tiers(mcf_report):
+    text = mcf_report.render()
+    for tier in TIER_ORDER:
+        assert tier in text
+    assert "proven equivalent" in text
+
+
+def test_findings_fail_the_report():
+    report = VerifyReport(corpus="tiny", benchmarks=["x"])
+    report.findings.append(Finding(
+        bench="x", tier="fast", label="fast@0x1000",
+        messages=["field pc: 0x2000 vs 0x3000"], source="def _block..."))
+    assert not report.ok
+    assert "FAIL x fast@0x1000" in report.render()
+    assert json.loads(report.to_json())["ok"] is False
+
+
+def test_unknown_corpus_rejected():
+    with pytest.raises(ValueError):
+        verifyreport.run_corpus(corpus="huge")
+
+
+def test_cli_verify_codegen(capsys):
+    from repro.cli import main
+    code = main(["verify-codegen", "--corpus", "tiny",
+                 "--benchmarks", "mcf", "--json"])
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["total"] > 0

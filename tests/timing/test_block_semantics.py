@@ -1,0 +1,80 @@
+"""`describe_block`: per-block semantic metadata for the verifier.
+
+The metadata must agree with the instruction stream it summarises —
+in particular `faultable` must be exactly "has a load or a store",
+because that is the condition under which the fused emitters generate
+a `GuestFault` handler (and the symbolic verifier expects fault
+exits).
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.kernel import boot
+from repro.timing import OutOfOrderCore, TimingConfig
+from repro.timing.codegen import (BlockSemantics, TimedBlockCodegen,
+                                  WarmingBlockCodegen)
+from repro.timing.warming import FunctionalWarmingSink
+
+PROGRAMS = {
+    "alu": "_start:\n    li t0, 1\n    add t1, t0, t0\n    halt\n",
+    "load": "_start:\n    li t0, 4096\n    lw t1, 0(t0)\n    halt\n",
+    "store": "_start:\n    li t0, 4096\n    sw zero, 0(t0)\n    halt\n",
+    "branch": ("_start:\n    li t0, 1\n    beq t0, zero, _start\n"
+               "    halt\n"),
+    "jump": "_start:\n    jal ra, _next\n_next:\n    halt\n",
+}
+
+
+def _describe(name, codegen_cls, *args):
+    system = boot(assemble(PROGRAMS[name]))
+    tr = system.machine.translator
+    pc = system.machine.state.pc
+    instrs = tr._decode_block(pc)
+    return codegen_cls(*args).describe_block(pc, instrs), instrs
+
+
+@pytest.fixture(scope="module")
+def timed_codegen_args():
+    return (OutOfOrderCore(TimingConfig.small()),)
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_metadata_matches_instruction_stream(name, timed_codegen_args):
+    sem, instrs = _describe(name, TimedBlockCodegen,
+                            *timed_codegen_args)
+    assert isinstance(sem, BlockSemantics)
+    assert sem.length == len(instrs)
+    assert sem.flavor == "timed"
+    assert sem.has_load == (name == "load")
+    assert sem.has_store == (name == "store")
+    assert sem.has_branch == (name == "branch")
+    assert sem.has_jump == (name == "jump")
+    # the fault-handler condition: exactly loads-or-stores
+    assert sem.faultable == (sem.has_load or sem.has_store)
+
+
+def test_classes_lists_present_classes(timed_codegen_args):
+    sem, _ = _describe("load", TimedBlockCodegen, *timed_codegen_args)
+    assert "load" in sem.classes
+    assert "store" not in sem.classes
+    sem, _ = _describe("branch", TimedBlockCodegen,
+                       *timed_codegen_args)
+    assert "branch" in sem.classes
+
+
+def test_warming_flavor_and_agreement(timed_codegen_args):
+    warm = FunctionalWarmingSink(OutOfOrderCore(TimingConfig.small()))
+    sem_w, _ = _describe("store", WarmingBlockCodegen, warm)
+    sem_t, _ = _describe("store", TimedBlockCodegen,
+                         *timed_codegen_args)
+    assert sem_w.flavor == "warm"
+    # both flavours describe the same guest semantics
+    assert (sem_w.pc0, sem_w.length, sem_w.faultable) == \
+        (sem_t.pc0, sem_t.length, sem_t.faultable)
+
+
+def test_semantics_is_frozen(timed_codegen_args):
+    sem, _ = _describe("alu", TimedBlockCodegen, *timed_codegen_args)
+    with pytest.raises(Exception):
+        sem.faultable = True

@@ -1,0 +1,92 @@
+"""The REPRO_VERIFY deep-check seam at the translator/chain-linker.
+
+Layered directly above the sanitizer: same accept/reject counter
+conventions (``verify.checked`` / ``verify.rejected`` in the obs
+registry), opt-in via ``REPRO_VERIFY=1``, and a hard ``VerifyError``
+when a freshly generated source fails its symbolic proof.
+"""
+
+import pytest
+
+from repro.analysis import symexec
+from repro.isa import assemble
+from repro.kernel import boot
+from repro.obs import disable_metrics, enable_metrics
+from repro.vm import translator as translator_module
+
+LOOP = """
+_start:
+    li s0, 0
+    li s1, 50
+loop:
+    addi s0, s0, 1
+    blt s0, s1, loop
+    halt
+"""
+
+
+@pytest.fixture
+def verify_on(monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+    translator_module._CODE_CACHE.clear()
+    symexec.reset_stats()
+    yield
+    translator_module._CODE_CACHE.clear()
+
+
+def test_live_run_deep_checks_every_translation(verify_on):
+    system = boot(assemble(LOOP))
+    system.run_to_completion()
+    stats = symexec.stats()
+    assert stats["checked"] >= 2  # the li block and the loop block
+    assert stats["rejected"] == 0
+
+
+def test_hook_mirrors_obs_counters(verify_on):
+    registry = enable_metrics()
+    try:
+        system = boot(assemble(LOOP))
+        system.run_to_completion()
+        collected = registry.collect()
+        assert collected["verify.checked"] >= 2
+        assert "verify.rejected" not in collected
+    finally:
+        disable_metrics()
+
+
+def test_hook_raises_on_semantic_divergence(verify_on):
+    system = boot(assemble(LOOP))
+    tr = system.machine.translator
+    pc = system.machine.state.pc
+    instrs = tr._decode_block(pc)
+    source = tr._generate(pc, instrs, "fast")
+    # off-by-one in the executed-instruction count, on the live path
+    mutant = source.replace("return 4", "return 5", 1)
+    assert mutant != source
+    with pytest.raises(symexec.VerifyError) as excinfo:
+        symexec.hook_block(mutant, pc, instrs, "fast")
+    assert excinfo.value.diffs
+    assert symexec.stats()["rejected"] == 1
+
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_VERIFY", raising=False)
+    assert not symexec.verifier_enabled()
+    assert not symexec.verifier_active()
+
+
+def test_capture_seam_collects_without_checking(monkeypatch):
+    monkeypatch.delenv("REPRO_VERIFY", raising=False)
+    symexec.reset_stats()
+    translator_module._CODE_CACHE.clear()
+    with symexec.capture() as captured:
+        assert symexec.verifier_active()
+        system = boot(assemble(LOOP))
+        system.run_to_completion()
+    translator_module._CODE_CACHE.clear()
+    assert captured
+    assert symexec.stats()["checked"] == 0  # capture alone: no checks
+    tiers = {item.tier for item in captured}
+    assert "fast" in tiers
+    for item in captured:
+        assert item.verify() == []
